@@ -1,0 +1,136 @@
+//! Benchmarks of the Spa analysis pipeline and the statistics substrate
+//! (Figures 11 / 12 / 15 / 16 math, histograms, CDFs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use melody::prelude::*;
+use melody_bench::{bench_opts, bench_workloads};
+use melody_cpu::CounterSample;
+use melody_spa::period;
+
+/// Pre-computes a set of (local, cxl) counter pairs once, outside the
+/// timed region.
+fn counter_pairs() -> Vec<(CounterSet, CounterSet)> {
+    bench_workloads()
+        .iter()
+        .map(|w| {
+            let p = run_pair(
+                &Platform::emr2s(),
+                &presets::local_emr(),
+                &presets::cxl_b(),
+                w,
+                &bench_opts(),
+            );
+            (p.local.counters, p.target.counters)
+        })
+        .collect()
+}
+
+fn sampled_runs() -> (Vec<CounterSample>, Vec<CounterSample>) {
+    let w = registry::by_name("602.gcc").expect("gcc");
+    let opts = RunOptions {
+        mem_refs: 6_000,
+        sample_interval_ns: Some(5_000),
+        ..Default::default()
+    };
+    let local = run_workload(&Platform::emr2s(), &presets::local_emr(), &w, &opts);
+    let cxl = run_workload(&Platform::emr2s(), &presets::cxl_b(), &w, &opts);
+    (local.samples, cxl.samples)
+}
+
+/// Figure 11/14/15: estimator + breakdown math over a population.
+fn bench_spa_math(c: &mut Criterion) {
+    let pairs = counter_pairs();
+    let mut g = c.benchmark_group("fig11_14_15_spa_math");
+    g.bench_function("estimates_and_breakdowns", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|(l, x)| {
+                    let e = melody_spa::estimates(l, x);
+                    let bd = melody_spa::breakdown(l, x);
+                    (e.memory, bd.dram)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    let refs: Vec<(&CounterSet, &CounterSet)> = pairs.iter().map(|(l, x)| (l, x)).collect();
+    g.bench_function("accuracy_cdfs", |b| {
+        b.iter(|| melody_spa::accuracy(refs.iter().copied()))
+    });
+    g.bench_function("prefetch_shift_analysis", |b| {
+        b.iter(|| melody_spa::prefetch::shift_analysis(refs.iter().copied()))
+    });
+    g.finish();
+}
+
+/// Figure 16: period-based re-binning of sampled counters.
+fn bench_period_analysis(c: &mut Criterion) {
+    let (local, cxl) = sampled_runs();
+    let period = 50_000;
+    let mut g = c.benchmark_group("fig16_period_analysis");
+    g.bench_function("analyze", |b| {
+        b.iter(|| period::analyze(&local, &cxl, period))
+    });
+    g.finish();
+}
+
+/// Statistics substrate: the histogram and CDF paths every measurement
+/// goes through.
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats_substrate");
+    g.bench_function("latency_histogram_record_1k", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for i in 0..1_000u64 {
+                h.record(100 + (i * 37) % 5_000);
+            }
+            h.percentile(99.9)
+        })
+    });
+    g.bench_function("cdf_from_1k_samples", |b| {
+        let xs: Vec<f64> = (0..1_000).map(|i| ((i * 37) % 997) as f64).collect();
+        b.iter(|| {
+            let cdf = Cdf::from_samples(xs.iter().copied());
+            cdf.percentile(99.0)
+        })
+    });
+    g.finish();
+}
+
+/// Raw device-model throughput: accesses per second through each device
+/// class (the simulator's hot path).
+fn bench_device_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device_model_throughput");
+    for (name, spec) in [
+        ("imc", presets::local_emr()),
+        ("cxl", presets::cxl_b()),
+        ("cxl_numa", presets::cxl_b().with_numa_hop()),
+    ] {
+        g.bench_function(format!("access_4k/{name}"), move |b| {
+            let spec = spec.clone();
+            b.iter(|| {
+                let mut dev = spec.build(1);
+                let mut t = 0;
+                for i in 0..4_000u64 {
+                    let a = dev.access(&melody_mem::MemRequest::new(
+                        (i * 2_654_435_761) % (1 << 30),
+                        melody_mem::RequestKind::DemandRead,
+                        t,
+                    ));
+                    t = a.completion;
+                }
+                t
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    analysis,
+    bench_spa_math,
+    bench_period_analysis,
+    bench_stats,
+    bench_device_throughput,
+);
+criterion_main!(analysis);

@@ -1,0 +1,203 @@
+//! Per-figure/table benchmark kernels: one Criterion group per paper
+//! artefact, timing the unit of work that regenerates it. Run with
+//! `cargo bench`; full regeneration output comes from
+//! `cargo run --release --example figures` in the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use melody::prelude::*;
+use melody_bench::{bench_opts, bench_workloads, BENCH_MIO_ACCESSES, BENCH_MLC_REQUESTS};
+use melody_workloads::mlc::{loaded_latency, MlcConfig};
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+/// Table 1: idle-latency probe + peak-bandwidth probe on one device.
+fn bench_table1(c: &mut Criterion) {
+    let mut g = configure(c).benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("idle_latency_probe/cxl_a", |b| {
+        b.iter(|| {
+            let mut dev = presets::cxl_a().build(1);
+            probe::idle_latency_ns(dev.as_mut(), 1_000)
+        })
+    });
+    g.bench_function("peak_bandwidth_probe/cxl_d", |b| {
+        b.iter(|| {
+            let mut dev = presets::cxl_d().build(1);
+            probe::peak_bandwidth_gbps(dev.as_mut(), 1.0, 8_000, 256)
+        })
+    });
+    g.finish();
+}
+
+/// Figures 1 / 3a / 5: one MLC loaded-latency point.
+fn bench_loaded_latency(c: &mut Criterion) {
+    let mut g = configure(c).benchmark_group("fig01_03a_05_loaded_latency");
+    g.sample_size(10);
+    for (name, spec, read_frac) in [
+        ("local_read", presets::local_emr(), 1.0),
+        ("cxl_a_read", presets::cxl_a(), 1.0),
+        ("cxl_a_mixed_2to1", presets::cxl_a(), 2.0 / 3.0),
+        ("cxl_c_mixed_1to1", presets::cxl_c(), 0.5),
+    ] {
+        g.bench_function(name, move |b| {
+            let spec = spec.clone();
+            b.iter(|| {
+                loaded_latency(
+                    &spec,
+                    &MlcConfig {
+                        read_frac,
+                        total_requests: BENCH_MLC_REQUESTS,
+                        ..MlcConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figures 3b / 3c / 4: MIO tail-latency measurements.
+fn bench_mio(c: &mut Criterion) {
+    let mut g = configure(c).benchmark_group("fig03b_03c_04_mio");
+    g.sample_size(10);
+    g.bench_function("chase_8_threads/cxl_b", |b| {
+        b.iter(|| {
+            melody_mio::run(
+                &presets::cxl_b(),
+                &melody_mio::MioConfig {
+                    chase_threads: 8,
+                    accesses: BENCH_MIO_ACCESSES,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("chase_with_noise/cxl_a", |b| {
+        b.iter(|| {
+            melody_mio::run(
+                &presets::cxl_a(),
+                &melody_mio::MioConfig {
+                    noise_threads: 5,
+                    noise_read_frac: 0.6,
+                    accesses: BENCH_MIO_ACCESSES,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Figure 6: prefetchers-on chase through the core model.
+fn bench_fig06(c: &mut Criterion) {
+    let mut g = configure(c).benchmark_group("fig06_prefetched_chase");
+    g.sample_size(10);
+    g.bench_function("core_chase/cxl_b", |b| {
+        b.iter(|| {
+            let cfg = CoreConfig::new(Platform::emr2s());
+            let core = Core::new(cfg, presets::cxl_b().build(6));
+            let stream = (0..6_000u64).map(|i| Slot::Load {
+                addr: i * 64,
+                dependent: true,
+            });
+            core.run(stream)
+        })
+    });
+    g.finish();
+}
+
+/// Figures 7 / 16: a sampled workload run (time-series + counters).
+fn bench_sampled_run(c: &mut Criterion) {
+    let mut g = configure(c).benchmark_group("fig07_16_sampled_run");
+    g.sample_size(10);
+    let w = registry::by_name("602.gcc").expect("gcc");
+    g.bench_function("gcc_sampled/cxl_b", move |b| {
+        let w = w.clone();
+        b.iter(|| {
+            let opts = RunOptions {
+                mem_refs: 4_000,
+                sample_interval_ns: Some(10_000),
+                ..Default::default()
+            };
+            run_workload(&Platform::emr2s(), &presets::cxl_b(), &w, &opts)
+        })
+    });
+    g.finish();
+}
+
+/// Figures 8 / 9 / 11 / 14: one workload-pair run per behaviour class.
+fn bench_pair_runs(c: &mut Criterion) {
+    let mut g = configure(c).benchmark_group("fig08_09_11_14_pair_runs");
+    g.sample_size(10);
+    for w in bench_workloads() {
+        let name = w.name.replace('.', "_");
+        g.bench_function(format!("pair/{name}/cxl_a"), move |b| {
+            let w = w.clone();
+            b.iter(|| {
+                run_pair(
+                    &Platform::emr2s(),
+                    &presets::local_emr(),
+                    &presets::cxl_a(),
+                    &w,
+                    &bench_opts(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8c/8d: the CXL+NUMA coupled-hop path.
+fn bench_cxl_numa(c: &mut Criterion) {
+    let mut g = configure(c).benchmark_group("fig08cd_cxl_numa");
+    g.sample_size(10);
+    let w = registry::by_name("520.omnetpp").expect("omnetpp");
+    g.bench_function("omnetpp/cxl_a_numa", move |b| {
+        let w = w.clone();
+        b.iter(|| {
+            run_pair(
+                &Platform::emr2s(),
+                &presets::local_emr(),
+                &presets::cxl_a().with_numa_hop(),
+                &w,
+                &bench_opts(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Figure 8f: interleaved dual CXL-D.
+fn bench_interleave(c: &mut Criterion) {
+    let mut g = configure(c).benchmark_group("fig08f_interleave");
+    g.sample_size(10);
+    let w = registry::by_name("603.bwaves").expect("bwaves");
+    g.bench_function("bwaves/cxl_d_x2", move |b| {
+        let w = w.clone();
+        b.iter(|| {
+            run_pair(
+                &Platform::emr2s_prime(),
+                &presets::local_emr_prime(),
+                &presets::cxl_d().interleaved(2),
+                &w,
+                &bench_opts(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_loaded_latency,
+    bench_mio,
+    bench_fig06,
+    bench_sampled_run,
+    bench_pair_runs,
+    bench_cxl_numa,
+    bench_interleave,
+);
+criterion_main!(figures);

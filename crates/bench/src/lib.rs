@@ -1,0 +1,67 @@
+//! Benchmark harness for the Melody reproduction.
+//!
+//! Two complementary layers:
+//!
+//! 1. **Criterion benches** (this crate's `benches/`): timed kernels, one
+//!    group per paper table/figure, measuring the cost of regenerating a
+//!    unit of each experiment (a loaded-latency point, an MIO
+//!    measurement, a workload pair run, a Spa analysis, ...) so simulator
+//!    performance regressions are caught.
+//! 2. **Figure regeneration** (`cargo run --release --example figures`
+//!    in the workspace root): prints the actual rows/series of every
+//!    table and figure at smoke/quick/full scale. `EXPERIMENTS.md`
+//!    records the recorded output against the paper.
+//!
+//! Shared scaled-down parameters for the bench kernels live here so the
+//! benches agree on workload sizes.
+
+use melody::prelude::*;
+
+/// Memory references per workload run inside a timed bench iteration.
+pub const BENCH_REFS: u64 = 4_000;
+
+/// MIO accesses per timed measurement.
+pub const BENCH_MIO_ACCESSES: u64 = 8_000;
+
+/// MLC requests per timed sweep point.
+pub const BENCH_MLC_REQUESTS: u64 = 8_000;
+
+/// Run options used by the workload-pair bench kernels.
+pub fn bench_opts() -> RunOptions {
+    RunOptions {
+        mem_refs: BENCH_REFS,
+        ..Default::default()
+    }
+}
+
+/// The workloads exercised by the per-figure bench kernels: one per
+/// behaviour class the paper highlights.
+pub fn bench_workloads() -> Vec<WorkloadSpec> {
+    ["605.mcf", "519.lbm", "603.bwaves", "redis.ycsb-C", "541.leela"]
+        .iter()
+        .map(|n| registry::by_name(n).expect("registry workload"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_workloads_resolve() {
+        assert_eq!(bench_workloads().len(), 5);
+    }
+
+    #[test]
+    fn bench_kernel_runs() {
+        let w = &bench_workloads()[0];
+        let p = run_pair(
+            &Platform::emr2s(),
+            &presets::local_emr(),
+            &presets::cxl_a(),
+            w,
+            &bench_opts(),
+        );
+        assert!(p.local.counters.cycles > 0);
+    }
+}

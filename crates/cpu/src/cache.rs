@@ -1,0 +1,280 @@
+//! Set-associative LRU cache model.
+
+/// A set-associative cache over 64 B lines with true-LRU replacement.
+///
+/// Stores line numbers (address / 64). Lookups and fills are O(ways).
+///
+/// # Example
+///
+/// ```
+/// use melody_cpu::Cache;
+/// let mut l1 = Cache::new(48 * 1024, 12);
+/// assert!(!l1.contains(3));
+/// l1.fill(3, false);
+/// assert!(l1.probe(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    // Per way-slot: tag (line / sets) + 1, 0 = invalid.
+    tags: Vec<u64>,
+    // LRU stamp per slot; higher = more recent.
+    stamps: Vec<u64>,
+    dirty: Vec<bool>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with `ways` associativity.
+    ///
+    /// The set count is rounded down to a power of two (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or the capacity is smaller than one way of
+    /// lines.
+    pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "cache needs at least one way");
+        let lines = capacity_bytes / 64;
+        assert!(lines >= ways, "capacity below one set");
+        // Round the set count down to a power of two for cheap indexing.
+        let raw = lines / ways;
+        let sets = (1usize << (usize::BITS - 1 - raw.leading_zeros())).max(1);
+        Self {
+            sets,
+            ways,
+            tags: vec![0; sets * ways],
+            stamps: vec![0; sets * ways],
+            dirty: vec![false; sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * 64
+    }
+
+    #[inline]
+    fn slot_range(&self, line: u64) -> (usize, u64) {
+        let set = (line as usize) & (self.sets - 1);
+        let tag = (line / self.sets as u64) + 1;
+        (set * self.ways, tag)
+    }
+
+    /// Checks for presence without touching LRU state or stats.
+    pub fn contains(&self, line: u64) -> bool {
+        let (base, tag) = self.slot_range(line);
+        self.tags[base..base + self.ways].contains(&tag)
+    }
+
+    /// Looks up `line`, updating LRU and hit/miss stats. Returns true on
+    /// hit.
+    pub fn probe(&mut self, line: u64) -> bool {
+        let (base, tag) = self.slot_range(line);
+        self.tick += 1;
+        for i in base..base + self.ways {
+            if self.tags[i] == tag {
+                self.stamps[i] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Marks a present line dirty (no-op if absent). Returns whether the
+    /// line was present.
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        let (base, tag) = self.slot_range(line);
+        for i in base..base + self.ways {
+            if self.tags[i] == tag {
+                self.dirty[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `line`, evicting the LRU victim of its set if needed.
+    /// Returns the evicted line and its dirty bit, if any.
+    pub fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
+        let (base, tag) = self.slot_range(line);
+        self.tick += 1;
+        // Already present: refresh.
+        for i in base..base + self.ways {
+            if self.tags[i] == tag {
+                self.stamps[i] = self.tick;
+                self.dirty[i] |= dirty;
+                return None;
+            }
+        }
+        // Free slot or LRU victim.
+        let mut victim = base;
+        let mut oldest = u64::MAX;
+        for i in base..base + self.ways {
+            if self.tags[i] == 0 {
+                victim = i;
+                break;
+            }
+            if self.stamps[i] < oldest {
+                oldest = self.stamps[i];
+                victim = i;
+            }
+        }
+        let evicted = if self.tags[victim] != 0 {
+            let set = base / self.ways;
+            let old_line = (self.tags[victim] - 1) * self.sets as u64 + set as u64;
+            Some((old_line, self.dirty[victim]))
+        } else {
+            None
+        };
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.tick;
+        self.dirty[victim] = dirty;
+        evicted
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(4096, 4);
+        assert!(!c.probe(10));
+        c.fill(10, false);
+        assert!(c.probe(10));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = Cache::new(64 * 4, 4); // 1 set, 4 ways
+        assert_eq!(c.sets(), 1);
+        for line in 0..4 {
+            c.fill(line, false);
+        }
+        c.probe(0); // 0 is now MRU; 1 is LRU
+        let evicted = c.fill(100, false);
+        assert_eq!(evicted, Some((1, false)));
+        assert!(c.contains(0));
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = Cache::new(64 * 2, 2); // 1 set, 2 ways
+        c.fill(1, false);
+        c.mark_dirty(1);
+        c.fill(2, false);
+        let evicted = c.fill(3, false);
+        assert_eq!(evicted, Some((1, true)));
+    }
+
+    #[test]
+    fn mark_dirty_absent_line() {
+        let mut c = Cache::new(4096, 4);
+        assert!(!c.mark_dirty(42));
+    }
+
+    #[test]
+    fn refill_refreshes_without_evicting() {
+        let mut c = Cache::new(64 * 2, 2);
+        c.fill(1, false);
+        c.fill(2, false);
+        assert_eq!(c.fill(1, true), None);
+        // 2 is now LRU.
+        assert_eq!(c.fill(3, false), Some((2, false)));
+        // 1 kept its dirty bit from the refresh.
+        assert_eq!(c.fill(4, false), Some((1, true)));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = Cache::new(64 * 8, 2); // 4 sets, 2 ways
+        assert_eq!(c.sets(), 4);
+        // Lines 0..4 land in distinct sets.
+        for line in 0..4 {
+            c.fill(line, false);
+        }
+        for line in 0..4 {
+            assert!(c.contains(line), "line {line} evicted unexpectedly");
+        }
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_mostly_misses() {
+        let mut c = Cache::new(64 * 1024, 8); // 64 KiB
+        // Stream a 1 MiB working set twice.
+        for pass in 0..2 {
+            for line in 0..16_384u64 {
+                let hit = c.probe(line);
+                if pass == 1 {
+                    assert!(!hit, "line {line} cannot survive a 16x overflow");
+                }
+                if !hit {
+                    c.fill(line, false);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_all_hits_second_pass() {
+        let mut c = Cache::new(1024 * 1024, 16);
+        for line in 0..1_000u64 {
+            c.fill(line, false);
+        }
+        for line in 0..1_000u64 {
+            assert!(c.probe(line));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn contains_agrees_with_probe(lines in proptest::collection::vec(0u64..10_000, 1..500)) {
+            let mut c = Cache::new(32 * 1024, 8);
+            for &l in &lines {
+                if !c.probe(l) {
+                    c.fill(l, false);
+                }
+                prop_assert!(c.contains(l));
+            }
+        }
+
+        #[test]
+        fn eviction_returns_lines_from_same_set(lines in proptest::collection::vec(0u64..100_000, 1..500)) {
+            let mut c = Cache::new(8 * 1024, 4);
+            let sets = c.sets() as u64;
+            for &l in &lines {
+                if let Some((victim, _)) = c.fill(l, false) {
+                    prop_assert_eq!(victim % sets, l % sets, "victim from wrong set");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Performance-counter model: the 9 Spa counters plus prefetch traffic.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the CPU counters Spa consumes (the paper's Table 2),
+/// plus the prefetch-traffic counters used by the §5.4 prefetcher
+/// analysis and bookkeeping (cycles / instructions).
+///
+/// All stall counters are in *cycles*. The containment invariants of the
+/// paper's Figure 10 hold by construction:
+///
+/// - `bound_on_loads >= stalls_l1d_miss >= stalls_l2_miss >= stalls_l3_miss`
+/// - `retired_stalls >= bound_on_loads + bound_on_stores`
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterSet {
+    /// Total core cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// P1 `EXE_ACTIVITY.BOUND_ON_LOADS`: cycles with ≥1 outstanding
+    /// demand load blocking progress.
+    pub bound_on_loads: u64,
+    /// P2 `EXE_ACTIVITY.BOUND_ON_STORES`: cycles stalled on a full store
+    /// buffer with no outstanding demand load.
+    pub bound_on_stores: u64,
+    /// P3 `CYCLE_ACTIVITY.STALLS_L1D_MISS`: stall cycles while an
+    /// L1-missing demand load is outstanding.
+    pub stalls_l1d_miss: u64,
+    /// P4 `CYCLE_ACTIVITY.STALLS_L2_MISS`.
+    pub stalls_l2_miss: u64,
+    /// P5 `CYCLE_ACTIVITY.STALLS_L3_MISS`.
+    pub stalls_l3_miss: u64,
+    /// P6 `UOPS_RETIRED.STALLS`: cycles with no µop retired.
+    pub retired_stalls: u64,
+    /// P7 `EXE_ACTIVITY.1_PORTS_UTIL`: cycles with exactly 1 µop executing.
+    pub ports_1_util: u64,
+    /// P8 `EXE_ACTIVITY.2_PORTS_UTIL`: cycles with exactly 2 µops executing.
+    pub ports_2_util: u64,
+    /// P9 `RESOURCE_STALLS.SCOREBOARD`: cycles stalled on serializing ops.
+    pub stalls_scoreboard: u64,
+    /// L1-prefetch requests that missed L3 (fetched from DRAM/CXL).
+    pub l1pf_l3_miss: u64,
+    /// L2-prefetch requests that missed L3.
+    pub l2pf_l3_miss: u64,
+    /// L2-prefetch requests that hit L3.
+    pub l2pf_l3_hit: u64,
+    /// Demand loads served from DRAM/CXL (L3 misses, excluding RFO and
+    /// prefetch).
+    pub demand_l3_miss: u64,
+    /// L2 prefetches issued (for coverage accounting).
+    pub l2pf_issued: u64,
+    /// L2 prefetches dropped for lack of in-flight slots (timeliness
+    /// pressure indicator).
+    pub l2pf_dropped: u64,
+}
+
+impl CounterSet {
+    /// Element-wise difference `self - other`, saturating at zero per
+    /// counter (counters are monotone within a run; saturation guards
+    /// cross-run comparisons).
+    pub fn delta(&self, other: &CounterSet) -> CounterSet {
+        CounterSet {
+            cycles: self.cycles.saturating_sub(other.cycles),
+            instructions: self.instructions.saturating_sub(other.instructions),
+            bound_on_loads: self.bound_on_loads.saturating_sub(other.bound_on_loads),
+            bound_on_stores: self.bound_on_stores.saturating_sub(other.bound_on_stores),
+            stalls_l1d_miss: self.stalls_l1d_miss.saturating_sub(other.stalls_l1d_miss),
+            stalls_l2_miss: self.stalls_l2_miss.saturating_sub(other.stalls_l2_miss),
+            stalls_l3_miss: self.stalls_l3_miss.saturating_sub(other.stalls_l3_miss),
+            retired_stalls: self.retired_stalls.saturating_sub(other.retired_stalls),
+            ports_1_util: self.ports_1_util.saturating_sub(other.ports_1_util),
+            ports_2_util: self.ports_2_util.saturating_sub(other.ports_2_util),
+            stalls_scoreboard: self.stalls_scoreboard.saturating_sub(other.stalls_scoreboard),
+            l1pf_l3_miss: self.l1pf_l3_miss.saturating_sub(other.l1pf_l3_miss),
+            l2pf_l3_miss: self.l2pf_l3_miss.saturating_sub(other.l2pf_l3_miss),
+            l2pf_l3_hit: self.l2pf_l3_hit.saturating_sub(other.l2pf_l3_hit),
+            demand_l3_miss: self.demand_l3_miss.saturating_sub(other.demand_l3_miss),
+            l2pf_issued: self.l2pf_issued.saturating_sub(other.l2pf_issued),
+            l2pf_dropped: self.l2pf_dropped.saturating_sub(other.l2pf_dropped),
+        }
+    }
+
+    /// Exclusive store-buffer stalls (`s_store = P2`, Figure 10 / Eq. 6).
+    pub fn s_store(&self) -> u64 {
+        self.bound_on_stores
+    }
+
+    /// Exclusive L1 stalls (`s_L1 = P1 − P3`): direct or delayed L1 hits.
+    pub fn s_l1(&self) -> u64 {
+        self.bound_on_loads.saturating_sub(self.stalls_l1d_miss)
+    }
+
+    /// Exclusive L2 stalls (`s_L2 = P3 − P4`).
+    pub fn s_l2(&self) -> u64 {
+        self.stalls_l1d_miss.saturating_sub(self.stalls_l2_miss)
+    }
+
+    /// Exclusive L3 stalls (`s_L3 = P4 − P5`).
+    pub fn s_l3(&self) -> u64 {
+        self.stalls_l2_miss.saturating_sub(self.stalls_l3_miss)
+    }
+
+    /// DRAM/CXL stalls (`s_DRAM = P5`).
+    pub fn s_dram(&self) -> u64 {
+        self.stalls_l3_miss
+    }
+
+    /// Core stalls (`s_Core = P7 + P8 + P9`, Eq. 3).
+    pub fn s_core(&self) -> u64 {
+        self.ports_1_util + self.ports_2_util + self.stalls_scoreboard
+    }
+
+    /// Memory-subsystem stalls (`s_Memory = P1 + P2`, Eq. 4).
+    pub fn s_memory(&self) -> u64 {
+        self.bound_on_loads + self.bound_on_stores
+    }
+
+    /// Checks the Figure 10 containment invariants.
+    pub fn invariants_hold(&self) -> bool {
+        self.bound_on_loads >= self.stalls_l1d_miss
+            && self.stalls_l1d_miss >= self.stalls_l2_miss
+            && self.stalls_l2_miss >= self.stalls_l3_miss
+            && self.retired_stalls >= self.bound_on_loads + self.bound_on_stores
+            && self.cycles >= self.retired_stalls
+    }
+}
+
+/// A periodic counter snapshot with its simulated timestamp, used by the
+/// period-based Spa analysis (§5.6) and latency time series (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Simulated time of the snapshot, ns.
+    pub time_ns: u64,
+    /// Cumulative counters at that time.
+    pub counters: CounterSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CounterSet {
+        CounterSet {
+            cycles: 1_000,
+            instructions: 800,
+            bound_on_loads: 400,
+            bound_on_stores: 50,
+            stalls_l1d_miss: 350,
+            stalls_l2_miss: 300,
+            stalls_l3_miss: 200,
+            retired_stalls: 500,
+            ports_1_util: 20,
+            ports_2_util: 10,
+            stalls_scoreboard: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn exclusive_components_sum_to_memory_stalls() {
+        let c = sample();
+        assert_eq!(
+            c.s_store() + c.s_l1() + c.s_l2() + c.s_l3() + c.s_dram(),
+            c.s_memory()
+        );
+    }
+
+    #[test]
+    fn component_values() {
+        let c = sample();
+        assert_eq!(c.s_l1(), 50);
+        assert_eq!(c.s_l2(), 50);
+        assert_eq!(c.s_l3(), 100);
+        assert_eq!(c.s_dram(), 200);
+        assert_eq!(c.s_store(), 50);
+        assert_eq!(c.s_core(), 35);
+    }
+
+    #[test]
+    fn invariants() {
+        assert!(sample().invariants_hold());
+        let mut bad = sample();
+        bad.stalls_l2_miss = bad.stalls_l1d_miss + 1;
+        assert!(!bad.invariants_hold());
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = sample();
+        let mut b = sample();
+        b.cycles = 900;
+        b.bound_on_loads = 500;
+        let d = a.delta(&b);
+        assert_eq!(d.cycles, 100);
+        assert_eq!(d.bound_on_loads, 0); // saturated
+    }
+}

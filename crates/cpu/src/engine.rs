@@ -1,0 +1,1095 @@
+//! The core execution engine: runs a slot stream against a memory device
+//! and maintains the Spa counters.
+
+use melody_mem::{MemRequest, MemoryDevice, RequestKind};
+use melody_stats::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::Cache;
+use crate::counters::{CounterSample, CounterSet};
+use crate::platform::Platform;
+use crate::prefetch::{StreamPrefetcher, StridePrefetcher};
+
+/// One unit of work in the instruction stream.
+///
+/// Compute blocks aggregate non-memory µops; loads and stores are
+/// cacheline-granular memory operations. `dependent` loads serialize
+/// behind their own completion (pointer chasing); independent loads
+/// overlap up to the line-fill-buffer limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// `uops` non-memory µops.
+    Compute {
+        /// Number of µops in the block.
+        uops: u32,
+    },
+    /// A load from `addr`.
+    Load {
+        /// Byte address.
+        addr: u64,
+        /// Whether execution must wait for this load's data.
+        dependent: bool,
+    },
+    /// A store to `addr`.
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+}
+
+/// Configuration of a core run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// The CPU platform.
+    pub platform: Platform,
+    /// Enable the L1/L2 hardware prefetchers.
+    pub prefetchers: bool,
+    /// Periodic counter-sample interval in ns (None = no sampling).
+    pub sample_interval_ns: Option<u64>,
+    /// Fraction of compute cycles additionally spent frontend-stalled
+    /// (fetch/decode limited). Independent of memory latency.
+    pub frontend_bound: f64,
+    /// Average µops sustained per cycle by the workload's compute
+    /// (1.0..=ipc_peak); controls compute time and port-util counters.
+    pub ilp: f64,
+    /// Fraction of compute cycles spent on serializing operations
+    /// (scoreboard stalls, P9).
+    pub serialize_frac: f64,
+}
+
+impl CoreConfig {
+    /// Default configuration for a platform: prefetchers on, no sampling,
+    /// moderately parallel compute.
+    pub fn new(platform: Platform) -> Self {
+        Self {
+            platform,
+            prefetchers: true,
+            sample_interval_ns: None,
+            frontend_bound: 0.0,
+            ilp: 2.0,
+            serialize_frac: 0.0,
+        }
+    }
+}
+
+/// How deep a load had to go; orders stall attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Depth {
+    L1,
+    L2,
+    L3,
+    Mem,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LfbEntry {
+    line: u64,
+    ready_ps: u64,
+    depth: Depth,
+    /// True for L1-prefetch entries, false for demand misses.
+    is_prefetch: bool,
+}
+
+/// Per-sample-window latency/bandwidth point (Figure 7 time series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// Window end, ns of simulated time.
+    pub time_ns: u64,
+    /// Mean demand-load memory latency in the window, ns (0 if none).
+    pub mean_lat_ns: f64,
+    /// Max demand-load memory latency in the window, ns.
+    pub max_lat_ns: u64,
+    /// Device read traffic in the window, bytes.
+    pub read_bytes: u64,
+}
+
+/// The result of running a slot stream on a [`Core`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Final cumulative counters.
+    pub counters: CounterSet,
+    /// Periodic counter samples (if sampling was enabled).
+    pub samples: Vec<CounterSample>,
+    /// Periodic latency/bandwidth points (if sampling was enabled).
+    pub latency_series: Vec<LatencyPoint>,
+    /// Histogram of demand-load *memory* latencies (ns).
+    pub demand_lat_hist: LatencyHistogram,
+    /// Histogram of *all* dependent-load observed latencies (ns),
+    /// including cache hits and delayed hits — what a pointer-chase
+    /// latency probe running on the CPU sees (Figure 6).
+    pub dep_load_hist: LatencyHistogram,
+    /// Total simulated wall time, ns.
+    pub wall_ns: u64,
+    /// Device traffic counters.
+    pub device_stats: melody_mem::DeviceStats,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.counters.cycles == 0 {
+            0.0
+        } else {
+            self.counters.instructions as f64 / self.counters.cycles as f64
+        }
+    }
+
+    /// Measured slowdown of `self` relative to a baseline run of the same
+    /// stream: `cycles/base.cycles - 1` (the paper's `S`, as a fraction).
+    pub fn slowdown_vs(&self, baseline: &RunResult) -> f64 {
+        if baseline.counters.cycles == 0 {
+            return 0.0;
+        }
+        self.counters.cycles as f64 / baseline.counters.cycles as f64 - 1.0
+    }
+}
+
+/// A single simulated core driving a memory device.
+pub struct Core {
+    cfg: CoreConfig,
+    device: Box<dyn MemoryDevice>,
+    cycle_ps: u64,
+    t_ps: u64,
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    l1pf: StridePrefetcher,
+    l2pf: StreamPrefetcher,
+    /// L1-prefetch lines in flight: (line, ready_ps). Occupies LFB slots.
+    pending_l1: Vec<(u64, u64)>,
+    /// L2-prefetch lines in flight: (line, ready_ps).
+    pending_l2: Vec<(u64, u64)>,
+    /// Outstanding independent demand misses.
+    lfb: Vec<LfbEntry>,
+    /// Store-buffer entries: RFO/commit ready times.
+    sb: Vec<u64>,
+    counters: CounterSet,
+    samples: Vec<CounterSample>,
+    latency_series: Vec<LatencyPoint>,
+    demand_lat_hist: LatencyHistogram,
+    dep_load_hist: LatencyHistogram,
+    next_sample_ps: u64,
+    win_lat_sum_ps: u64,
+    win_lat_max_ps: u64,
+    win_lat_n: u64,
+    win_read_bytes: u64,
+    tick: u64,
+}
+
+impl Core {
+    /// Creates a core on `device`.
+    pub fn new(cfg: CoreConfig, device: Box<dyn MemoryDevice>) -> Self {
+        let p = &cfg.platform;
+        let cycle_ps = p.cycle_ps();
+        let l1 = Cache::new(p.l1d_kb as usize * 1024, 12);
+        let l2 = Cache::new(p.l2_kb as usize * 1024, 16);
+        let l3 = Cache::new((p.l3_mb * 1024.0 * 1024.0) as usize, 16);
+        let next_sample_ps = cfg
+            .sample_interval_ns
+            .map(|ns| ns * 1_000)
+            .unwrap_or(u64::MAX);
+        Self {
+            l1pf: StridePrefetcher::l1_default(),
+            l2pf: StreamPrefetcher::l2_default(),
+            cycle_ps,
+            t_ps: 0,
+            l1,
+            l2,
+            l3,
+            pending_l1: Vec::new(),
+            pending_l2: Vec::new(),
+            lfb: Vec::new(),
+            sb: Vec::new(),
+            counters: CounterSet::default(),
+            samples: Vec::new(),
+            latency_series: Vec::new(),
+            demand_lat_hist: LatencyHistogram::new(),
+            dep_load_hist: LatencyHistogram::new(),
+            next_sample_ps,
+            win_lat_sum_ps: 0,
+            win_lat_max_ps: 0,
+            win_lat_n: 0,
+            win_read_bytes: 0,
+            tick: 0,
+            cfg,
+            device,
+        }
+    }
+
+    /// Warms the cache hierarchy with the byte range `[start, end)`, as
+    /// functional warming before timing begins.
+    ///
+    /// Short simulated streams otherwise suffer cold-start bias: a
+    /// workload whose hot set fits in cache would spend the whole
+    /// (sampled) run taking compulsory misses and look memory-bound when
+    /// its steady state is cache-resident. Each level is filled with as
+    /// much of the range as it holds (from the range's base), which
+    /// reproduces the steady-state hit ratio. The caller picks a range
+    /// matching what the steady-state cache would contain — the hot
+    /// region for skewed patterns, the tail of the working set for
+    /// streams (so a sequential walk still misses, as it does in steady
+    /// state).
+    pub fn warm(&mut self, start_byte: u64, end_byte: u64) {
+        let start = start_byte / 64;
+        let end = (end_byte / 64).max(start);
+        let span = end - start;
+        let l3_lines = (self.l3.capacity_bytes() / 64) as u64;
+        for line in start..start + span.min(l3_lines) {
+            self.l3.fill(line, false);
+        }
+        let l2_lines = (self.l2.capacity_bytes() / 64) as u64;
+        for line in start..start + span.min(l2_lines) {
+            self.l2.fill(line, false);
+        }
+        let l1_lines = (self.l1.capacity_bytes() / 64) as u64;
+        for line in start..start + span.min(l1_lines) {
+            self.l1.fill(line, false);
+        }
+    }
+
+    /// L3 capacity in bytes (for warm-range sizing).
+    pub fn l3_capacity_bytes(&self) -> u64 {
+        self.l3.capacity_bytes() as u64
+    }
+
+    /// Runs the slot stream to completion and returns the result.
+    pub fn run<I: IntoIterator<Item = Slot>>(mut self, stream: I) -> RunResult {
+        for slot in stream {
+            self.step(slot);
+            self.maybe_sample();
+        }
+        // Drain outstanding work so the wall clock covers it.
+        let drain_to = self
+            .lfb
+            .iter()
+            .map(|e| e.ready_ps)
+            .chain(self.sb.iter().copied())
+            .max()
+            .unwrap_or(self.t_ps);
+        if drain_to > self.t_ps {
+            let dur = drain_to - self.t_ps;
+            self.outstanding_stall(dur, self.deepest_outstanding());
+        }
+        self.settle();
+        self.counters.cycles = self.t_ps / self.cycle_ps;
+        self.flush_window();
+        RunResult {
+            counters: self.counters,
+            samples: self.samples,
+            latency_series: self.latency_series,
+            demand_lat_hist: self.demand_lat_hist,
+            dep_load_hist: self.dep_load_hist,
+            wall_ns: self.t_ps / 1_000,
+            device_stats: self.device.stats(),
+        }
+    }
+
+    fn cycles_at(&self, t_ps: u64) -> u64 {
+        t_ps / self.cycle_ps
+    }
+
+    /// Advances time by `dur_ps` without stall accounting (retiring
+    /// compute time).
+    fn advance(&mut self, dur_ps: u64) {
+        self.t_ps += dur_ps;
+    }
+
+    /// Advances time as a non-retiring stall; the caller attributes the
+    /// returned cycle count to specific counters.
+    fn stall_cycles(&mut self, dur_ps: u64) -> u64 {
+        let c0 = self.cycles_at(self.t_ps);
+        self.t_ps += dur_ps;
+        let dc = self.cycles_at(self.t_ps) - c0;
+        self.counters.retired_stalls += dc;
+        dc
+    }
+
+    /// Stall attribution for a *fresh* dependent load traversing the
+    /// hierarchy, with the Figure 10 nesting: the first `l1_lat` cycles
+    /// count only as bound-on-loads (the L1 lookup segment), the next
+    /// segment enters STALLS_L1D_MISS once the L1 miss is known, and so
+    /// on — matching when each Intel pending-miss bit would set.
+    fn load_stall(&mut self, dur_ps: u64, depth: Depth) {
+        if dur_ps == 0 {
+            return;
+        }
+        let dc = self.stall_cycles(dur_ps);
+        let p = &self.cfg.platform;
+        self.counters.bound_on_loads += dc;
+        if depth >= Depth::L2 {
+            self.counters.stalls_l1d_miss += dc.saturating_sub(p.l1_lat_cy.min(dc));
+        }
+        if depth >= Depth::L3 {
+            self.counters.stalls_l2_miss += dc.saturating_sub(p.l2_lat_cy.min(dc));
+        }
+        if depth >= Depth::Mem {
+            self.counters.stalls_l3_miss += dc.saturating_sub(p.l3_lat_cy.min(dc));
+        }
+        // A sliver of long memory stalls shows up as scoreboard pressure
+        // (data-dependent serialization), the small Core term of Eq. 3.
+        if depth == Depth::Mem && self.cfg.serialize_frac > 0.0 {
+            self.counters.stalls_scoreboard +=
+                (dc as f64 * self.cfg.serialize_frac * 0.05) as u64;
+        }
+    }
+
+    /// Stall attribution while waiting on *already-outstanding* loads
+    /// (LFB full, final drain): their miss levels were determined long
+    /// ago, so the whole window counts at every level down to `depth` —
+    /// no per-window lookup-segment subtraction (which would smear
+    /// repeated short windows into phantom shallow-level stalls).
+    fn outstanding_stall(&mut self, dur_ps: u64, depth: Depth) {
+        if dur_ps == 0 {
+            return;
+        }
+        let dc = self.stall_cycles(dur_ps);
+        self.counters.bound_on_loads += dc;
+        if depth >= Depth::L2 {
+            self.counters.stalls_l1d_miss += dc;
+        }
+        if depth >= Depth::L3 {
+            self.counters.stalls_l2_miss += dc;
+        }
+        if depth >= Depth::Mem {
+            self.counters.stalls_l3_miss += dc;
+        }
+    }
+
+    fn deepest_outstanding(&self) -> Depth {
+        self.lfb
+            .iter()
+            .filter(|e| !e.is_prefetch)
+            .map(|e| e.depth)
+            .max()
+            .unwrap_or(Depth::L1)
+    }
+
+    /// Retires everything that has completed by the current time.
+    fn settle(&mut self) {
+        let now = self.t_ps;
+        let mut i = 0;
+        while i < self.pending_l1.len() {
+            if self.pending_l1[i].1 <= now {
+                let (line, _) = self.pending_l1.swap_remove(i);
+                self.fill_l1(line, false);
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.pending_l2.len() {
+            if self.pending_l2[i].1 <= now {
+                let (line, _) = self.pending_l2.swap_remove(i);
+                self.fill_l2(line, false);
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.lfb.len() {
+            if self.lfb[i].ready_ps <= now {
+                let e = self.lfb.swap_remove(i);
+                self.fill_l1(e.line, false);
+            } else {
+                i += 1;
+            }
+        }
+        self.sb.retain(|&ready| ready > now);
+    }
+
+    /// Fills into L1, cascading evictions down the hierarchy.
+    fn fill_l1(&mut self, line: u64, dirty: bool) {
+        if let Some((victim, vdirty)) = self.l1.fill(line, dirty) {
+            self.fill_l2(victim, vdirty);
+        }
+    }
+
+    fn fill_l2(&mut self, line: u64, dirty: bool) {
+        if let Some((victim, vdirty)) = self.l2.fill(line, dirty) {
+            self.fill_l3(victim, vdirty);
+        }
+    }
+
+    fn fill_l3(&mut self, line: u64, dirty: bool) {
+        if let Some((victim, vdirty)) = self.l3.fill(line, dirty) {
+            if vdirty {
+                // Dirty LLC eviction: writeback to the device (posted).
+                self.device.access(&MemRequest::new(
+                    victim * 64,
+                    RequestKind::WriteBack,
+                    self.t_ps,
+                ));
+            }
+        }
+    }
+
+    /// Demand-miss LFB occupancy. L1 prefetches occupy a separate
+    /// prefetch-buffer budget (half the LFB size) — demand misses never
+    /// starve the prefetcher outright, matching real DCU behaviour and
+    /// preserving the paper's Figure 12 signature where the L1PF keeps
+    /// issuing (and missing L3) when L2PF coverage collapses under CXL.
+    fn lfb_used(&self) -> usize {
+        self.lfb.len()
+    }
+
+    fn l1pf_budget(&self) -> usize {
+        self.cfg.platform.lfb_entries.max(2)
+    }
+
+    /// Where is `line`, as of now, without side effects on pendings.
+    fn find_pending_l1(&self, line: u64) -> Option<u64> {
+        self.pending_l1
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, r)| r)
+    }
+
+    fn find_pending_l2(&self, line: u64) -> Option<u64> {
+        self.pending_l2
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, r)| r)
+    }
+
+    fn step(&mut self, slot: Slot) {
+        match slot {
+            Slot::Compute { uops } => self.do_compute(uops),
+            Slot::Load { addr, dependent } => self.do_load(addr, dependent),
+            Slot::Store { addr } => self.do_store(addr),
+        }
+    }
+
+    fn do_compute(&mut self, uops: u32) {
+        let p = self.cfg.platform.clone();
+        let ilp = self.cfg.ilp.clamp(0.25, p.ipc_peak);
+        let cycles = (uops as f64 / ilp).ceil() as u64;
+        self.counters.instructions += uops as u64;
+        self.advance(cycles * self.cycle_ps);
+        // Non-retiring share of compute cycles and port-utilization
+        // counters; purely a function of the instruction mix, so the
+        // local-vs-CXL delta of these counters is ~0 (the paper's
+        // observation that CXL barely moves Core/frontend stalls).
+        let retire_cycles = (uops as f64 / p.ipc_peak).ceil() as u64;
+        let nonretiring = cycles.saturating_sub(retire_cycles);
+        self.counters.retired_stalls += nonretiring;
+        let w1 = ((2.5 - ilp) * 0.4).clamp(0.0, 0.8);
+        let w2 = ((3.5 - ilp) * 0.25).clamp(0.0, 0.5 - w1.min(0.4));
+        self.counters.ports_1_util += (nonretiring as f64 * w1) as u64;
+        self.counters.ports_2_util += (nonretiring as f64 * w2) as u64;
+        // Frontend-bound share: extra fetch/decode stall cycles.
+        if self.cfg.frontend_bound > 0.0 {
+            let fe = (cycles as f64 * self.cfg.frontend_bound) as u64;
+            self.stall_cycles(fe * self.cycle_ps);
+        }
+        // Serializing operations stall the scoreboard.
+        if self.cfg.serialize_frac > 0.0 {
+            let ser = (cycles as f64 * self.cfg.serialize_frac) as u64;
+            let dc = self.stall_cycles(ser * self.cycle_ps);
+            self.counters.stalls_scoreboard += dc;
+        }
+    }
+
+    fn record_demand_latency(&mut self, lat_ps: u64) {
+        self.demand_lat_hist.record(lat_ps / 1_000);
+        self.win_lat_sum_ps += lat_ps;
+        self.win_lat_max_ps = self.win_lat_max_ps.max(lat_ps);
+        self.win_lat_n += 1;
+    }
+
+    fn do_load(&mut self, addr: u64, dependent: bool) {
+        let line = addr / 64;
+        self.counters.instructions += 1;
+        self.settle();
+        let p = self.cfg.platform.clone();
+
+        // Hardware prefetch hooks observe the demand stream first so they
+        // can run ahead of it.
+        if self.cfg.prefetchers {
+            self.run_l1_prefetcher(line);
+        }
+
+        // L1 hit: dependent pointer chases pay the L1 load-to-use
+        // latency; independent L1 hits are fully hidden by the OoO core.
+        if self.l1.probe(line) {
+            if dependent {
+                let d = p.l1_lat_cy * self.cycle_ps;
+                self.dep_load_hist.record(d / 1_000);
+                self.load_stall(d, Depth::L1);
+            }
+            return;
+        }
+
+        // Delayed L1 hit: an L1 prefetch for this line is still in
+        // flight. The wait counts as bound-on-loads but NOT as an L1-miss
+        // stall (the line is allocated, data is late) — this is the sL1
+        // "delayed L1 hits" component of the paper's Finding #4.
+        if let Some(ready) = self.find_pending_l1(line) {
+            if dependent {
+                let d = ready.saturating_sub(self.t_ps) + p.l1_lat_cy * self.cycle_ps;
+                self.dep_load_hist.record(d / 1_000);
+                self.load_stall(d, Depth::L1);
+            }
+            return;
+        }
+
+        // L2 path (the L2 prefetcher observes L2 traffic).
+        if self.cfg.prefetchers {
+            self.run_l2_prefetcher(line);
+        }
+        if self.l2.probe(line) {
+            self.fill_l1(line, false);
+            if dependent {
+                let d = p.l2_lat_cy * self.cycle_ps;
+                self.dep_load_hist.record(d / 1_000);
+                self.load_stall(d, Depth::L2);
+            }
+            return;
+        }
+
+        // Delayed L2 hit on a pending L2 prefetch: stalls at the L2 level.
+        if let Some(ready) = self.find_pending_l2(line) {
+            let wait = ready.saturating_sub(self.t_ps) + p.l2_lat_cy * self.cycle_ps;
+            if dependent {
+                self.dep_load_hist.record(wait / 1_000);
+                self.load_stall(wait, Depth::L2);
+            } else {
+                self.lfb_insert(line, self.t_ps + wait, Depth::L2, false);
+            }
+            return;
+        }
+
+        if self.l3.probe(line) {
+            self.fill_l1(line, false);
+            if dependent {
+                let d = p.l3_lat_cy * self.cycle_ps;
+                self.dep_load_hist.record(d / 1_000);
+                self.load_stall(d, Depth::L3);
+            } else {
+                self.lfb_insert(line, self.t_ps + p.l3_lat_cy * self.cycle_ps, Depth::L3, false);
+            }
+            return;
+        }
+
+        // Memory access.
+        self.counters.demand_l3_miss += 1;
+        let a = self
+            .device
+            .access(&MemRequest::new(addr, RequestKind::DemandRead, self.t_ps));
+        let lat_ps = a.completion.saturating_sub(self.t_ps);
+        self.record_demand_latency(lat_ps);
+        self.win_read_bytes += 64;
+        if dependent {
+            self.dep_load_hist.record(lat_ps / 1_000);
+            self.load_stall(lat_ps, Depth::Mem);
+            self.fill_l1(line, false);
+            self.fill_l2(line, false);
+        } else {
+            self.lfb_insert(line, a.completion, Depth::Mem, false);
+        }
+    }
+
+    /// Inserts an independent miss into the LFB, stalling if it is full.
+    fn lfb_insert(&mut self, line: u64, ready_ps: u64, depth: Depth, is_prefetch: bool) {
+        while self.lfb_used() >= self.cfg.platform.lfb_entries {
+            // Stall until the earliest in-flight entry completes.
+            let earliest = self
+                .lfb
+                .iter()
+                .map(|e| e.ready_ps)
+                .min()
+                .expect("lfb full implies entries");
+            let wait = earliest.saturating_sub(self.t_ps);
+            let depth_out = self.deepest_outstanding();
+            self.outstanding_stall(wait.max(1), depth_out);
+            self.settle();
+        }
+        self.lfb.push(LfbEntry {
+            line,
+            ready_ps,
+            depth,
+            is_prefetch,
+        });
+    }
+
+    fn do_store(&mut self, addr: u64) {
+        let line = addr / 64;
+        self.counters.instructions += 1;
+        self.settle();
+
+        // Already own the line: write hits the cache.
+        if self.l1.mark_dirty(line) || self.l2.mark_dirty(line) {
+            return;
+        }
+
+        // Needs an RFO. Block on a full store buffer first. The blocker
+        // is the store (loads in the LFB are progressing fine), so these
+        // cycles are BOUND_ON_STORES — Intel's definition excludes only
+        // cycles where a *load stall* is concurrently charged, and the
+        // exclusive partition of Figure 10 holds because P1 and P2 never
+        // double-count the same cycle here.
+        while self.sb.len() >= self.cfg.platform.store_buffer_entries {
+            let earliest = *self.sb.iter().min().expect("non-empty");
+            let wait = earliest.saturating_sub(self.t_ps).max(1);
+            let dc = self.stall_cycles(wait);
+            self.counters.bound_on_stores += dc;
+            self.settle();
+        }
+        let a = self
+            .device
+            .access(&MemRequest::new(addr, RequestKind::Rfo, self.t_ps));
+        self.sb.push(a.completion);
+        // The RFO'd line lands dirty in L1 when it returns; model the fill
+        // immediately (the timing effect is carried by the SB entry).
+        self.fill_l1(line, true);
+    }
+
+    fn run_l1_prefetcher(&mut self, line: u64) {
+        let reqs = self.l1pf.observe(line);
+        let p = self.cfg.platform.clone();
+        for r in reqs {
+            if self.l1.contains(r.line)
+                || self.find_pending_l1(r.line).is_some()
+                || self.pending_l1.len() >= self.l1pf_budget()
+            {
+                continue;
+            }
+            // The L1 prefetch reaches L2, so the L2 stream prefetcher
+            // observes it — this is how the L2PF trains ahead of demand
+            // when L1 prefetching is covering the demand stream.
+            self.run_l2_prefetcher(r.line);
+            // Resolve the prefetch source.
+            let ready = if self.l2.contains(r.line) {
+                self.t_ps + p.l2_lat_cy * self.cycle_ps
+            } else if let Some(r2) = self.find_pending_l2(r.line) {
+                r2.max(self.t_ps) + p.l2_lat_cy * self.cycle_ps
+            } else if self.l3.contains(r.line) {
+                self.t_ps + p.l3_lat_cy * self.cycle_ps
+            } else {
+                // L1 prefetch all the way to memory: the L1PF-L3-miss
+                // event of Figure 12a.
+                self.counters.l1pf_l3_miss += 1;
+                let a = self.device.access(&MemRequest::new(
+                    r.line * 64,
+                    RequestKind::PrefetchRead,
+                    self.t_ps,
+                ));
+                self.win_read_bytes += 64;
+                a.completion
+            };
+            self.pending_l1.push((r.line, ready));
+        }
+    }
+
+    fn run_l2_prefetcher(&mut self, line: u64) {
+        self.tick += 1;
+        let reqs = self.l2pf.observe(line, self.tick);
+        let p = self.cfg.platform.clone();
+        for r in reqs {
+            if self.l2.contains(r.line) || self.find_pending_l2(r.line).is_some() {
+                continue;
+            }
+            if self.pending_l2.len() >= p.l2pf_slots {
+                // No free in-flight slot: the prefetch is dropped. Longer
+                // memory latency keeps slots busy longer, so more drops —
+                // the coverage loss of Finding #4.
+                self.counters.l2pf_dropped += 1;
+                continue;
+            }
+            self.counters.l2pf_issued += 1;
+            let ready = if self.l3.contains(r.line) {
+                self.counters.l2pf_l3_hit += 1;
+                self.t_ps + p.l3_lat_cy * self.cycle_ps
+            } else {
+                self.counters.l2pf_l3_miss += 1;
+                let a = self.device.access(&MemRequest::new(
+                    r.line * 64,
+                    RequestKind::PrefetchRead,
+                    self.t_ps,
+                ));
+                self.win_read_bytes += 64;
+                a.completion
+            };
+            self.pending_l2.push((r.line, ready));
+        }
+    }
+
+    fn maybe_sample(&mut self) {
+        while self.t_ps >= self.next_sample_ps {
+            let interval_ps = self
+                .cfg
+                .sample_interval_ns
+                .expect("sampling enabled")
+                * 1_000;
+            let mut c = self.counters;
+            c.cycles = self.cycles_at(self.next_sample_ps);
+            self.samples.push(CounterSample {
+                time_ns: self.next_sample_ps / 1_000,
+                counters: c,
+            });
+            self.flush_window();
+            self.next_sample_ps += interval_ps;
+        }
+    }
+
+    fn flush_window(&mut self) {
+        let time_ns = self.t_ps.min(self.next_sample_ps) / 1_000;
+        self.latency_series.push(LatencyPoint {
+            time_ns,
+            mean_lat_ns: if self.win_lat_n == 0 {
+                0.0
+            } else {
+                self.win_lat_sum_ps as f64 / self.win_lat_n as f64 / 1_000.0
+            },
+            max_lat_ns: self.win_lat_max_ps / 1_000,
+            read_bytes: self.win_read_bytes,
+        });
+        self.win_lat_sum_ps = 0;
+        self.win_lat_max_ps = 0;
+        self.win_lat_n = 0;
+        self.win_read_bytes = 0;
+    }
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("platform", &self.cfg.platform.name)
+            .field("device", &self.device.name())
+            .field("t_ns", &(self.t_ps / 1_000))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melody_mem::presets;
+
+    fn emr_core(spec: melody_mem::DeviceSpec) -> Core {
+        Core::new(CoreConfig::new(Platform::emr2s()), spec.build(7))
+    }
+
+    /// Dependent pointer chase over a working set far larger than LLC.
+    fn chase(n: u64) -> impl Iterator<Item = Slot> {
+        (0..n).map(|i| Slot::Load {
+            addr: (i.wrapping_mul(0x9E3779B97F4A7C15) % (1 << 26)) * 64,
+            dependent: true,
+        })
+    }
+
+    #[test]
+    fn pointer_chase_latency_matches_device() {
+        let r = emr_core(presets::local_emr()).run(chase(2_000));
+        // Each chase step ~ local idle latency (111 ns) ≈ 233 cycles.
+        let cpi = r.counters.cycles as f64 / r.counters.instructions as f64;
+        assert!((180.0..300.0).contains(&cpi), "chase CPI {cpi}");
+        assert!(r.counters.invariants_hold());
+    }
+
+    #[test]
+    fn cxl_chase_slower_in_proportion_to_latency() {
+        let local = emr_core(presets::local_emr()).run(chase(2_000));
+        let cxl = emr_core(presets::cxl_b()).run(chase(2_000));
+        let slowdown = cxl.slowdown_vs(&local);
+        // 271/111 - 1 ≈ 1.44; allow a broad band.
+        assert!(
+            (0.9..2.0).contains(&slowdown),
+            "CXL-B chase slowdown {slowdown}"
+        );
+    }
+
+    #[test]
+    fn chase_stalls_are_dram_stalls() {
+        let r = emr_core(presets::local_emr()).run(chase(2_000));
+        let c = &r.counters;
+        assert!(c.stalls_l3_miss > 0);
+        // Almost all memory stalls should be DRAM-level for a chase.
+        assert!(
+            c.s_dram() > c.s_memory() / 2,
+            "dram {} vs memory {}",
+            c.s_dram(),
+            c.s_memory()
+        );
+    }
+
+    #[test]
+    fn small_working_set_stays_in_cache() {
+        // 16 KiB working set: after the first pass everything hits L1.
+        let stream = (0..10_000u64).map(|i| Slot::Load {
+            addr: (i % 256) * 64,
+            dependent: true,
+        });
+        let r = emr_core(presets::local_emr()).run(stream);
+        let cpi = r.counters.cycles as f64 / r.counters.instructions as f64;
+        assert!(cpi < 10.0, "cached chase CPI {cpi}");
+        assert!(r.counters.demand_l3_miss < 300);
+    }
+
+    #[test]
+    fn sequential_stream_is_prefetched() {
+        let seq = |n: u64| (0..n).map(|i| Slot::Load {
+            addr: i * 64,
+            dependent: true,
+        });
+        let pf_on = emr_core(presets::local_emr()).run(seq(20_000));
+        let mut cfg = CoreConfig::new(Platform::emr2s());
+        cfg.prefetchers = false;
+        let pf_off = Core::new(cfg, presets::local_emr().build(7)).run(seq(20_000));
+        assert!(
+            pf_on.counters.cycles * 2 < pf_off.counters.cycles,
+            "prefetching should speed up sequential streams ({} vs {})",
+            pf_on.counters.cycles,
+            pf_off.counters.cycles
+        );
+        assert!(pf_on.counters.l2pf_issued > 1_000);
+    }
+
+    #[test]
+    fn prefetchers_off_means_no_cache_stall_components() {
+        // Finding #4 validation: with prefetchers off, sL1+sL2+sL3 ≈ 0 for
+        // a sequential stream (all stalls fall on DRAM).
+        let seq = (0..20_000u64).map(|i| Slot::Load {
+            addr: i * 64,
+            dependent: true,
+        });
+        let mut cfg = CoreConfig::new(Platform::emr2s());
+        cfg.prefetchers = false;
+        let r = Core::new(cfg, presets::cxl_a().build(7)).run(seq);
+        let c = &r.counters;
+        let cache_stalls = c.s_l1() + c.s_l2() + c.s_l3();
+        let frac = cache_stalls as f64 / c.s_memory().max(1) as f64;
+        assert!(frac < 0.15, "cache-stall fraction {frac} with PF off");
+    }
+
+    #[test]
+    fn cxl_reduces_l2pf_coverage_and_shifts_misses_to_l1pf() {
+        // Figure 12a: moving from local to CXL decreases L2PF-L3-miss and
+        // increases L1PF-L3-miss. The shift needs a demand stream fast
+        // enough that the L2 prefetcher's in-flight budget covers it at
+        // local latency but not at CXL latency (~9 ns/line: 16 slots give
+        // 16·9 = 144 ns of run-ahead — above 111 ns, below 271 ns).
+        let seq = |n: u64| (0..n).flat_map(|i| {
+            [
+                Slot::Compute { uops: 38 },
+                Slot::Load {
+                    addr: i * 64,
+                    dependent: false,
+                },
+            ]
+        });
+        let local = emr_core(presets::local_emr()).run(seq(40_000));
+        let cxl = emr_core(presets::cxl_b()).run(seq(40_000));
+        assert!(
+            cxl.counters.l2pf_l3_miss < local.counters.l2pf_l3_miss,
+            "L2PF coverage should fall under CXL: {} vs {}",
+            cxl.counters.l2pf_l3_miss,
+            local.counters.l2pf_l3_miss
+        );
+        assert!(
+            cxl.counters.l1pf_l3_miss > local.counters.l1pf_l3_miss,
+            "L1PF misses should rise under CXL: {} vs {}",
+            cxl.counters.l1pf_l3_miss,
+            local.counters.l1pf_l3_miss
+        );
+        assert!(cxl.counters.l2pf_dropped > local.counters.l2pf_dropped);
+    }
+
+    #[test]
+    fn store_heavy_stream_fills_store_buffer() {
+        let stores = (0..20_000u64).map(|i| Slot::Store {
+            addr: (i.wrapping_mul(0x9E3779B97F4A7C15) % (1 << 26)) * 64,
+        });
+        let r = emr_core(presets::cxl_b()).run(stores);
+        assert!(
+            r.counters.bound_on_stores > 0,
+            "random store flood must hit BOUND_ON_STORES"
+        );
+        assert!(r.counters.invariants_hold());
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        let mk = |dep: bool| {
+            (0..4_000u64).map(move |i| Slot::Load {
+                addr: (i.wrapping_mul(0x9E3779B97F4A7C15) % (1 << 26)) * 64,
+                dependent: dep,
+            })
+        };
+        let dep = emr_core(presets::local_emr()).run(mk(true));
+        let indep = emr_core(presets::local_emr()).run(mk(false));
+        assert!(
+            indep.counters.cycles * 3 < dep.counters.cycles,
+            "MLP should hide most latency: {} vs {}",
+            indep.counters.cycles,
+            dep.counters.cycles
+        );
+    }
+
+    #[test]
+    fn counters_invariants_across_devices() {
+        for spec in [
+            presets::local_emr(),
+            presets::numa_emr(),
+            presets::cxl_a(),
+            presets::cxl_c(),
+            presets::cxl_d().with_numa_hop(),
+        ] {
+            let mixed = (0..5_000u64).flat_map(|i| {
+                [
+                    Slot::Compute { uops: 8 },
+                    Slot::Load {
+                        addr: (i.wrapping_mul(2654435761) % (1 << 25)) * 64,
+                        dependent: i % 3 == 0,
+                    },
+                    Slot::Store {
+                        addr: (i.wrapping_mul(40503) % (1 << 24)) * 64,
+                    },
+                ]
+            });
+            let r = emr_core(spec.clone()).run(mixed);
+            assert!(
+                r.counters.invariants_hold(),
+                "{}: counter invariants violated: {:?}",
+                spec.name(),
+                r.counters
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_produces_aligned_series() {
+        let mut cfg = CoreConfig::new(Platform::emr2s());
+        cfg.sample_interval_ns = Some(10_000);
+        let stream = (0..30_000u64).map(|i| Slot::Load {
+            addr: (i.wrapping_mul(0x9E3779B97F4A7C15) % (1 << 26)) * 64,
+            dependent: true,
+        });
+        let r = Core::new(cfg, presets::local_emr().build(7)).run(stream);
+        assert!(r.samples.len() > 10, "expected samples, got {}", r.samples.len());
+        // Samples are time-ordered and counters monotone.
+        for w in r.samples.windows(2) {
+            assert!(w[1].time_ns > w[0].time_ns);
+            assert!(w[1].counters.cycles >= w[0].counters.cycles);
+            assert!(w[1].counters.instructions >= w[0].counters.instructions);
+        }
+    }
+
+    #[test]
+    fn compute_only_stream_counts_instructions_and_ports() {
+        let mut cfg = CoreConfig::new(Platform::emr2s());
+        cfg.ilp = 1.2; // low ILP: many non-retiring cycles at 1-2 ports
+        let stream = (0..500).map(|_| Slot::Compute { uops: 40 });
+        let r = Core::new(cfg, presets::local_emr().build(1)).run(stream);
+        assert_eq!(r.counters.instructions, 500 * 40);
+        assert!(r.counters.ports_1_util > 0, "low-ILP compute must show 1-port cycles");
+        assert_eq!(r.counters.bound_on_loads, 0);
+        assert_eq!(r.counters.demand_l3_miss, 0);
+        assert!(r.counters.invariants_hold());
+    }
+
+    #[test]
+    fn frontend_bound_adds_only_retired_stalls() {
+        let mk = |fe: f64| {
+            let mut cfg = CoreConfig::new(Platform::emr2s());
+            cfg.frontend_bound = fe;
+            let stream = (0..500).map(|_| Slot::Compute { uops: 40 });
+            Core::new(cfg, presets::local_emr().build(1)).run(stream)
+        };
+        let base = mk(0.0);
+        let fe = mk(0.3);
+        assert!(fe.counters.cycles > base.counters.cycles);
+        assert!(fe.counters.retired_stalls > base.counters.retired_stalls);
+        // Frontend stalls never enter the memory counters.
+        assert_eq!(fe.counters.bound_on_loads, base.counters.bound_on_loads);
+        assert_eq!(fe.counters.bound_on_stores, base.counters.bound_on_stores);
+    }
+
+    #[test]
+    fn serialize_frac_shows_up_as_scoreboard() {
+        let mut cfg = CoreConfig::new(Platform::emr2s());
+        cfg.serialize_frac = 0.1;
+        let stream = (0..500).map(|_| Slot::Compute { uops: 40 });
+        let r = Core::new(cfg, presets::local_emr().build(1)).run(stream);
+        assert!(r.counters.stalls_scoreboard > 0);
+        assert!(r.counters.invariants_hold());
+    }
+
+    #[test]
+    fn warm_makes_resident_set_hit() {
+        let mut cfg_core = Core::new(
+            CoreConfig::new(Platform::emr2s()),
+            presets::cxl_c().build(1),
+        );
+        cfg_core.warm(0, 4 << 20); // 4 MiB
+        // Dependent chase inside the warmed range: everything hits cache.
+        let stream = (0..5_000u64).map(|i| Slot::Load {
+            addr: (i.wrapping_mul(2654435761) % (4 * 16_384)) * 64,
+            dependent: true,
+        });
+        let r = cfg_core.run(stream);
+        assert_eq!(
+            r.counters.demand_l3_miss, 0,
+            "warmed range must not miss: {:?}",
+            r.counters
+        );
+    }
+
+    #[test]
+    fn rfo_traffic_reaches_device() {
+        // Stores to unowned lines issue RFOs (read-direction device
+        // traffic) and dirty lines evicted through a small LLC write
+        // back to the device.
+        let mut platform = Platform::emr2s();
+        platform.l2_kb = 256; // tiny L2/LLC so dirty evictions reach memory
+        platform.l3_mb = 0.5;
+        let stores = (0..30_000u64).map(|i| Slot::Store { addr: i * 64 });
+        let r = Core::new(CoreConfig::new(platform), presets::local_emr().build(7)).run(stores);
+        assert!(r.device_stats.reads > 10_000, "RFOs: {:?}", r.device_stats);
+        assert!(r.device_stats.writes > 1_000, "writebacks: {:?}", r.device_stats);
+    }
+
+    #[test]
+    fn smp_scaling_increases_throughput() {
+        let mk = |threads: u32| {
+            let cfg = CoreConfig::new(Platform::emr2s().smp_scaled(threads));
+            let stream = (0..20_000u64).map(|i| Slot::Load {
+                addr: i * 64,
+                dependent: false,
+            });
+            Core::new(cfg, presets::local_emr().build(9)).run(stream)
+        };
+        let one = mk(1);
+        let eight = mk(8);
+        assert!(
+            eight.wall_ns * 3 < one.wall_ns,
+            "8-thread scaling should cut wall time: {} vs {}",
+            eight.wall_ns,
+            one.wall_ns
+        );
+    }
+
+    #[test]
+    fn frontend_bound_workload_insensitive_to_cxl() {
+        // Mostly-compute, frontend-bound stream: CXL slowdown near zero.
+        let mk = || {
+            (0..10_000u64).flat_map(|i| {
+                [
+                    Slot::Compute { uops: 200 },
+                    Slot::Load {
+                        addr: (i % 64) * 64,
+                        dependent: true,
+                    },
+                ]
+            })
+        };
+        let mut cfg = CoreConfig::new(Platform::emr2s());
+        cfg.frontend_bound = 0.4;
+        let local = Core::new(cfg.clone(), presets::local_emr().build(7)).run(mk());
+        let cxl = Core::new(cfg, presets::cxl_c().build(7)).run(mk());
+        let slowdown = cxl.slowdown_vs(&local);
+        assert!(
+            slowdown < 0.05,
+            "frontend-bound workload should tolerate CXL: {slowdown}"
+        );
+    }
+}

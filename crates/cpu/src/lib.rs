@@ -1,0 +1,59 @@
+//! CPU backend model for Melody.
+//!
+//! The paper's Spa analysis (§5) dissects CXL-induced slowdowns by reading
+//! nine stall-related CPU performance counters and differencing them
+//! between a local-DRAM run and a CXL run. For that analysis to be
+//! reproducible on a simulator, the simulator must maintain those counters
+//! with the same *semantics* Intel documents (and the paper's Figure 10
+//! diagrams): exclusive stall attribution across the store buffer, L1, L2,
+//! LLC and DRAM, with `BOUND_ON_STORES` counted only when no demand load
+//! is outstanding, and the `STALLS_L*_MISS` counters nested by the deepest
+//! cache level a demand load has missed.
+//!
+//! This crate provides:
+//!
+//! - [`Platform`]: CPU platform presets (SPR/EMR/SKX of Table 1) with
+//!   clock, cache geometry, LFB and store-buffer sizes.
+//! - [`Cache`]: a set-associative LRU cache model.
+//! - [`StridePrefetcher`] / [`StreamPrefetcher`]: L1 and L2 hardware
+//!   prefetchers with bounded in-flight slots. The slot bound is what
+//!   makes prefetch *timeliness* degrade under CXL latency: slots stay
+//!   busy longer, prefetches get dropped, coverage falls — the causal
+//!   chain of the paper's Finding #4 and Figure 13.
+//! - [`CounterSet`] / [`CounterSample`]: the 9 Spa counters (Table 2) plus
+//!   the prefetch-traffic counters used by §5.4's analysis.
+//! - [`Core`]: an execution engine that runs a [`Slot`] stream (compute
+//!   blocks, loads, stores) against a [`melody_mem::MemoryDevice`],
+//!   producing cycle counts, counters, periodic samples and latency
+//!   histograms.
+//!
+//! # Example
+//!
+//! ```
+//! use melody_cpu::{Core, CoreConfig, Platform, Slot};
+//! use melody_mem::presets;
+//!
+//! // A tiny pointer-chase-like stream: 64 dependent loads over 4 MiB.
+//! let stream = (0..64u64).map(|i| Slot::Load {
+//!     addr: (i * 7919 % 65536) * 64,
+//!     dependent: true,
+//! });
+//! let mut core = Core::new(CoreConfig::new(Platform::emr2s()), presets::cxl_a().build(1));
+//! let result = core.run(stream);
+//! assert_eq!(result.counters.instructions, 64);
+//! assert!(result.counters.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod counters;
+mod engine;
+mod platform;
+mod prefetch;
+
+pub use cache::Cache;
+pub use counters::{CounterSample, CounterSet};
+pub use engine::{Core, CoreConfig, RunResult, Slot};
+pub use platform::Platform;
+pub use prefetch::{PrefetchRequest, StreamPrefetcher, StridePrefetcher};

@@ -1,0 +1,185 @@
+//! CPU platform presets (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A CPU platform: clock, cache geometry and backend resource sizes.
+///
+/// Matches the "Specification" column of the paper's Table 1. Cache
+/// latencies are load-to-use cycle counts typical for each generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Platform name (e.g. `"EMR2S"`).
+    pub name: String,
+    /// Core clock in GHz.
+    pub ghz: f64,
+    /// Core count (used by throughput-style workloads and reports).
+    pub cores: u32,
+    /// L1D capacity in KiB (per core).
+    pub l1d_kb: u32,
+    /// L2 capacity in KiB (per core).
+    pub l2_kb: u32,
+    /// Shared LLC capacity in MiB.
+    pub l3_mb: f64,
+    /// L1D load-to-use latency, cycles.
+    pub l1_lat_cy: u64,
+    /// L2 load-to-use latency, cycles.
+    pub l2_lat_cy: u64,
+    /// LLC load-to-use latency, cycles.
+    pub l3_lat_cy: u64,
+    /// Line-fill-buffer entries (bounds demand+L1-prefetch MLP).
+    pub lfb_entries: usize,
+    /// Store-buffer entries.
+    pub store_buffer_entries: usize,
+    /// L2-prefetcher in-flight slots.
+    pub l2pf_slots: usize,
+    /// Peak µops retired per cycle.
+    pub ipc_peak: f64,
+}
+
+impl Platform {
+    /// Intel Sapphire Rapids, 2-socket (SPR2S): 32 cores @ 2.1 GHz,
+    /// 48 KB / 2 MB / 60 MB.
+    pub fn spr2s() -> Self {
+        Self {
+            name: "SPR2S".into(),
+            ghz: 2.1,
+            cores: 32,
+            l1d_kb: 48,
+            l2_kb: 2_048,
+            l3_mb: 60.0,
+            l1_lat_cy: 5,
+            l2_lat_cy: 15,
+            l3_lat_cy: 48,
+            lfb_entries: 16,
+            store_buffer_entries: 56,
+            l2pf_slots: 16,
+            ipc_peak: 4.0,
+        }
+    }
+
+    /// Intel Emerald Rapids, 2-socket (EMR2S): 32 cores @ 2.1 GHz,
+    /// 48 KB / 2 MB / 160 MB.
+    pub fn emr2s() -> Self {
+        Self {
+            name: "EMR2S".into(),
+            l3_mb: 160.0,
+            ..Self::spr2s()
+        }
+    }
+
+    /// The larger EMR host (EMR2S'): 52 cores @ 2.3 GHz, 260 MB LLC.
+    pub fn emr2s_prime() -> Self {
+        Self {
+            name: "EMR2S'".into(),
+            ghz: 2.3,
+            cores: 52,
+            l3_mb: 260.0,
+            ..Self::spr2s()
+        }
+    }
+
+    /// Intel Skylake-SP, 2-socket (SKX2S): 10 cores @ 2.2 GHz,
+    /// 32 KB / 1 MB / 13.8 MB.
+    pub fn skx2s() -> Self {
+        Self {
+            name: "SKX2S".into(),
+            ghz: 2.2,
+            cores: 10,
+            l1d_kb: 32,
+            l2_kb: 1_024,
+            l3_mb: 13.8,
+            l1_lat_cy: 4,
+            l2_lat_cy: 14,
+            l3_lat_cy: 44,
+            lfb_entries: 12,
+            store_buffer_entries: 56,
+            l2pf_slots: 12,
+            ipc_peak: 4.0,
+        }
+    }
+
+    /// Intel Skylake-SP, 8-socket (SKX8S): 28 cores @ 2.5 GHz, 38.5 MB LLC.
+    pub fn skx8s() -> Self {
+        Self {
+            name: "SKX8S".into(),
+            ghz: 2.5,
+            cores: 28,
+            l3_mb: 38.5,
+            ..Self::skx2s()
+        }
+    }
+
+    /// Picoseconds per core cycle.
+    pub fn cycle_ps(&self) -> u64 {
+        (1_000.0 / self.ghz).round() as u64
+    }
+
+    /// Approximates `threads` cores sharing one memory device by scaling
+    /// the single simulated core's parallelism resources: line-fill
+    /// buffer, store buffer, prefetch slots, private caches and issue
+    /// width all multiply, so aggregate memory-level parallelism (and
+    /// thus demanded bandwidth) scales the way a multi-threaded workload
+    /// does on real hardware.
+    pub fn smp_scaled(&self, threads: u32) -> Platform {
+        let t = threads.max(1);
+        Platform {
+            name: self.name.clone(),
+            l1d_kb: self.l1d_kb * t,
+            l2_kb: self.l2_kb * t,
+            lfb_entries: self.lfb_entries * t as usize,
+            store_buffer_entries: self.store_buffer_entries * t as usize,
+            l2pf_slots: self.l2pf_slots * t as usize,
+            ipc_peak: self.ipc_peak * t as f64,
+            ..self.clone()
+        }
+    }
+
+    /// All five platform presets, in Table 1 order.
+    pub fn all() -> Vec<Platform> {
+        vec![
+            Self::spr2s(),
+            Self::emr2s(),
+            Self::emr2s_prime(),
+            Self::skx2s(),
+            Self::skx8s(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1_specs() {
+        let spr = Platform::spr2s();
+        assert_eq!(spr.cores, 32);
+        assert_eq!(spr.l3_mb, 60.0);
+        let emr = Platform::emr2s();
+        assert_eq!(emr.l3_mb, 160.0);
+        assert_eq!(emr.ghz, 2.1);
+        let emrp = Platform::emr2s_prime();
+        assert_eq!(emrp.cores, 52);
+        assert_eq!(emrp.ghz, 2.3);
+        let skx = Platform::skx2s();
+        assert_eq!(skx.l1d_kb, 32);
+        assert_eq!(skx.l3_mb, 13.8);
+        let skx8 = Platform::skx8s();
+        assert_eq!(skx8.cores, 28);
+    }
+
+    #[test]
+    fn cycle_time() {
+        assert_eq!(Platform::spr2s().cycle_ps(), 476);
+        assert_eq!(Platform::skx8s().cycle_ps(), 400);
+    }
+
+    #[test]
+    fn all_unique_names() {
+        let all = Platform::all();
+        assert_eq!(all.len(), 5);
+        let mut names: Vec<_> = all.iter().map(|p| p.name.clone()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,574 @@
+//! CXL type-3 memory expander model.
+//!
+//! The paper attributes CXL's unstable latency to three mechanisms (§3.2
+//! "Reasoning"): (1) the protocol's non-deterministic transaction/link
+//! layers — flow-control back-pressure that accumulates into queueing even
+//! under light load, plus rare link-layer retries; (2) controller-level
+//! events such as thermal management and DRAM refresh; and (3) immature
+//! third-party MC scheduling compared to CPU iMCs. This model implements
+//! each mechanism as an explicit, per-device-tunable component so that the
+//! paper's device-level phenomenology (Figures 3–6) emerges from the
+//! composition:
+//!
+//! - per-direction link [`ServerPool`]s (full-duplex ASIC vs shared-path
+//!   FPGA) set the bandwidth ceilings and the read/write-ratio behaviour;
+//! - a scheduler pool plus the DDR backend produce saturation queueing;
+//! - a base transaction-layer jitter distribution gives light-load tails;
+//! - load-triggered *congestion windows* (credit exhaustion) make average
+//!   and tail latency rise well before saturation, at a device-specific
+//!   utilization onset;
+//! - link-layer retries give rare multi-µs spikes;
+//! - optional thermal throttling gives periodic stalls under sustained
+//!   high utilization.
+
+use melody_sim::{Dist, ServerPool, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::device::{AccessBreakdown, DeviceStats, MemoryDevice};
+use crate::dram::{DramBackend, DramTiming};
+use crate::request::MemRequest;
+
+/// Thermal-throttling model: when the device has been running above a
+/// utilization threshold, it periodically inserts stall windows.
+///
+/// All presets ship with this disabled — the paper stress-tested its
+/// devices at 70 °C without observing significant extra tails — but the
+/// knob exists for the "future PCIe 6.0 devices will throttle" ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Utilization (0..1) above which throttling engages.
+    pub util_threshold: f64,
+    /// Period between throttle windows in ns.
+    pub period_ns: f64,
+    /// Length of each throttle window in ns.
+    pub duration_ns: f64,
+}
+
+/// Full configuration of a CXL memory expander.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CxlConfig {
+    /// Device name (e.g. `"CXL-A"`).
+    pub name: String,
+    /// Fixed round-trip path latency in ns (CPU egress, flit packing,
+    /// link propagation, controller frontend, response path). Usually set
+    /// via [`CxlConfig::calibrate_to_idle`].
+    pub fixed_ns: f64,
+    /// Effective device→CPU (read payload) link bandwidth, GB/s.
+    pub read_link_gbps: f64,
+    /// Effective CPU→device (write payload) link bandwidth, GB/s.
+    pub write_link_gbps: f64,
+    /// Full-duplex link (ASIC devices). When `false`, reads and writes
+    /// share one serial data path with a turnaround penalty — the paper's
+    /// FPGA device (CXL-C) behaves this way and therefore peaks under
+    /// read-only traffic like plain DDR (Figure 5e).
+    pub duplex: bool,
+    /// MC request-scheduler parallelism.
+    pub sched_slots: usize,
+    /// Per-request scheduler service time, ns.
+    pub sched_service_ns: Dist,
+    /// Base transaction-layer jitter per request, ns. Heavy-tailed for the
+    /// poorly behaved devices; this is what makes CXL-B/C spiky even at
+    /// light load (Finding #1b).
+    pub txn_jitter_ns: Dist,
+    /// Probability per request of opening a flow-control congestion
+    /// window once utilization exceeds `load_onset` (scaled linearly with
+    /// excess utilization).
+    pub congestion_p: f64,
+    /// Length of a congestion window, ns.
+    pub congestion_window_ns: Dist,
+    /// Utilization (0..1) at which congestion effects begin. CXL-A starts
+    /// degrading at ~30% utilization, CXL-D only at ~70% (Figure 3c).
+    pub load_onset: f64,
+    /// Link-layer retry probability per request (CRC error → replay).
+    pub retry_p: f64,
+    /// Retry penalty, ns.
+    pub retry_penalty_ns: Dist,
+    /// DDR timing of the expander's DRAM.
+    pub timing: DramTiming,
+    /// DRAM channels behind the controller.
+    pub channels: usize,
+    /// Optional thermal throttling.
+    pub thermal: Option<ThermalConfig>,
+}
+
+impl CxlConfig {
+    /// Sets `fixed_ns` so the device's idle (row-miss pointer-chase)
+    /// latency lands on `target_idle_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is below the unavoidable array + link time.
+    pub fn calibrate_to_idle(mut self, target_idle_ns: f64) -> Self {
+        let floor = self.min_path_ns();
+        assert!(
+            target_idle_ns > floor,
+            "target idle latency {target_idle_ns} ns below component floor {floor} ns"
+        );
+        self.fixed_ns = target_idle_ns - floor;
+        self
+    }
+
+    /// Unavoidable per-request time excluding `fixed_ns`: DRAM row-miss
+    /// access + burst + mean scheduler service + read-payload
+    /// serialization.
+    fn min_path_ns(&self) -> f64 {
+        self.timing.closed_row_ns()
+            + self.timing.burst_ns
+            + self.sched_service_ns.mean()
+            + 64.0 / self.read_link_gbps
+    }
+
+    /// Nominal idle latency implied by this config.
+    pub fn idle_latency_ns(&self) -> f64 {
+        self.fixed_ns + self.min_path_ns()
+    }
+
+    /// Effective total capacity in GB/s used for the utilization estimate:
+    /// link ceiling (sum of directions when duplex) capped by the DRAM
+    /// array's aggregate bandwidth.
+    pub fn capacity_gbps(&self) -> f64 {
+        let link = if self.duplex {
+            self.read_link_gbps + self.write_link_gbps
+        } else {
+            self.read_link_gbps
+        };
+        let dram = self.channels as f64 * 64.0 / self.timing.burst_ns;
+        link.min(dram)
+    }
+}
+
+/// A CXL memory expander device instance.
+pub struct CxlDevice {
+    cfg: CxlConfig,
+    rng: SimRng,
+    dram: DramBackend,
+    sched: ServerPool,
+    read_link: ServerPool,
+    write_link: ServerPool,
+    /// EWMA of the write fraction of recent traffic (shared-path model).
+    write_frac_ewma: f64,
+    throttle_until: SimTime,
+    next_throttle_check: SimTime,
+    // Utilization estimator: EWMA of request inter-arrival time.
+    ia_ewma_ps: f64,
+    last_arrival: SimTime,
+    service_ref_ps: f64,
+    stats: DeviceStats,
+}
+
+impl CxlDevice {
+    /// Instantiates the device with a deterministic RNG seed.
+    pub fn new(cfg: CxlConfig, seed: u64) -> Self {
+        let dram = DramBackend::new(cfg.timing, cfg.channels);
+        let sched = ServerPool::new(cfg.sched_slots.max(1));
+        // One server per link direction; service time of one 64 B payload
+        // sets the direction's bandwidth.
+        let read_link = ServerPool::new(1);
+        let write_link = ServerPool::new(1);
+        let service_ref_ps = 64.0 / cfg.capacity_gbps() * 1_000.0;
+        Self {
+            rng: SimRng::seed_from(seed),
+            dram,
+            sched,
+            read_link,
+            write_link,
+            write_frac_ewma: 0.0,
+            throttle_until: 0,
+            next_throttle_check: 0,
+            ia_ewma_ps: 1e9, // start effectively idle
+            last_arrival: 0,
+            service_ref_ps,
+            stats: DeviceStats::default(),
+            cfg,
+        }
+    }
+
+    /// Current utilization estimate (0..1) from the inter-arrival EWMA.
+    pub fn utilization(&self) -> f64 {
+        (self.service_ref_ps / self.ia_ewma_ps).clamp(0.0, 1.0)
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &CxlConfig {
+        &self.cfg
+    }
+
+    fn update_load(&mut self, arrival: SimTime) {
+        let ia = arrival.saturating_sub(self.last_arrival) as f64;
+        self.last_arrival = arrival;
+        const ALPHA: f64 = 0.05;
+        self.ia_ewma_ps = self.ia_ewma_ps * (1.0 - ALPHA) + ia * ALPHA;
+    }
+
+    fn link_service_ps(&self, is_read: bool) -> SimTime {
+        let gbps = if is_read {
+            self.cfg.read_link_gbps
+        } else {
+            self.cfg.write_link_gbps
+        };
+        (64.0 / gbps * 1_000.0) as SimTime
+    }
+
+    /// Serializes a 64 B payload on the appropriate link direction.
+    ///
+    /// Full-duplex devices have independent per-direction capacity. The
+    /// shared (FPGA) path is modelled as proportional sharing of one
+    /// capacity with a direction-turnaround overhead: each direction's
+    /// effective rate is its traffic share of the total, degraded by up
+    /// to ~40% when the mix alternates heavily — which is what makes
+    /// CXL-C peak under read-only traffic and degrade as the write ratio
+    /// grows (Figure 5e).
+    fn link_transfer(&mut self, at: SimTime, is_read: bool) -> (SimTime, SimTime) {
+        if self.cfg.duplex {
+            let service = self.link_service_ps(is_read);
+            let pool = if is_read {
+                &mut self.read_link
+            } else {
+                &mut self.write_link
+            };
+            pool.submit(at, service)
+        } else {
+            const ALPHA: f64 = 0.02;
+            self.write_frac_ewma = self.write_frac_ewma * (1.0 - ALPHA)
+                + if is_read { 0.0 } else { ALPHA };
+            let fw = self.write_frac_ewma.clamp(0.0, 1.0);
+            let overhead = 1.0 + 0.8 * 2.0 * fw * (1.0 - fw);
+            let share = if is_read { (1.0 - fw).max(0.05) } else { fw.max(0.05) };
+            let gbps_eff = self.cfg.read_link_gbps * share / overhead;
+            let service = (64.0 / gbps_eff * 1_000.0) as SimTime;
+            let pool = if is_read {
+                &mut self.read_link
+            } else {
+                &mut self.write_link
+            };
+            pool.submit(at, service)
+        }
+    }
+}
+
+impl MemoryDevice for CxlDevice {
+    fn access(&mut self, req: &MemRequest) -> AccessBreakdown {
+        let is_read = req.kind.is_read();
+        self.update_load(req.issue);
+        let util = self.utilization();
+
+        let mut spike_ps: SimTime = 0;
+        let half_fixed = (self.cfg.fixed_ns * 500.0) as SimTime;
+
+        // --- Ingress: request flit reaches the controller. Write payloads
+        // occupy the CPU→device link direction on the way in.
+        let mut t = req.issue + half_fixed;
+        let mut queue_ps = 0;
+        if !is_read {
+            let (start, done) = self.link_transfer(t, false);
+            queue_ps += start - t;
+            t = done;
+        }
+
+        // Stochastic delays are *latency-only*: they hold up the affected
+        // request (a flit waiting for flow-control credits, a replayed
+        // link transfer) while the controller keeps serving others out of
+        // order. They are therefore accumulated in `defer_ps` and added to
+        // the final completion rather than shifting the request's position
+        // in the resource pools — shifting it would head-of-line-block
+        // every later request and wrongly destroy device throughput.
+        let mut defer_ps: SimTime = 0;
+
+        // --- Transaction layer: flow-control back-pressure. Above the
+        // device's load onset, a request may get caught in a credit-
+        // exhaustion episode; average and tail latency rise from
+        // `load_onset` onward while peak bandwidth stays reachable — the
+        // Figure 3a/3c shape.
+        let excess = ((util - self.cfg.load_onset) / (1.0 - self.cfg.load_onset).max(1e-9))
+            .clamp(0.0, 1.0);
+        if excess > 0.0 && self.rng.chance(self.cfg.congestion_p * excess) {
+            let w = (self.cfg.congestion_window_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+            defer_ps += w;
+        }
+
+        // --- Base transaction-layer jitter (present even at light load).
+        defer_ps += (self.cfg.txn_jitter_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+
+        // --- Link-layer retry: CRC error forces a replay.
+        if self.rng.chance(self.cfg.retry_p) {
+            defer_ps += (self.cfg.retry_penalty_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+        }
+        spike_ps += defer_ps;
+
+        // --- Thermal throttling (optional).
+        if let Some(th) = &self.cfg.thermal {
+            if t >= self.next_throttle_check {
+                self.next_throttle_check = t + (th.period_ns * 1_000.0) as SimTime;
+                if util > th.util_threshold {
+                    self.throttle_until = t + (th.duration_ns * 1_000.0) as SimTime;
+                }
+            }
+            if t < self.throttle_until {
+                spike_ps += self.throttle_until - t;
+                t = self.throttle_until;
+            }
+        }
+
+        // --- MC request scheduler.
+        let sched_service =
+            (self.cfg.sched_service_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+        let (sched_start, sched_done) = self.sched.submit(t, sched_service);
+        queue_ps += sched_start - t;
+
+        // --- DRAM array.
+        let d = self.dram.access(req.addr, is_read, sched_done);
+        queue_ps += d.queue_ps;
+        spike_ps += d.refresh_ps;
+
+        // --- Egress: read payload serializes on the device→CPU direction.
+        let mut t = d.completion;
+        if is_read {
+            let (start, done) = self.link_transfer(t, true);
+            queue_ps += start - t;
+            t = done;
+        }
+        let completion = t + half_fixed + defer_ps;
+
+        let out = AccessBreakdown {
+            completion,
+            queue_ps,
+            dram_ps: d.dram_ps,
+            fabric_ps: half_fixed * 2 + sched_service,
+            spike_ps,
+            row_hit: d.row_hit,
+        };
+        self.stats.record(req, completion);
+        out
+    }
+
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn nominal_latency_ns(&self) -> f64 {
+        self.cfg.idle_latency_ns()
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for CxlDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CxlDevice")
+            .field("name", &self.cfg.name)
+            .field("idle_ns", &self.cfg.idle_latency_ns())
+            .field("utilization", &self.utilization())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+
+    fn quiet_config() -> CxlConfig {
+        CxlConfig {
+            name: "test-cxl".into(),
+            fixed_ns: 0.0,
+            read_link_gbps: 22.0,
+            write_link_gbps: 11.0,
+            duplex: true,
+            sched_slots: 16,
+            sched_service_ns: Dist::Constant(3.0),
+            txn_jitter_ns: Dist::zero(),
+            congestion_p: 0.0,
+            congestion_window_ns: Dist::zero(),
+            load_onset: 1.0,
+            retry_p: 0.0,
+            retry_penalty_ns: Dist::zero(),
+            timing: DramTiming::ddr4(),
+            channels: 2,
+            thermal: None,
+        }
+        .calibrate_to_idle(214.0)
+    }
+
+    #[test]
+    fn calibration_reaches_target_idle() {
+        let cfg = quiet_config();
+        assert!((cfg.idle_latency_ns() - 214.0).abs() < 1e-9);
+        let mut dev = CxlDevice::new(cfg, 1);
+        // Pointer chase: issue each access after the previous completes.
+        let mut t = 0;
+        let mut total = 0u64;
+        let n = 500u64;
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..n {
+            let addr = rng.below(1 << 30) * 64;
+            let a = dev.access(&MemRequest::new(addr, RequestKind::DemandRead, t));
+            total += a.completion - t;
+            t = a.completion;
+        }
+        let mean_ns = total as f64 / n as f64 / 1_000.0;
+        assert!(
+            (190.0..240.0).contains(&mean_ns),
+            "idle latency {mean_ns} ns, expected ~214"
+        );
+    }
+
+    #[test]
+    fn read_bandwidth_capped_by_link() {
+        let mut dev = CxlDevice::new(quiet_config(), 2);
+        // Saturate with reads: issue far faster than the link can serve.
+        let n = 30_000u64;
+        let mut last = 0;
+        for i in 0..n {
+            let a = dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 100));
+            last = a.completion;
+        }
+        let gbps = n as f64 * 64.0 / last as f64 * 1_000.0;
+        assert!(
+            (18.0..24.0).contains(&gbps),
+            "read-saturated bandwidth {gbps} GB/s, link is 22"
+        );
+    }
+
+    #[test]
+    fn duplex_mixed_traffic_beats_read_only() {
+        // 2:1 read:write should push total bytes/s above the read link cap.
+        let mut dev = CxlDevice::new(quiet_config(), 3);
+        let n = 30_000u64;
+        let mut last = 0;
+        for i in 0..n {
+            let kind = if i % 3 == 2 {
+                RequestKind::WriteBack
+            } else {
+                RequestKind::DemandRead
+            };
+            let a = dev.access(&MemRequest::new(i * 64, kind, i * 100));
+            last = a.completion.max(last);
+        }
+        let gbps = n as f64 * 64.0 / last as f64 * 1_000.0;
+        assert!(gbps > 24.0, "duplex mixed bandwidth {gbps} should exceed 22");
+    }
+
+    #[test]
+    fn shared_path_mixed_traffic_degrades() {
+        let mut cfg = quiet_config();
+        cfg.duplex = false;
+        let mut read_dev = CxlDevice::new(cfg.clone(), 4);
+        let mut mixed_dev = CxlDevice::new(cfg, 4);
+        let n = 20_000u64;
+        let (mut last_r, mut last_m) = (0, 0);
+        for i in 0..n {
+            let a = read_dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 100));
+            last_r = a.completion.max(last_r);
+            let kind = if i % 2 == 0 {
+                RequestKind::DemandRead
+            } else {
+                RequestKind::WriteBack
+            };
+            let b = mixed_dev.access(&MemRequest::new(i * 64, kind, i * 100));
+            last_m = b.completion.max(last_m);
+        }
+        assert!(
+            last_m > last_r,
+            "FPGA-style shared path should be slower under mixed R/W"
+        );
+    }
+
+    #[test]
+    fn congestion_windows_fire_above_onset() {
+        let mut cfg = quiet_config();
+        cfg.congestion_p = 0.05;
+        cfg.congestion_window_ns = Dist::Constant(500.0);
+        cfg.load_onset = 0.3;
+        let mut dev = CxlDevice::new(cfg, 5);
+        // Drive at ~80% of capacity (33 GB/s capacity -> ~1.9 ns/line; use
+        // 2.4 ns inter-arrival).
+        let mut spikes = 0u64;
+        for i in 0..20_000u64 {
+            let a = dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 2_400));
+            if a.spike_ps > 400_000 {
+                spikes += 1;
+            }
+        }
+        assert!(spikes > 50, "expected congestion spikes, saw {spikes}");
+    }
+
+    #[test]
+    fn no_congestion_below_onset() {
+        let mut cfg = quiet_config();
+        cfg.congestion_p = 0.5;
+        cfg.congestion_window_ns = Dist::Constant(500.0);
+        cfg.load_onset = 0.5;
+        let mut dev = CxlDevice::new(cfg, 6);
+        // Drive at ~10% utilization.
+        let mut spikes = 0u64;
+        for i in 0..20_000u64 {
+            let a = dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 30_000));
+            // tRFC for DDR4 is 350 ns, so anything above 400 ns must be a
+            // congestion window.
+            if a.spike_ps > 400_000 {
+                spikes += 1;
+            }
+        }
+        assert_eq!(spikes, 0, "congestion below onset");
+    }
+
+    #[test]
+    fn retries_produce_rare_large_spikes() {
+        let mut cfg = quiet_config();
+        cfg.retry_p = 0.01;
+        cfg.retry_penalty_ns = Dist::Constant(2_000.0);
+        let mut dev = CxlDevice::new(cfg, 7);
+        let mut big = 0u64;
+        let mut t = 0;
+        for i in 0..10_000u64 {
+            let a = dev.access(&MemRequest::new(i * 977 * 64, RequestKind::DemandRead, t));
+            if a.completion - t > 2_000_000 {
+                big += 1;
+            }
+            t = a.completion;
+        }
+        let frac = big as f64 / 10_000.0;
+        assert!((0.005..0.02).contains(&frac), "retry fraction {frac}");
+    }
+
+    #[test]
+    fn thermal_throttle_engages_under_load() {
+        let mut cfg = quiet_config();
+        cfg.thermal = Some(ThermalConfig {
+            util_threshold: 0.5,
+            period_ns: 10_000.0,
+            duration_ns: 2_000.0,
+        });
+        let mut dev = CxlDevice::new(cfg, 8);
+        let mut throttled = 0u64;
+        for i in 0..50_000u64 {
+            let a = dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 2_200));
+            if a.spike_ps > 500_000 {
+                throttled += 1;
+            }
+        }
+        assert!(throttled > 0, "thermal windows should hit some requests");
+    }
+
+    #[test]
+    fn utilization_estimator_tracks_load() {
+        let mut dev = CxlDevice::new(quiet_config(), 10);
+        for i in 0..5_000u64 {
+            dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 2_000));
+        }
+        let high = dev.utilization();
+        assert!(high > 0.5, "high load estimate {high}");
+        let base = 5_000u64 * 2_000;
+        for i in 0..5_000u64 {
+            dev.access(&MemRequest::new(
+                i * 64,
+                RequestKind::DemandRead,
+                base + i * 200_000,
+            ));
+        }
+        let low = dev.utilization();
+        assert!(low < 0.2, "low load estimate {low}");
+    }
+}

@@ -1,0 +1,167 @@
+//! The `MemoryDevice` trait and shared bookkeeping.
+
+use melody_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::request::MemRequest;
+
+/// Per-request timing breakdown returned by a device.
+///
+/// `completion` is the instant the data is back at the requester (reads) or
+/// accepted for posting (writebacks). The remaining fields attribute the
+/// latency for diagnostics and white-box tests; they need not sum exactly
+/// to `completion - issue` (stages overlap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccessBreakdown {
+    /// When the request finished.
+    pub completion: SimTime,
+    /// Time spent waiting in queues (link serialization, scheduler slots,
+    /// bank conflicts).
+    pub queue_ps: SimTime,
+    /// Time spent in the DRAM array (activation + CAS + burst).
+    pub dram_ps: SimTime,
+    /// Fixed propagation and processing through link/controller logic.
+    pub fabric_ps: SimTime,
+    /// Extra delay from stochastic events: jitter, congestion windows,
+    /// link-layer retries, refresh collisions, thermal throttling.
+    pub spike_ps: SimTime,
+    /// Whether the access hit an open DRAM row.
+    pub row_hit: bool,
+}
+
+impl AccessBreakdown {
+    /// Latency of this access relative to its issue time.
+    pub fn latency(&self, issue: SimTime) -> SimTime {
+        self.completion.saturating_sub(issue)
+    }
+}
+
+/// Aggregate traffic counters a device maintains over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Read-direction requests served (demand + prefetch + RFO).
+    pub reads: u64,
+    /// Write-direction requests served (writebacks).
+    pub writes: u64,
+    /// Sum of read latencies in picoseconds.
+    pub total_read_latency_ps: u128,
+    /// Issue time of the first request seen.
+    pub first_issue: SimTime,
+    /// Latest completion produced.
+    pub last_completion: SimTime,
+}
+
+impl DeviceStats {
+    /// Records one access.
+    pub fn record(&mut self, req: &MemRequest, completion: SimTime) {
+        if self.reads == 0 && self.writes == 0 {
+            self.first_issue = req.issue;
+        }
+        if req.kind.is_read() {
+            self.reads += 1;
+            self.total_read_latency_ps += completion.saturating_sub(req.issue) as u128;
+        } else {
+            self.writes += 1;
+        }
+        self.last_completion = self.last_completion.max(completion);
+    }
+
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean read latency in nanoseconds, or 0.0 with no reads.
+    pub fn mean_read_latency_ns(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.total_read_latency_ps as f64 / self.reads as f64 / 1_000.0
+        }
+    }
+
+    /// Achieved total bandwidth in GB/s over the device's active span
+    /// (64 B per request), or 0.0 when inactive.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        let span = self.last_completion.saturating_sub(self.first_issue);
+        if span == 0 {
+            return 0.0;
+        }
+        let bytes = self.requests() as f64 * 64.0;
+        // bytes / picoseconds = TB/s; scale to GB/s.
+        bytes / span as f64 * 1_000.0
+    }
+}
+
+/// A memory backend that serves cacheline requests.
+///
+/// Implementations must be driven with nondecreasing `issue` times: the
+/// caller (the CPU model or a traffic harness) owns the global clock, and
+/// device-internal queue state only moves forward. This is the contract
+/// that lets a device compute each request's completion analytically at
+/// submission time.
+pub trait MemoryDevice {
+    /// Serves one request and returns its timing breakdown.
+    fn access(&mut self, req: &MemRequest) -> AccessBreakdown;
+
+    /// Human-readable device name (e.g. `"CXL-A"`).
+    fn name(&self) -> &str;
+
+    /// Idle (unloaded, row-miss) latency target of this device in ns, as a
+    /// nominal figure for reports. The measured idle latency comes from
+    /// [`crate::probe::idle_latency_ns`].
+    fn nominal_latency_ns(&self) -> f64;
+
+    /// Lifetime traffic counters.
+    fn stats(&self) -> DeviceStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = DeviceStats::default();
+        let r = MemRequest::new(0, RequestKind::DemandRead, 1_000);
+        s.record(&r, 251_000); // 250 ns
+        let w = MemRequest::new(64, RequestKind::WriteBack, 2_000);
+        s.record(&w, 10_000);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.requests(), 2);
+        assert!((s.mean_read_latency_ns() - 250.0).abs() < 1e-9);
+        assert_eq!(s.first_issue, 1_000);
+        assert_eq!(s.last_completion, 251_000);
+    }
+
+    #[test]
+    fn bandwidth_from_span() {
+        let mut s = DeviceStats::default();
+        // 1000 requests over 1 µs = 64 KB / µs = 64 GB/s.
+        for i in 0..1000u64 {
+            let r = MemRequest::new(i * 64, RequestKind::DemandRead, i * 1_000);
+            s.record(&r, i * 1_000 + 1_000);
+        }
+        let bw = s.bandwidth_gbps();
+        assert!((bw - 64.0).abs() < 0.5, "bw {bw}");
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = DeviceStats::default();
+        assert_eq!(s.bandwidth_gbps(), 0.0);
+        assert_eq!(s.mean_read_latency_ns(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_latency() {
+        let b = AccessBreakdown {
+            completion: 5_000,
+            ..Default::default()
+        };
+        assert_eq!(b.latency(2_000), 3_000);
+        assert_eq!(b.latency(9_000), 0);
+    }
+}

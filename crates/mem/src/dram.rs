@@ -1,0 +1,360 @@
+//! DDR DRAM backend shared by the iMC and CXL memory-controller models.
+
+use melody_sim::{ns, ServerPool, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// DDR timing parameters (nanoseconds).
+///
+/// The values matter less for absolute accuracy than for supplying the
+/// right *relative* phenomena: row-buffer hits vs misses vs conflicts give
+/// local/NUMA memory its small latency spread (the paper measures
+/// p99.9−p50 of 45/61 ns), refresh gives everyone a rare latency bump, and
+/// the per-channel burst time sets channel bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// CAS latency: open-row access time.
+    pub t_cas_ns: f64,
+    /// RAS-to-CAS: row activation time.
+    pub t_rcd_ns: f64,
+    /// Row precharge time (paid on row conflicts).
+    pub t_rp_ns: f64,
+    /// Refresh cycle time: how long a refresh blocks the channel.
+    pub t_rfc_ns: f64,
+    /// Refresh interval.
+    pub t_refi_ns: f64,
+    /// Data-bus occupancy of one 64 B burst (sets per-channel bandwidth:
+    /// `64 B / burst_ns`).
+    pub burst_ns: f64,
+    /// Bus-turnaround penalty when the data bus switches between read and
+    /// write directions.
+    pub turnaround_ns: f64,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Row-buffer (page) size in bytes.
+    pub row_bytes: u64,
+}
+
+impl DramTiming {
+    /// DDR4-3200-class timings (25.6 GB/s per channel).
+    pub fn ddr4() -> Self {
+        Self {
+            t_cas_ns: 14.0,
+            t_rcd_ns: 14.0,
+            t_rp_ns: 14.0,
+            t_rfc_ns: 350.0,
+            t_refi_ns: 7_800.0,
+            burst_ns: 2.5,
+            turnaround_ns: 2.0,
+            banks: 16,
+            row_bytes: 8_192,
+        }
+    }
+
+    /// DDR5-4800-class timings (38.4 GB/s per channel).
+    pub fn ddr5() -> Self {
+        Self {
+            t_cas_ns: 16.0,
+            t_rcd_ns: 16.0,
+            t_rp_ns: 16.0,
+            t_rfc_ns: 295.0,
+            t_refi_ns: 3_900.0,
+            burst_ns: 1.67,
+            turnaround_ns: 1.5,
+            banks: 32,
+            row_bytes: 8_192,
+        }
+    }
+
+    /// Latency of a row-conflict access (precharge + activate + CAS), the
+    /// common case for random pointer chasing over a large working set.
+    pub fn closed_row_ns(&self) -> f64 {
+        self.t_rp_ns + self.t_rcd_ns + self.t_cas_ns
+    }
+}
+
+/// Multiplicative row-to-bank hash (Fibonacci hashing). Any two rows are
+/// overwhelmingly likely to land in different banks regardless of their
+/// alignment, mirroring the XOR bank-address hashes of real controllers.
+#[inline]
+fn bank_hash(row: u64) -> u64 {
+    row.wrapping_mul(0x9E3779B97F4A7C15) >> 32
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: SimTime,
+}
+
+#[derive(Debug)]
+struct Channel {
+    bus: ServerPool,
+    banks: Vec<Bank>,
+    last_was_read: Option<bool>,
+    refresh_offset: SimTime,
+}
+
+/// Outcome of a DRAM-array access.
+#[derive(Debug, Clone, Copy)]
+pub struct DramAccess {
+    /// When the burst finished on the data bus.
+    pub completion: SimTime,
+    /// Waiting time (bank busy + bus queueing).
+    pub queue_ps: SimTime,
+    /// Array + burst time.
+    pub dram_ps: SimTime,
+    /// Refresh-collision delay.
+    pub refresh_ps: SimTime,
+    /// Whether the open row was hit.
+    pub row_hit: bool,
+}
+
+/// A multi-channel DDR memory array with per-bank row-buffer state and
+/// periodic refresh.
+///
+/// Addresses are interleaved across channels at cacheline granularity;
+/// rows map round-robin onto banks so sequential rows land in different
+/// banks.
+#[derive(Debug)]
+pub struct DramBackend {
+    timing: DramTiming,
+    channels: Vec<Channel>,
+}
+
+impl DramBackend {
+    /// Creates a backend with `channels` channels of the given timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(timing: DramTiming, channels: usize) -> Self {
+        assert!(channels > 0, "need at least one memory channel");
+        let chans = (0..channels)
+            .map(|i| Channel {
+                bus: ServerPool::new(1),
+                banks: vec![
+                    Bank {
+                        open_row: None,
+                        busy_until: 0,
+                    };
+                    timing.banks
+                ],
+                last_was_read: None,
+                // Stagger refresh across channels so they never align, and
+                // shift past the first per-bank window so simulation start
+                // (t = 0, often bank 0) is not mid-refresh.
+                refresh_offset: ns(
+                    (timing.t_refi_ns as u64 / channels as u64) * i as u64
+                        + (timing.t_rfc_ns / 3.0) as u64,
+                ),
+            })
+            .collect();
+        Self {
+            timing,
+            channels: chans,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Timing parameters.
+    pub fn timing(&self) -> &DramTiming {
+        &self.timing
+    }
+
+    /// Aggregate peak bandwidth in GB/s (all channels, no overheads).
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.channels.len() as f64 * 64.0 / self.timing.burst_ns
+    }
+
+    /// Performs one cacheline access arriving at the array at `arrival`.
+    pub fn access(&mut self, addr: u64, is_read: bool, arrival: SimTime) -> DramAccess {
+        let t = self.timing;
+        let n_ch = self.channels.len() as u64;
+        let line = addr / 64;
+        let ch_idx = (line % n_ch) as usize;
+        // Strip the channel bits so each channel sees a dense local space.
+        let local_addr = (line / n_ch) * 64 + (addr % 64);
+        let row = local_addr / t.row_bytes;
+        let ch = &mut self.channels[ch_idx];
+        let n_banks = ch.banks.len() as u64;
+        // Hash the row into a bank index the way real MCs do, so
+        // power-of-two-aligned streams don't alias onto a single bank.
+        let bank_idx = (bank_hash(row) % n_banks) as usize;
+
+        // Wait for the bank.
+        let bank = &mut ch.banks[bank_idx];
+        let mut start = arrival.max(bank.busy_until);
+        let queue_bank = start - arrival;
+
+        // Refresh collision: fine-granularity (per-bank) refresh. Within
+        // each `tREFI` interval the refresh engine walks the banks round-
+        // robin, blocking one bank at a time for `tRFC/3` (same-bank
+        // refresh is roughly 3x shorter than all-bank). An access only
+        // stalls if it targets the bank being refreshed right now — which
+        // is what keeps local DRAM's p99.9 tail tight in the paper while
+        // still giving every device a rare latency bump.
+        let refi = ns(t.t_refi_ns as u64);
+        let rfc_pb = ns((t.t_rfc_ns / 3.0) as u64);
+        let slot_len = refi / n_banks;
+        let phase = (start + ch.refresh_offset) % refi;
+        let refreshing_bank = (phase / slot_len).min(n_banks - 1);
+        let slot_phase = phase % slot_len;
+        let refresh_ps = if refreshing_bank == bank_idx as u64 && slot_phase < rfc_pb {
+            rfc_pb - slot_phase
+        } else {
+            0
+        };
+        start += refresh_ps;
+
+        // Row-buffer policy: open page. `array_ns` is the *latency* of the
+        // access; `occupy_ns` is how long the bank itself stays busy
+        // (activation/precharge work) — CAS reads pipeline, so a row-hit
+        // stream is limited by the data bus, not by CAS latency.
+        let (array_ns, occupy_ns, row_hit) = match bank.open_row {
+            Some(r) if r == row => (t.t_cas_ns, t.burst_ns, true),
+            Some(_) => (
+                t.t_rp_ns + t.t_rcd_ns + t.t_cas_ns,
+                t.t_rp_ns + t.t_rcd_ns,
+                false,
+            ),
+            None => (t.t_rcd_ns + t.t_cas_ns, t.t_rcd_ns, false),
+        };
+        bank.open_row = Some(row);
+        let array_ps = (array_ns * 1_000.0) as SimTime;
+        let array_done = start + array_ps;
+        bank.busy_until = start + (occupy_ns * 1_000.0) as SimTime;
+
+        // Data burst on the channel bus, with a turnaround penalty when
+        // the direction flips (this is what makes shared-bus memory prefer
+        // read-only traffic, Figure 5 local/CXL-C panels).
+        let mut service = (t.burst_ns * 1_000.0) as SimTime;
+        if let Some(last_read) = ch.last_was_read {
+            if last_read != is_read {
+                service += (t.turnaround_ns * 1_000.0) as SimTime;
+            }
+        }
+        ch.last_was_read = Some(is_read);
+        let (bus_start, completion) = ch.bus.submit(array_done, service);
+        let queue_bus = bus_start - array_done;
+
+        DramAccess {
+            completion,
+            queue_ps: queue_bank + queue_bus,
+            dram_ps: array_ps + service,
+            refresh_ps,
+            row_hit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn backend() -> DramBackend {
+        DramBackend::new(DramTiming::ddr5(), 2)
+    }
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = backend();
+        let a = d.access(0, true, 0);
+        assert!(!a.row_hit);
+        // tRCD + tCAS + burst ≈ 33.7 ns.
+        let lat_ns = a.completion as f64 / 1_000.0;
+        assert!((30.0..45.0).contains(&lat_ns), "lat {lat_ns}");
+    }
+
+    #[test]
+    fn second_access_same_row_hits() {
+        let mut d = backend();
+        let a = d.access(0, true, 0);
+        let b = d.access(128, true, a.completion + 1_000); // same row, same channel
+        assert!(b.row_hit);
+        assert!(b.dram_ps < a.dram_ps);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let mut d = DramBackend::new(DramTiming::ddr5(), 1);
+        let t = DramTiming::ddr5();
+        let banks = t.banks as u64;
+        let t0 = d.access(0, true, 0);
+        // Find another row that hashes to the same bank as row 0.
+        let conflict_row = (1..10_000u64)
+            .find(|&r| bank_hash(r) % banks == bank_hash(0) % banks)
+            .expect("some row collides in 10k tries");
+        let conflict_addr = conflict_row * t.row_bytes;
+        let t1 = d.access(conflict_addr, true, t0.completion + 1_000);
+        assert!(!t1.row_hit);
+        assert!(t1.dram_ps > t0.dram_ps, "conflict should pay tRP");
+    }
+
+    #[test]
+    fn channel_interleaving_spreads_lines() {
+        let mut d = backend();
+        // Adjacent cachelines go to different channels: both start at 0
+        // without queueing on the bus.
+        let a = d.access(0, true, 0);
+        let b = d.access(64, true, 0);
+        assert_eq!(a.queue_ps, 0);
+        assert_eq!(b.queue_ps, 0);
+    }
+
+    #[test]
+    fn saturation_builds_queueing() {
+        let mut d = DramBackend::new(DramTiming::ddr5(), 1);
+        // Offered load far above one channel's capacity.
+        let mut last = DramAccess {
+            completion: 0,
+            queue_ps: 0,
+            dram_ps: 0,
+            refresh_ps: 0,
+            row_hit: false,
+        };
+        for i in 0..1_000u64 {
+            last = d.access(i * 64, true, i * 100); // 0.1 ns apart
+        }
+        assert!(last.queue_ps > 0, "no queueing under overload");
+    }
+
+    #[test]
+    fn refresh_occasionally_delays() {
+        let mut d = DramBackend::new(DramTiming::ddr4(), 1);
+        let mut hit_refresh = false;
+        let mut t = 0;
+        for i in 0..10_000u64 {
+            let a = d.access(i * 64, true, t);
+            if a.refresh_ps > 0 {
+                hit_refresh = true;
+            }
+            t = a.completion + 1_000;
+        }
+        assert!(hit_refresh, "10k spaced accesses should straddle a refresh");
+    }
+
+    #[test]
+    fn peak_bandwidth_formula() {
+        let d = DramBackend::new(DramTiming::ddr5(), 8);
+        let bw = d.peak_bandwidth_gbps();
+        assert!((bw - 8.0 * 64.0 / 1.67).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn completion_after_arrival(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut d = backend();
+            let mut t = 0;
+            for &a in &addrs {
+                let acc = d.access(a * 64, a % 3 != 0, t);
+                prop_assert!(acc.completion > t);
+                t += 5_000; // monotone arrivals
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Device-level measurement probes (idle latency, peak bandwidth).
+//!
+//! These mirror what Intel MLC's `--latency_matrix` / `--bandwidth_matrix`
+//! modes measure on the paper's testbed and are used both for calibration
+//! tests and for regenerating Table 1. Loaded-latency *sweeps* (Figure 3a,
+//! Figure 5) live in `melody-workloads::mlc`, which adds traffic-generator
+//! threads with injected delays.
+
+use melody_sim::{EventQueue, SimRng, SimTime};
+use melody_stats::LatencyHistogram;
+
+use crate::device::MemoryDevice;
+use crate::request::{MemRequest, RequestKind};
+
+/// Measures idle latency with a dependent pointer chase over a large
+/// random working set: each access issues only after the previous one
+/// completes. Returns the mean latency in ns.
+pub fn idle_latency_ns(dev: &mut dyn MemoryDevice, accesses: usize) -> f64 {
+    idle_latency_hist(dev, accesses).mean()
+}
+
+/// Same probe, returning the full latency histogram (ns).
+pub fn idle_latency_hist(dev: &mut dyn MemoryDevice, accesses: usize) -> LatencyHistogram {
+    let mut rng = SimRng::seed_from(0xA11CE);
+    let mut h = LatencyHistogram::new();
+    let mut t: SimTime = 0;
+    for _ in 0..accesses {
+        // 4 GiB span: effectively always a row miss, like MLC's matrix.
+        let addr = rng.below(1 << 26) * 64;
+        let a = dev.access(&MemRequest::new(addr, RequestKind::DemandRead, t));
+        h.record((a.completion - t) / 1_000);
+        t = a.completion;
+    }
+    h
+}
+
+/// Measures peak achievable bandwidth with a closed-loop load generator:
+/// `outstanding` requests are kept in flight; each completion immediately
+/// triggers the next request. `read_fraction` in `[0, 1]` selects the
+/// read/write mix (1.0 = read-only). Returns GB/s.
+pub fn peak_bandwidth_gbps(
+    dev: &mut dyn MemoryDevice,
+    read_fraction: f64,
+    requests: u64,
+    outstanding: usize,
+) -> f64 {
+    assert!(outstanding > 0, "need at least one in-flight request");
+    let mut rng = SimRng::seed_from(0xBEEF);
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for slot in 0..outstanding as u64 {
+        q.push(0, slot);
+    }
+    let mut issued = 0u64;
+    let mut last_completion: SimTime = 0;
+    let mut next_addr: u64 = 0;
+    while issued < requests {
+        let (t, slot) = q.pop().expect("slots never exhaust");
+        // Streaming addresses spread across channels/banks.
+        let addr = next_addr * 64;
+        next_addr += 1;
+        let kind = if rng.chance(read_fraction) {
+            RequestKind::DemandRead
+        } else {
+            RequestKind::WriteBack
+        };
+        let a = dev.access(&MemRequest::new(addr, kind, t));
+        last_completion = last_completion.max(a.completion);
+        issued += 1;
+        q.push(a.completion, slot);
+    }
+    if last_completion == 0 {
+        return 0.0;
+    }
+    requests as f64 * 64.0 / last_completion as f64 * 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn idle_latency_tracks_table1() {
+        // The calibration contract: measured idle latency within ±10% of
+        // the Table 1 target for every preset.
+        let cases = [
+            (presets::local_emr(), 111.0),
+            (presets::numa_emr(), 193.0),
+            (presets::cxl_a(), 214.0),
+            (presets::cxl_b(), 271.0),
+            (presets::cxl_c(), 394.0),
+            (presets::cxl_d(), 239.0),
+            (presets::skx8s_410(), 410.0),
+        ];
+        for (spec, target) in cases {
+            let mut dev = spec.build(11);
+            let idle = idle_latency_ns(dev.as_mut(), 2_000);
+            assert!(
+                (idle - target).abs() / target < 0.10,
+                "{}: idle {idle:.0} ns vs target {target}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn read_bandwidth_tracks_table1() {
+        // Read-direction bandwidth within a loose band of Table 1 "Local
+        // BW" (exact saturation depends on queueing details).
+        let cases = [
+            (presets::cxl_a(), 24.0),
+            (presets::cxl_b(), 22.0),
+            (presets::cxl_c(), 18.0),
+            (presets::cxl_d(), 52.0),
+        ];
+        for (spec, target) in cases {
+            let mut dev = spec.build(12);
+            let bw = peak_bandwidth_gbps(dev.as_mut(), 1.0, 60_000, 256);
+            assert!(
+                (bw - target).abs() / target < 0.30,
+                "{}: read BW {bw:.1} GB/s vs Table 1 {target}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn local_dram_bandwidth_is_two_orders_higher_than_cxl() {
+        let mut local = presets::local_emr().build(13);
+        let bw = peak_bandwidth_gbps(local.as_mut(), 1.0, 200_000, 768);
+        assert!(bw > 150.0, "local DDR5x8 read BW {bw:.0} GB/s");
+    }
+
+    #[test]
+    fn duplex_devices_peak_under_mixed_traffic() {
+        // Figure 5: ASIC CXL peaks under mixed R/W; the FPGA (CXL-C) and
+        // local DRAM peak read-only.
+        // Each device peaks at its own R/W ratio (Figure 5: CXL-A at 2:1,
+        // CXL-D at 3:1/4:1); probe each near its documented peak mix.
+        for (spec, duplex, read_frac) in [
+            (presets::cxl_a(), true, 2.0 / 3.0),
+            (presets::cxl_d(), true, 0.8),
+            (presets::cxl_c(), false, 0.5),
+            (presets::local_emr(), false, 0.5),
+        ] {
+            let read_only = {
+                let mut dev = spec.build(14);
+                peak_bandwidth_gbps(dev.as_mut(), 1.0, 60_000, 256)
+            };
+            let mixed = {
+                let mut dev = spec.build(14);
+                peak_bandwidth_gbps(dev.as_mut(), read_frac, 60_000, 256)
+            };
+            if duplex {
+                assert!(
+                    mixed > read_only,
+                    "{}: duplex should peak mixed ({mixed:.1} vs {read_only:.1})",
+                    spec.name()
+                );
+            } else {
+                assert!(
+                    mixed <= read_only * 1.05,
+                    "{}: shared path should peak read-only ({mixed:.1} vs {read_only:.1})",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_gap_orders_devices_like_figure3() {
+        // p99.9 - p50 at idle: local and NUMA stay tight; CXL-B and CXL-C
+        // are clearly worse than local.
+        let gap = |spec: crate::DeviceSpec| {
+            let mut dev = spec.build(15);
+            let h = idle_latency_hist(dev.as_mut(), 40_000);
+            h.percentile_gap(50.0, 99.9)
+        };
+        let local = gap(presets::local_emr());
+        let numa = gap(presets::numa_emr());
+        let b = gap(presets::cxl_b());
+        let c = gap(presets::cxl_c());
+        let d = gap(presets::cxl_d());
+        assert!(local < 100, "local gap {local} ns");
+        assert!(numa < 120, "numa gap {numa} ns");
+        assert!(b > local * 2, "CXL-B gap {b} vs local {local}");
+        assert!(c > local * 2, "CXL-C gap {c} vs local {local}");
+        assert!(d < b, "CXL-D ({d}) should be more stable than CXL-B ({b})");
+    }
+}

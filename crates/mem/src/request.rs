@@ -1,0 +1,85 @@
+//! Memory request types.
+
+use melody_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Cacheline size in bytes; all devices transfer whole lines.
+pub const CACHELINE: u64 = 64;
+
+/// The kind of memory request reaching a device, mirroring the paper's
+/// Figure 2c taxonomy of CPU↔CXL traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Demand load: the CPU needs this line for computation *now*.
+    DemandRead,
+    /// Prefetch load issued by an L1/L2 hardware prefetcher.
+    PrefetchRead,
+    /// Read-for-ownership triggered by a store to a line not owned.
+    Rfo,
+    /// Dirty-line writeback on cache eviction.
+    WriteBack,
+}
+
+impl RequestKind {
+    /// True when the payload travels device → CPU (reads and RFOs);
+    /// writebacks travel CPU → device. This determines which link
+    /// direction the 64 B payload occupies on a full-duplex CXL link.
+    pub fn is_read(self) -> bool {
+        !matches!(self, RequestKind::WriteBack)
+    }
+
+    /// True for the two load flavours (demand + prefetch).
+    pub fn is_load(self) -> bool {
+        matches!(self, RequestKind::DemandRead | RequestKind::PrefetchRead)
+    }
+}
+
+/// A single cacheline request presented to a [`crate::MemoryDevice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Physical address (interpreted at cacheline granularity).
+    pub addr: u64,
+    /// Request kind.
+    pub kind: RequestKind,
+    /// Simulation time at which the request reaches the device.
+    pub issue: SimTime,
+}
+
+impl MemRequest {
+    /// Convenience constructor.
+    pub fn new(addr: u64, kind: RequestKind, issue: SimTime) -> Self {
+        Self { addr, kind, issue }
+    }
+
+    /// The request's cacheline index (address / 64).
+    pub fn line(&self) -> u64 {
+        self.addr / CACHELINE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_classification() {
+        assert!(RequestKind::DemandRead.is_read());
+        assert!(RequestKind::PrefetchRead.is_read());
+        assert!(RequestKind::Rfo.is_read());
+        assert!(!RequestKind::WriteBack.is_read());
+    }
+
+    #[test]
+    fn load_classification() {
+        assert!(RequestKind::DemandRead.is_load());
+        assert!(RequestKind::PrefetchRead.is_load());
+        assert!(!RequestKind::Rfo.is_load());
+        assert!(!RequestKind::WriteBack.is_load());
+    }
+
+    #[test]
+    fn line_index() {
+        let r = MemRequest::new(130, RequestKind::DemandRead, 0);
+        assert_eq!(r.line(), 2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Serialisable device descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cxl::{CxlConfig, CxlDevice};
+use crate::device::MemoryDevice;
+use crate::imc::{ImcConfig, ImcDevice};
+use crate::interleave::InterleavedDevice;
+use crate::numa::{NumaHopConfig, NumaHopDevice};
+use crate::split::SplitDevice;
+
+/// A declarative, serialisable description of a memory backend.
+///
+/// Experiment grids pass `DeviceSpec`s around (they are cheap to clone and
+/// can be written into result datasets); each simulation run builds a
+/// fresh, stateful device from the spec with [`DeviceSpec::build`], so no
+/// queue or RNG state leaks between runs.
+///
+/// # Example
+///
+/// ```
+/// use melody_mem::presets;
+/// let spec = presets::cxl_a().with_numa_hop();
+/// assert_eq!(spec.name(), "CXL-A+NUMA");
+/// let dev = spec.build(7);
+/// assert!(dev.nominal_latency_ns() > 300.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)] // specs are built once per run, not stored in bulk
+pub enum DeviceSpec {
+    /// Socket-local DRAM.
+    Imc(ImcConfig),
+    /// CXL type-3 expander.
+    Cxl(CxlConfig),
+    /// Any device behind a cross-socket / switch hop.
+    Hopped {
+        /// Hop parameters.
+        hop: NumaHopConfig,
+        /// Suffix appended to the inner name (`"+NUMA"`, `"+Switch"`).
+        label: String,
+        /// The device behind the hop.
+        inner: Box<DeviceSpec>,
+    },
+    /// Hardware interleaving across several devices.
+    Interleaved {
+        /// Interleave granularity in bytes.
+        granularity: u64,
+        /// Member devices.
+        parts: Vec<DeviceSpec>,
+    },
+    /// Address-range split (tiering/placement): `[0, boundary)` served by
+    /// `fast`, the rest by `slow` — the §5.7 "move hot objects to local
+    /// DRAM" deployment.
+    Split {
+        /// Bytes served by the fast device.
+        boundary: u64,
+        /// Fast (local) tier.
+        fast: Box<DeviceSpec>,
+        /// Slow (CXL) tier.
+        slow: Box<DeviceSpec>,
+    },
+}
+
+impl DeviceSpec {
+    /// Instantiates a fresh device with deterministic `seed`.
+    pub fn build(&self, seed: u64) -> Box<dyn MemoryDevice> {
+        match self {
+            DeviceSpec::Imc(cfg) => Box::new(ImcDevice::new(cfg.clone())),
+            DeviceSpec::Cxl(cfg) => Box::new(CxlDevice::new(cfg.clone(), seed)),
+            DeviceSpec::Hopped { hop, label, inner } => {
+                let inner_dev = inner.build(seed.wrapping_add(1));
+                let mut dev = NumaHopDevice::new(hop.clone(), inner_dev, seed);
+                dev.set_label(label);
+                Box::new(dev)
+            }
+            DeviceSpec::Interleaved { granularity, parts } => {
+                let built = parts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| p.build(seed.wrapping_add(100 + i as u64)))
+                    .collect();
+                Box::new(InterleavedDevice::new(built, *granularity))
+            }
+            DeviceSpec::Split { boundary, fast, slow } => Box::new(SplitDevice::new(
+                fast.build(seed.wrapping_add(2)),
+                slow.build(seed.wrapping_add(3)),
+                *boundary,
+            )),
+        }
+    }
+
+    /// The name the built device will report.
+    pub fn name(&self) -> String {
+        match self {
+            DeviceSpec::Imc(cfg) => cfg.name.clone(),
+            DeviceSpec::Cxl(cfg) => cfg.name.clone(),
+            DeviceSpec::Hopped { label, inner, .. } => format!("{}+{}", inner.name(), label),
+            DeviceSpec::Interleaved { parts, .. } => {
+                format!("{}x{}", parts[0].name(), parts.len())
+            }
+            DeviceSpec::Split { fast, slow, .. } => {
+                format!("{}|{}", fast.name(), slow.name())
+            }
+        }
+    }
+
+    /// Nominal idle latency of the described device in ns.
+    pub fn nominal_latency_ns(&self) -> f64 {
+        match self {
+            DeviceSpec::Imc(cfg) => cfg.idle_latency_ns(),
+            DeviceSpec::Cxl(cfg) => cfg.idle_latency_ns(),
+            DeviceSpec::Hopped { hop, inner, .. } => inner.nominal_latency_ns() + hop.extra_ns,
+            DeviceSpec::Interleaved { parts, .. } => {
+                parts.iter().map(|p| p.nominal_latency_ns()).sum::<f64>() / parts.len() as f64
+            }
+            DeviceSpec::Split { slow, .. } => slow.nominal_latency_ns(),
+        }
+    }
+
+    /// Wraps this spec behind the device-appropriate cross-socket hop
+    /// (Table 1 "Remote" columns): CXL devices get the tail-amplifying
+    /// coupled hop; plain DRAM gets a well-behaved one.
+    pub fn with_numa_hop(self) -> DeviceSpec {
+        let (extra_ns, upi_gbps, coupled) = match &self {
+            DeviceSpec::Cxl(cfg) => {
+                // Table 1 Remote−Local latency deltas per device.
+                let extra = match cfg.name.as_str() {
+                    "CXL-A" => 161.0,
+                    "CXL-B" => 202.0,
+                    "CXL-C" => 227.0,
+                    "CXL-D" => 94.0,
+                    _ => 160.0,
+                };
+                (extra, 14.0, true)
+            }
+            _ => (82.0, 120.0, false),
+        };
+        let hop = if coupled {
+            NumaHopConfig::cxl_coupled(extra_ns, upi_gbps)
+        } else {
+            NumaHopConfig::plain(extra_ns, upi_gbps)
+        };
+        DeviceSpec::Hopped {
+            hop,
+            label: "NUMA".into(),
+            inner: Box::new(self),
+        }
+    }
+
+    /// Wraps this spec behind a CXL switch hop (Figure 1's `CXL+Switch`
+    /// point, ~600 ns total from public Samsung CMM-B data).
+    pub fn with_switch_hop(self) -> DeviceSpec {
+        DeviceSpec::Hopped {
+            hop: NumaHopConfig::plain(190.0, 60.0),
+            label: "Switch".into(),
+            inner: Box::new(self),
+        }
+    }
+
+    /// Interleaves `ways` copies of this spec at 256 B granularity
+    /// (Figure 8f's dual CXL-D configuration).
+    pub fn interleaved(self, ways: usize) -> DeviceSpec {
+        DeviceSpec::Interleaved {
+            granularity: 256,
+            parts: vec![self; ways.max(1)],
+        }
+    }
+
+    /// Places the first `boundary` bytes of this device's address space
+    /// on `fast` local memory instead (the §5.7 placement-tuning
+    /// deployment).
+    pub fn with_fast_tier(self, fast: DeviceSpec, boundary: u64) -> DeviceSpec {
+        DeviceSpec::Split {
+            boundary,
+            fast: Box::new(fast),
+            slow: Box::new(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn build_all_preset_shapes() {
+        for spec in [
+            presets::local_emr(),
+            presets::numa_emr(),
+            presets::cxl_a(),
+            presets::cxl_b(),
+            presets::cxl_c(),
+            presets::cxl_d(),
+            presets::cxl_a().with_numa_hop(),
+            presets::cxl_d().interleaved(2),
+            presets::cxl_a().with_switch_hop(),
+        ] {
+            let dev = spec.build(1);
+            assert!(!dev.name().is_empty());
+            assert!(dev.nominal_latency_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn names_compose() {
+        assert_eq!(presets::cxl_a().with_numa_hop().name(), "CXL-A+NUMA");
+        assert_eq!(presets::cxl_d().interleaved(2).name(), "CXL-Dx2");
+        assert_eq!(presets::cxl_a().with_switch_hop().name(), "CXL-A+Switch");
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = presets::cxl_b().with_numa_hop();
+        let json = serde_json::to_string(&spec).expect("serialise");
+        let back: DeviceSpec = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn split_spec_builds_and_names() {
+        let spec = presets::cxl_c().with_fast_tier(presets::local_emr(), 1 << 30);
+        assert_eq!(spec.name(), "Local|CXL-C");
+        let dev = spec.build(5);
+        assert!(dev.nominal_latency_ns() > 300.0);
+    }
+
+    #[test]
+    fn numa_hop_latency_matches_table1() {
+        // CXL-A local 214 ns, remote 375 ns (+161).
+        let spec = presets::cxl_a().with_numa_hop();
+        assert!((spec.nominal_latency_ns() - 375.0).abs() < 2.0);
+        // CXL-D local 239 ns, remote 333 ns (+94).
+        let spec = presets::cxl_d().with_numa_hop();
+        assert!((spec.nominal_latency_ns() - 333.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! MIO: the pointer-chase cacheline-latency microbenchmark.
+//!
+//! The paper built MIO because "existing tools lack request-level latency
+//! reporting" (§3.2): it measures the average latency of every `N`
+//! pointer-chase operations (N amortises `rdtsc` overhead) over a working
+//! set larger than the LLC, with latency logs buffered away from the
+//! device under test. This crate reproduces that methodology against
+//! simulated devices:
+//!
+//! - [`run`]: `chase_threads` co-located pointer chasers (Figure 3b's
+//!   1–32 threads) plus optional background traffic threads generating
+//!   read/write noise (Figure 4) or read bandwidth pressure (Figure 3c),
+//!   returning the foreground latency histogram and achieved bandwidth.
+//!
+//! CPU prefetchers are *off* in this harness — it drives devices
+//! directly, which matches the paper's device-level measurements. The
+//! prefetchers-on variant (Figure 6) runs through the CPU model instead
+//! (`melody::experiments::fig06`).
+//!
+//! # Example
+//!
+//! ```
+//! use melody_mem::presets;
+//! use melody_mio::{run, MioConfig};
+//!
+//! let out = run(&presets::cxl_b(), &MioConfig { accesses: 5_000, ..MioConfig::default() });
+//! let p50 = out.latency.percentile(50.0);
+//! assert!(p50 > 200, "CXL-B median ~271 ns, got {p50}");
+//! ```
+
+#![warn(missing_docs)]
+
+use melody_mem::{DeviceSpec, MemRequest, RequestKind};
+use melody_sim::{EventQueue, SimRng};
+use melody_stats::LatencyHistogram;
+
+/// Configuration of one MIO measurement.
+#[derive(Debug, Clone)]
+pub struct MioConfig {
+    /// Co-located pointer-chase threads (all measured).
+    pub chase_threads: usize,
+    /// Record the average of every `sample_every` chase operations
+    /// (MIO's rdtsc-amortisation parameter).
+    pub sample_every: usize,
+    /// Background traffic threads (not measured).
+    pub noise_threads: usize,
+    /// Read fraction of noise accesses (1.0 = read-only noise).
+    pub noise_read_frac: f64,
+    /// Outstanding requests per noise thread.
+    pub noise_mlp: usize,
+    /// Delay injected between a noise thread's accesses, ns.
+    pub noise_delay_ns: u64,
+    /// Working-set lines per chase thread.
+    pub ws_lines: u64,
+    /// Total chase operations to measure (across all chase threads).
+    pub accesses: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MioConfig {
+    fn default() -> Self {
+        Self {
+            chase_threads: 1,
+            sample_every: 1,
+            noise_threads: 0,
+            noise_read_frac: 1.0,
+            noise_mlp: 8,
+            noise_delay_ns: 0,
+            ws_lines: 1 << 24, // 1 GiB per chaser
+            accesses: 40_000,
+            seed: 0x4D494F, // "MIO"
+        }
+    }
+}
+
+/// Result of one MIO measurement.
+#[derive(Debug, Clone)]
+pub struct MioResult {
+    /// Foreground chase latency distribution (ns); one entry per
+    /// `sample_every` operations.
+    pub latency: LatencyHistogram,
+    /// Aggregate achieved device bandwidth, GB/s (chase + noise).
+    pub bandwidth_gbps: f64,
+    /// p99.9 − p50 tail gap in ns (the paper's Figure 3c metric).
+    pub tail_gap_ns: u64,
+}
+
+enum Actor {
+    Chase { id: usize },
+    Noise { stream: u64 },
+}
+
+/// Runs one MIO measurement against a fresh instance of `spec`.
+///
+/// # Panics
+///
+/// Panics if `chase_threads` or `sample_every` is zero.
+pub fn run(spec: &DeviceSpec, cfg: &MioConfig) -> MioResult {
+    assert!(cfg.chase_threads >= 1, "need at least one chase thread");
+    assert!(cfg.sample_every >= 1, "sample_every must be positive");
+    let mut dev = spec.build(cfg.seed);
+    let mut rngs: Vec<SimRng> = (0..cfg.chase_threads)
+        .map(|i| SimRng::seed_from(cfg.seed ^ (i as u64).wrapping_mul(0x9E37)))
+        .collect();
+    let mut noise_rng = SimRng::seed_from(cfg.seed ^ 0xA0A0);
+
+    let mut q: EventQueue<Actor> = EventQueue::new();
+    for id in 0..cfg.chase_threads {
+        q.push((id * 31) as u64, Actor::Chase { id });
+    }
+    for t in 0..cfg.noise_threads {
+        for m in 0..cfg.noise_mlp {
+            q.push(
+                (t * 97 + m * 13) as u64,
+                Actor::Noise {
+                    stream: (t * cfg.noise_mlp + m) as u64,
+                },
+            );
+        }
+    }
+
+    let mut hist = LatencyHistogram::new();
+    // Per-chaser accumulators for the N-op averaging.
+    let mut acc_ps = vec![0u64; cfg.chase_threads];
+    let mut acc_n = vec![0usize; cfg.chase_threads];
+    let mut noise_cursor = vec![0u64; (cfg.noise_threads * cfg.noise_mlp).max(1)];
+    let noise_delay_ps = cfg.noise_delay_ns * 1_000;
+    const NOISE_REGION_LINES: u64 = 1 << 20;
+
+    let mut measured = 0u64;
+    while measured < cfg.accesses {
+        let Some((t, actor)) = q.pop() else { break };
+        match actor {
+            Actor::Chase { id } => {
+                // Offset each chaser into its own region.
+                let addr = (id as u64 * cfg.ws_lines + rngs[id].below(cfg.ws_lines)) * 64;
+                let a = dev.access(&MemRequest::new(addr, RequestKind::DemandRead, t));
+                acc_ps[id] += a.completion - t;
+                acc_n[id] += 1;
+                if acc_n[id] == cfg.sample_every {
+                    hist.record(acc_ps[id] / cfg.sample_every as u64 / 1_000);
+                    acc_ps[id] = 0;
+                    acc_n[id] = 0;
+                }
+                measured += 1;
+                q.push(a.completion, Actor::Chase { id });
+            }
+            Actor::Noise { stream } => {
+                let base = (cfg.chase_threads as u64 * cfg.ws_lines).next_power_of_two();
+                let cur = &mut noise_cursor[stream as usize];
+                let addr =
+                    (base + stream * NOISE_REGION_LINES + (*cur % NOISE_REGION_LINES)) * 64;
+                *cur += 1;
+                let kind = if noise_rng.chance(cfg.noise_read_frac) {
+                    RequestKind::DemandRead
+                } else {
+                    RequestKind::WriteBack
+                };
+                let a = dev.access(&MemRequest::new(addr, kind, t));
+                q.push(a.completion + noise_delay_ps, Actor::Noise { stream });
+            }
+        }
+    }
+
+    let tail_gap_ns = hist.percentile_gap(50.0, 99.9);
+    MioResult {
+        bandwidth_gbps: dev.stats().bandwidth_gbps(),
+        latency: hist,
+        tail_gap_ns,
+    }
+}
+
+/// Sweeps chase-thread counts (Figure 3b: 1, 2, 4, 8, 16, 32).
+pub fn thread_sweep(
+    spec: &DeviceSpec,
+    threads: &[usize],
+    accesses: u64,
+) -> Vec<(usize, MioResult)> {
+    threads
+        .iter()
+        .map(|&n| {
+            let cfg = MioConfig {
+                chase_threads: n,
+                accesses,
+                ..MioConfig::default()
+            };
+            (n, run(spec, &cfg))
+        })
+        .collect()
+}
+
+/// Measures the tail gap under stepped read-bandwidth pressure
+/// (Figure 3c): returns `(achieved bandwidth GB/s, p99.9 − p50 ns)` per
+/// noise intensity.
+pub fn bandwidth_pressure_sweep(
+    spec: &DeviceSpec,
+    noise_threads: &[usize],
+    accesses: u64,
+) -> Vec<(f64, u64)> {
+    noise_threads
+        .iter()
+        .map(|&n| {
+            let cfg = MioConfig {
+                noise_threads: n,
+                accesses,
+                ..MioConfig::default()
+            };
+            let r = run(spec, &cfg);
+            (r.bandwidth_gbps, r.tail_gap_ns)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melody_mem::presets;
+    use melody_mem::DeviceSpec;
+
+    #[test]
+    fn idle_chase_median_near_device_latency() {
+        for (spec, target) in [
+            (presets::local_emr(), 111.0),
+            (presets::numa_emr(), 193.0),
+            (presets::cxl_a(), 214.0),
+            (presets::cxl_d(), 239.0),
+        ] {
+            let r = run(
+                &spec,
+                &MioConfig {
+                    accesses: 10_000,
+                    ..MioConfig::default()
+                },
+            );
+            let p50 = r.latency.percentile(50.0) as f64;
+            assert!(
+                (p50 - target).abs() / target < 0.15,
+                "{}: p50 {p50} vs {target}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn figure3b_tail_ordering() {
+        // Local/NUMA tight; CXL-B/C heavy; CXL-D best of the CXLs.
+        let gap = |spec: DeviceSpec| {
+            run(
+                &spec,
+                &MioConfig {
+                    chase_threads: 8,
+                    accesses: 60_000,
+                    ..MioConfig::default()
+                },
+            )
+            .tail_gap_ns
+        };
+        let local = gap(presets::local_emr());
+        let numa = gap(presets::numa_emr());
+        let b = gap(presets::cxl_b());
+        let c = gap(presets::cxl_c());
+        let d = gap(presets::cxl_d());
+        assert!(local < 110, "local {local}");
+        assert!(numa < 130, "numa {numa}");
+        assert!(b > 120, "CXL-B {b}");
+        assert!(c > 120, "CXL-C {c}");
+        assert!(d < b && d < c, "CXL-D {d} should beat B {b} / C {c}");
+    }
+
+    #[test]
+    fn sample_every_reduces_spread() {
+        let cfg1 = MioConfig {
+            accesses: 30_000,
+            sample_every: 1,
+            ..MioConfig::default()
+        };
+        let cfg8 = MioConfig {
+            accesses: 30_000,
+            sample_every: 8,
+            ..MioConfig::default()
+        };
+        let r1 = run(&presets::cxl_b(), &cfg1);
+        let r8 = run(&presets::cxl_b(), &cfg8);
+        // Averaging N ops smooths the tail.
+        assert!(
+            r8.tail_gap_ns < r1.tail_gap_ns,
+            "N-op averaging should shrink the measured gap: {} vs {}",
+            r8.tail_gap_ns,
+            r1.tail_gap_ns
+        );
+    }
+
+    #[test]
+    fn noise_pressure_raises_cxl_tails() {
+        let quiet = run(
+            &presets::cxl_a(),
+            &MioConfig {
+                accesses: 40_000,
+                ..MioConfig::default()
+            },
+        );
+        let noisy = run(
+            &presets::cxl_a(),
+            &MioConfig {
+                accesses: 40_000,
+                noise_threads: 5,
+                noise_read_frac: 0.7,
+                ..MioConfig::default()
+            },
+        );
+        assert!(
+            noisy.tail_gap_ns > quiet.tail_gap_ns,
+            "R/W noise should widen CXL-A tails: {} vs {}",
+            noisy.tail_gap_ns,
+            quiet.tail_gap_ns
+        );
+        assert!(noisy.bandwidth_gbps > quiet.bandwidth_gbps);
+    }
+
+    #[test]
+    fn local_stays_stable_under_noise() {
+        let noisy = run(
+            &presets::local_emr(),
+            &MioConfig {
+                accesses: 40_000,
+                noise_threads: 7,
+                noise_read_frac: 0.7,
+                ..MioConfig::default()
+            },
+        );
+        assert!(
+            noisy.tail_gap_ns < 150,
+            "local DRAM should stay stable under noise: {}",
+            noisy.tail_gap_ns
+        );
+    }
+
+    #[test]
+    fn thread_sweep_returns_all_points() {
+        let pts = thread_sweep(&presets::cxl_d(), &[1, 2, 4], 6_000);
+        assert_eq!(pts.len(), 3);
+        for (n, r) in &pts {
+            assert!(*n >= 1);
+            assert!(r.latency.count() > 0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_sweep_monotone_pressure() {
+        let pts = bandwidth_pressure_sweep(&presets::cxl_a(), &[0, 2, 6], 15_000);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[2].0 > pts[0].0, "more noise threads = more bandwidth");
+    }
+}

@@ -1,0 +1,247 @@
+//! Delay/latency distributions for stochastic model elements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimRng;
+
+/// A non-negative delay distribution (values in picoseconds by convention,
+/// but unit-agnostic).
+///
+/// CXL device models compose these for link jitter, scheduler variability,
+/// retry penalties and throttle windows. The [`Dist::BoundedPareto`]
+/// variant is what gives the poorly behaved devices (CXL-B/CXL-C in the
+/// paper) their µs-scale tails without unbounded outliers.
+///
+/// # Example
+///
+/// ```
+/// use melody_sim::{Dist, SimRng};
+/// let mut rng = SimRng::seed_from(1);
+/// let d = Dist::Uniform { lo: 10.0, hi: 20.0 };
+/// let x = d.sample(&mut rng);
+/// assert!((10.0..20.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always `value`.
+    Constant(f64),
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exp {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Pareto with minimum `scale`, tail index `shape`, truncated at `cap`.
+    ///
+    /// Smaller `shape` = heavier tail. `cap` bounds worst-case samples so a
+    /// single draw cannot dominate a simulation.
+    BoundedPareto {
+        /// Minimum value (the distribution's scale parameter).
+        scale: f64,
+        /// Tail index alpha (> 0); smaller is heavier.
+        shape: f64,
+        /// Upper truncation bound.
+        cap: f64,
+    },
+    /// Weighted mixture of component distributions.
+    ///
+    /// Weights need not sum to one; they are normalised at sampling time.
+    Mixture(Vec<(f64, Dist)>),
+}
+
+impl Dist {
+    /// A distribution that is always zero.
+    pub const fn zero() -> Self {
+        Dist::Constant(0.0)
+    }
+
+    /// Draws one sample. Samples are clamped to be non-negative.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let v = match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => rng.range_f64(*lo, *hi),
+            Dist::Exp { mean } => {
+                if *mean <= 0.0 {
+                    0.0
+                } else {
+                    // Inverse CDF; 1-u avoids ln(0).
+                    -mean * (1.0 - rng.unit()).ln()
+                }
+            }
+            Dist::BoundedPareto { scale, shape, cap } => {
+                if *scale <= 0.0 || *shape <= 0.0 {
+                    0.0
+                } else {
+                    let u = 1.0 - rng.unit(); // (0, 1]
+                    (scale / u.powf(1.0 / shape)).min(*cap)
+                }
+            }
+            Dist::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| w.max(0.0)).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                let mut pick = rng.unit() * total;
+                for (w, d) in parts {
+                    let w = w.max(0.0);
+                    if pick < w {
+                        return d.sample(rng).max(0.0);
+                    }
+                    pick -= w;
+                }
+                parts.last().map(|(_, d)| d.sample(rng)).unwrap_or(0.0)
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// Analytic mean of the distribution (mixture means are weighted; the
+    /// bounded Pareto mean ignores truncation and is therefore an upper
+    /// bound when `cap` is finite and binding).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => v.max(0.0),
+            Dist::Uniform { lo, hi } => ((lo + hi) / 2.0).max(0.0),
+            Dist::Exp { mean } => mean.max(0.0),
+            Dist::BoundedPareto { scale, shape, .. } => {
+                if *shape > 1.0 {
+                    shape * scale / (shape - 1.0)
+                } else {
+                    // Heavy tail with undefined mean; report the scale as a
+                    // floor rather than infinity.
+                    *scale
+                }
+            }
+            Dist::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| w.max(0.0)).sum();
+                if total <= 0.0 {
+                    0.0
+                } else {
+                    parts
+                        .iter()
+                        .map(|(w, d)| w.max(0.0) * d.mean())
+                        .sum::<f64>()
+                        / total
+                }
+            }
+        }
+    }
+}
+
+impl Default for Dist {
+    fn default() -> Self {
+        Dist::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(12345)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        let d = Dist::Constant(5.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 5.0);
+        }
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut r = rng();
+        let d = Dist::Exp { mean: 100.0 };
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let mut r = rng();
+        let d = Dist::BoundedPareto {
+            scale: 50.0,
+            shape: 1.2,
+            cap: 10_000.0,
+        };
+        let mut saw_tail = false;
+        for _ in 0..20_000 {
+            let v = d.sample(&mut r);
+            assert!((50.0..=10_000.0).contains(&v));
+            if v > 1_000.0 {
+                saw_tail = true;
+            }
+        }
+        assert!(saw_tail, "bounded Pareto should produce tail events");
+    }
+
+    #[test]
+    fn mixture_draws_from_both() {
+        let mut r = rng();
+        let d = Dist::Mixture(vec![
+            (0.9, Dist::Constant(1.0)),
+            (0.1, Dist::Constant(100.0)),
+        ]);
+        let n = 10_000;
+        let hits = (0..n).filter(|_| d.sample(&mut r) > 50.0).count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.07..0.13).contains(&frac), "mixture weight off: {frac}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        let mut r = rng();
+        assert_eq!(Dist::Exp { mean: -1.0 }.sample(&mut r), 0.0);
+        assert_eq!(Dist::Mixture(vec![]).sample(&mut r), 0.0);
+        assert_eq!(
+            Dist::BoundedPareto {
+                scale: 0.0,
+                shape: 1.0,
+                cap: 1.0
+            }
+            .sample(&mut r),
+            0.0
+        );
+        assert_eq!(Dist::zero().sample(&mut r), 0.0);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(Dist::Constant(3.0).mean(), 3.0);
+        assert_eq!(Dist::Uniform { lo: 2.0, hi: 4.0 }.mean(), 3.0);
+        assert_eq!(Dist::Exp { mean: 7.0 }.mean(), 7.0);
+        let m = Dist::Mixture(vec![(1.0, Dist::Constant(2.0)), (1.0, Dist::Constant(4.0))]);
+        assert_eq!(m.mean(), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_non_negative(seed in 0u64..1000, mean in -10.0f64..1000.0) {
+            let mut r = SimRng::seed_from(seed);
+            for d in [Dist::Constant(mean), Dist::Exp { mean },
+                      Dist::Uniform { lo: mean - 5.0, hi: mean + 5.0 }] {
+                prop_assert!(d.sample(&mut r) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn uniform_in_bounds(seed in 0u64..1000, lo in 0.0f64..100.0, width in 0.1f64..100.0) {
+            let mut r = SimRng::seed_from(seed);
+            let d = Dist::Uniform { lo, hi: lo + width };
+            let v = d.sample(&mut r);
+            prop_assert!(v >= lo && v < lo + width);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete-event simulation engine for Melody.
+//!
+//! Melody reproduces the ASPLOS '25 CXL characterization study on a
+//! simulated testbed; this crate is the shared simulation substrate:
+//!
+//! - [`SimTime`] / time helpers: a picosecond-resolution `u64` clock.
+//!   Picoseconds keep cycle arithmetic exact at GHz clock rates over
+//!   multi-second simulations (no float drift).
+//! - [`EventQueue`]: a binary-heap future-event list with FIFO tie-break.
+//! - [`SimRng`]: a deterministic, seedable random source. Every stochastic
+//!   model element (link jitter, retries, address streams) draws from one
+//!   of these, so each `(experiment, seed)` pair is bit-reproducible.
+//! - [`Dist`]: latency/delay distributions (constant, uniform, exponential,
+//!   bounded Pareto for heavy tails, mixtures).
+//! - [`ServerPool`]: a k-server queueing primitive used to model bandwidth
+//!   (service slots) in memory controllers and links.
+//!
+//! # Example
+//!
+//! ```
+//! use melody_sim::{EventQueue, ns};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(ns(30), "late");
+//! q.push(ns(10), "early");
+//! assert_eq!(q.pop(), Some((ns(10), "early")));
+//! assert_eq!(q.pop(), Some((ns(30), "late")));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dist;
+mod events;
+mod queueing;
+mod rng;
+mod time;
+
+pub use dist::Dist;
+pub use events::EventQueue;
+pub use queueing::ServerPool;
+pub use rng::SimRng;
+pub use time::{
+    cycles_to_ps, ns, ps_to_cycles, ps_to_ns, ps_to_ns_f64, us, SimTime, PS_PER_NS, PS_PER_US,
+};

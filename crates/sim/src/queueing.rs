@@ -1,0 +1,177 @@
+//! k-server queueing primitive.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A pool of `k` identical servers with per-request service times.
+///
+/// This is the workhorse for bandwidth modelling: a memory channel, a CXL
+/// link direction, or an MC scheduler slot is a server; the service time of
+/// one 64 B transfer is `64 / bandwidth`. Requests are started on the
+/// earliest-free server at `max(arrival, server_free)`, so queueing delay
+/// emerges naturally as load approaches capacity — which is exactly the
+/// "vertical part at the right end of each line" in the paper's Figure 3a.
+///
+/// # Example
+///
+/// ```
+/// use melody_sim::ServerPool;
+/// let mut p = ServerPool::new(1);
+/// // Two back-to-back requests on one server: second waits for the first.
+/// assert_eq!(p.submit(0, 10), (0, 10));
+/// assert_eq!(p.submit(0, 10), (10, 20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    servers: usize,
+    busy_accum: u128,
+    last_observed: SimTime,
+}
+
+impl ServerPool {
+    /// Creates a pool with `servers` servers, all free at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a server pool needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(0));
+        }
+        Self {
+            free_at,
+            servers,
+            busy_accum: 0,
+            last_observed: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Submits a request arriving at `arrival` needing `service` time.
+    /// Returns `(start, completion)`.
+    pub fn submit(&mut self, arrival: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        let Reverse(free) = self.free_at.pop().expect("pool always has servers");
+        let start = free.max(arrival);
+        let done = start + service;
+        self.free_at.push(Reverse(done));
+        self.busy_accum += service as u128;
+        self.last_observed = self.last_observed.max(done);
+        (start, done)
+    }
+
+    /// Earliest time any server is free.
+    pub fn next_free(&self) -> SimTime {
+        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(0)
+    }
+
+    /// Time when all current work drains.
+    pub fn drained_at(&self) -> SimTime {
+        self.free_at.iter().map(|Reverse(t)| *t).max().unwrap_or(0)
+    }
+
+    /// Queueing delay a request arriving at `arrival` would experience
+    /// before starting service (0 if a server is free).
+    pub fn wait_for(&self, arrival: SimTime) -> SimTime {
+        self.next_free().saturating_sub(arrival)
+    }
+
+    /// Mean utilization over `[0, horizon]`: total busy time across servers
+    /// divided by `servers * horizon`. Values can exceed 1.0 if work has
+    /// been scheduled past the horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.busy_accum as f64 / (self.servers as f64 * horizon as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parallel_servers_overlap() {
+        let mut p = ServerPool::new(2);
+        assert_eq!(p.submit(0, 10), (0, 10));
+        assert_eq!(p.submit(0, 10), (0, 10));
+        // Third request queues behind the earliest finisher.
+        assert_eq!(p.submit(0, 10), (10, 20));
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut p = ServerPool::new(1);
+        p.submit(0, 10);
+        // Arrives long after the first finished: no wait.
+        assert_eq!(p.submit(100, 5), (100, 105));
+    }
+
+    #[test]
+    fn wait_for_reports_backlog() {
+        let mut p = ServerPool::new(1);
+        p.submit(0, 50);
+        assert_eq!(p.wait_for(10), 40);
+        assert_eq!(p.wait_for(60), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = ServerPool::new(0);
+    }
+
+    #[test]
+    fn utilization_accumulates() {
+        let mut p = ServerPool::new(2);
+        p.submit(0, 10);
+        p.submit(0, 10);
+        assert!((p.utilization(10) - 1.0).abs() < 1e-12);
+        assert!((p.utilization(20) - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn completions_after_arrivals(
+            reqs in proptest::collection::vec((0u64..1000, 1u64..50), 1..100),
+            servers in 1usize..8,
+        ) {
+            let mut p = ServerPool::new(servers);
+            let mut reqs = reqs;
+            reqs.sort_by_key(|r| r.0);
+            for &(arrival, service) in &reqs {
+                let (start, done) = p.submit(arrival, service);
+                prop_assert!(start >= arrival);
+                prop_assert_eq!(done, start + service);
+            }
+        }
+
+        #[test]
+        fn single_server_serializes(
+            reqs in proptest::collection::vec((0u64..1000, 1u64..50), 1..100),
+        ) {
+            let mut p = ServerPool::new(1);
+            let mut reqs = reqs;
+            reqs.sort_by_key(|r| r.0);
+            let mut last_done = 0;
+            for &(arrival, service) in &reqs {
+                let (start, done) = p.submit(arrival, service);
+                prop_assert!(start >= last_done, "server double-booked");
+                last_done = done;
+            }
+            // Total busy time equals sum of service times.
+            let total: u64 = reqs.iter().map(|r| r.1).sum();
+            prop_assert!(p.utilization(total) >= 1.0 - 1e-9);
+        }
+    }
+}

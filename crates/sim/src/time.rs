@@ -1,0 +1,94 @@
+//! Picosecond-resolution simulation time.
+
+/// Simulation timestamp in picoseconds.
+///
+/// A plain `u64` alias rather than a newtype: time values flow through hot
+/// per-request paths in the device and CPU models, and the arithmetic mix
+/// (durations, timestamps, rates) makes a strict newtype more ceremony than
+/// protection here. Helper constructors ([`ns`], [`us`], [`cycles_to_ps`])
+/// keep call sites unit-explicit.
+pub type SimTime = u64;
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+
+/// Converts nanoseconds to picoseconds.
+///
+/// ```
+/// assert_eq!(melody_sim::ns(250), 250_000);
+/// ```
+#[inline]
+pub const fn ns(n: u64) -> SimTime {
+    n * PS_PER_NS
+}
+
+/// Converts microseconds to picoseconds.
+#[inline]
+pub const fn us(n: u64) -> SimTime {
+    n * PS_PER_US
+}
+
+/// Converts picoseconds to whole nanoseconds (truncating).
+#[inline]
+pub const fn ps_to_ns(t: SimTime) -> u64 {
+    t / PS_PER_NS
+}
+
+/// Converts picoseconds to fractional nanoseconds.
+#[inline]
+pub fn ps_to_ns_f64(t: SimTime) -> f64 {
+    t as f64 / PS_PER_NS as f64
+}
+
+/// Duration in picoseconds of `cycles` CPU cycles at `ghz` clock rate.
+///
+/// ```
+/// // 21 cycles at 2.1 GHz = 10 ns.
+/// assert_eq!(melody_sim::cycles_to_ps(21, 2.1), 10_000);
+/// ```
+#[inline]
+pub fn cycles_to_ps(cycles: u64, ghz: f64) -> SimTime {
+    (cycles as f64 * 1_000.0 / ghz).round() as SimTime
+}
+
+/// Number of whole CPU cycles at `ghz` that fit in `t` picoseconds.
+#[inline]
+pub fn ps_to_cycles(t: SimTime, ghz: f64) -> u64 {
+    (t as f64 * ghz / 1_000.0).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(ns(1), 1_000);
+        assert_eq!(us(1), 1_000_000);
+        assert_eq!(ps_to_ns(ns(123)), 123);
+        assert_eq!(ps_to_ns_f64(1_500), 1.5);
+    }
+
+    #[test]
+    fn cycle_conversions_roundtrip() {
+        for ghz in [2.1, 2.2, 2.3, 2.5, 3.0] {
+            for cycles in [0u64, 1, 7, 100, 12345] {
+                let ps = cycles_to_ps(cycles, ghz);
+                let back = ps_to_cycles(ps, ghz);
+                assert!(
+                    back == cycles || back + 1 == cycles || back == cycles + 1,
+                    "roundtrip {cycles} cycles @ {ghz} GHz -> {ps} ps -> {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_overflow_at_hours_of_sim_time() {
+        // 1 hour in ps fits comfortably in u64.
+        let hour_ps = us(3_600_000_000);
+        assert!(hour_ps < u64::MAX / 4);
+    }
+}

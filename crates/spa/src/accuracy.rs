@@ -1,0 +1,116 @@
+//! Population-level accuracy evaluation of the Spa estimators
+//! (Figure 11).
+
+use melody_cpu::CounterSet;
+use melody_stats::Cdf;
+use serde::{Deserialize, Serialize};
+
+use crate::estimate::estimates;
+
+/// Accuracy of the three estimators over a workload population: CDFs of
+/// the absolute difference (percentage points) between each estimate and
+/// the measured slowdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// |Δs/c − S| per workload (Figure 11a).
+    pub delta_s: Cdf,
+    /// |Δs_Backend/c − S| per workload (Figure 11b).
+    pub backend: Cdf,
+    /// |Δs_Memory/c − S| per workload (Figure 11c).
+    pub memory: Cdf,
+}
+
+impl AccuracyReport {
+    /// Fraction of workloads whose estimator error is within `pp`
+    /// percentage points, per estimator.
+    pub fn within_pp(&self, pp: f64) -> (f64, f64, f64) {
+        (
+            self.delta_s.fraction_at_or_below(pp),
+            self.backend.fraction_at_or_below(pp),
+            self.memory.fraction_at_or_below(pp),
+        )
+    }
+}
+
+/// Evaluates estimator accuracy over `(local, cxl)` counter pairs.
+///
+/// # Panics
+///
+/// Panics on an empty input (a CDF needs at least one sample).
+pub fn accuracy<'a, I>(pairs: I) -> AccuracyReport
+where
+    I: IntoIterator<Item = (&'a CounterSet, &'a CounterSet)>,
+{
+    let mut d = Vec::new();
+    let mut b = Vec::new();
+    let mut m = Vec::new();
+    for (local, cxl) in pairs {
+        let e = estimates(local, cxl);
+        let (ed, eb, em) = e.abs_errors_pp();
+        d.push(ed);
+        b.push(eb);
+        m.push(em);
+    }
+    assert!(!d.is_empty(), "accuracy() needs at least one pair");
+    AccuracyReport {
+        delta_s: Cdf::from_samples(d),
+        backend: Cdf::from_samples(b),
+        memory: Cdf::from_samples(m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(slow_frac: f64, stall_capture: f64) -> (CounterSet, CounterSet) {
+        let local = CounterSet {
+            cycles: 10_000,
+            retired_stalls: 3_000,
+            bound_on_loads: 2_500,
+            stalls_l1d_miss: 2_000,
+            stalls_l2_miss: 1_800,
+            stalls_l3_miss: 1_500,
+            ..Default::default()
+        };
+        let extra = (10_000.0 * slow_frac) as u64;
+        let captured = (extra as f64 * stall_capture) as u64;
+        let cxl = CounterSet {
+            cycles: 10_000 + extra,
+            retired_stalls: 3_000 + captured,
+            bound_on_loads: 2_500 + captured,
+            stalls_l1d_miss: 2_000 + captured,
+            stalls_l2_miss: 1_800 + captured,
+            stalls_l3_miss: 1_500 + captured,
+            ..Default::default()
+        };
+        (local, cxl)
+    }
+
+    #[test]
+    fn perfect_capture_is_zero_error() {
+        let pairs: Vec<_> = (1..=10).map(|i| pair(i as f64 * 0.1, 1.0)).collect();
+        let refs: Vec<_> = pairs.iter().map(|(l, c)| (l, c)).collect();
+        let report = accuracy(refs);
+        let (d, b, m) = report.within_pp(0.01);
+        assert_eq!(d, 1.0);
+        assert_eq!(b, 1.0);
+        assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn imperfect_capture_shows_error() {
+        let p = pair(0.5, 0.9); // 10% of the slowdown not in stalls
+        let report = accuracy([(&p.0, &p.1)]);
+        let (d, _, _) = report.within_pp(2.0);
+        assert_eq!(d, 0.0, "5pp error must not pass a 2pp threshold");
+        let (d5, _, _) = report.within_pp(5.0);
+        assert_eq!(d5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pair")]
+    fn empty_population_panics() {
+        let _ = accuracy(Vec::<(&CounterSet, &CounterSet)>::new());
+    }
+}

@@ -1,0 +1,237 @@
+//! Slowdown estimation (Eq. 5) and component breakdown (Eqs. 6–8).
+
+use melody_cpu::CounterSet;
+use serde::{Deserialize, Serialize};
+
+/// The three Spa slowdown estimators of Eq. 5, as fractions (0.3 = 30%).
+///
+/// All are computed from the counter *difference* between a CXL run and a
+/// local-DRAM run of the same instruction stream, normalised by the local
+/// run's cycle count — the paper's key insight that differential stalls,
+/// not absolute stalls, track slowdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowdownEstimates {
+    /// Ground truth: `Δcycles / cycles`.
+    pub actual: f64,
+    /// `Δs / c` — total retired-stall difference (Figure 11a).
+    pub delta_s: f64,
+    /// `Δs_Backend / c` = `(Δs_Core + Δs_Memory) / c` (Figure 11b).
+    pub backend: f64,
+    /// `Δs_Memory / c` = `(ΔP1 + ΔP2) / c` (Figure 11c).
+    pub memory: f64,
+}
+
+impl SlowdownEstimates {
+    /// Absolute error of each estimator vs the measured slowdown, in
+    /// percentage points: `(delta_s, backend, memory)`.
+    pub fn abs_errors_pp(&self) -> (f64, f64, f64) {
+        (
+            (self.delta_s - self.actual).abs() * 100.0,
+            (self.backend - self.actual).abs() * 100.0,
+            (self.memory - self.actual).abs() * 100.0,
+        )
+    }
+}
+
+/// Computes the Eq. 5 estimators from a (local, CXL) counter pair.
+///
+/// Returns zeros if the local run has no cycles.
+pub fn estimates(local: &CounterSet, cxl: &CounterSet) -> SlowdownEstimates {
+    let c = local.cycles as f64;
+    if c == 0.0 {
+        return SlowdownEstimates {
+            actual: 0.0,
+            delta_s: 0.0,
+            backend: 0.0,
+            memory: 0.0,
+        };
+    }
+    let d = cxl.delta(local);
+    SlowdownEstimates {
+        actual: (cxl.cycles as f64 - local.cycles as f64) / c,
+        delta_s: d.retired_stalls as f64 / c,
+        backend: (d.s_core() + d.s_memory()) as f64 / c,
+        memory: d.s_memory() as f64 / c,
+    }
+}
+
+/// Spa's component-wise slowdown breakdown (Eq. 8), each term a fraction
+/// of the local run's cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// `ΔsStore / c`: store-buffer-full stalls (RFO pressure).
+    pub store: f64,
+    /// `ΔsL1 / c`: direct or delayed L1 hits.
+    pub l1: f64,
+    /// `ΔsL2 / c`.
+    pub l2: f64,
+    /// `ΔsL3 / c`.
+    pub l3: f64,
+    /// `ΔsDRAM / c`: demand reads reaching DRAM/CXL.
+    pub dram: f64,
+    /// `ΔsCore / c` (Eq. 3; small under CXL).
+    pub core: f64,
+    /// Measured slowdown not captured by the above (the "Other" bars of
+    /// Figure 14).
+    pub other: f64,
+    /// Measured total slowdown `Δc / c`.
+    pub total: f64,
+}
+
+impl Breakdown {
+    /// Sum of the cache-level components (`S_L1 + S_L2 + S_L3`) — the
+    /// prefetcher-inefficiency signature of Finding #4.
+    pub fn cache(&self) -> f64 {
+        self.l1 + self.l2 + self.l3
+    }
+
+    /// Sum of all attributed components (everything except `other`).
+    pub fn attributed(&self) -> f64 {
+        self.store + self.l1 + self.l2 + self.l3 + self.dram + self.core
+    }
+
+    /// The component labels, in the paper's Figure 14 order.
+    pub fn labels() -> [&'static str; 7] {
+        ["DRAM", "L3", "L2", "L1", "Store", "Core", "Other"]
+    }
+
+    /// Component values in the order of [`Breakdown::labels`].
+    pub fn values(&self) -> [f64; 7] {
+        [
+            self.dram, self.l3, self.l2, self.l1, self.store, self.core, self.other,
+        ]
+    }
+}
+
+/// Computes the Eq. 8 breakdown from a (local, CXL) counter pair.
+pub fn breakdown(local: &CounterSet, cxl: &CounterSet) -> Breakdown {
+    let c = local.cycles as f64;
+    if c == 0.0 {
+        return Breakdown::default();
+    }
+    let d = cxl.delta(local);
+    let store = d.s_store() as f64 / c;
+    // Exclusive per-level deltas: Δ of the already-exclusive components.
+    // (Deltas of differences need signed handling: compute from the two
+    // runs' exclusive components directly.)
+    let l1 = (cxl.s_l1() as f64 - local.s_l1() as f64) / c;
+    let l2 = (cxl.s_l2() as f64 - local.s_l2() as f64) / c;
+    let l3 = (cxl.s_l3() as f64 - local.s_l3() as f64) / c;
+    let dram = (cxl.s_dram() as f64 - local.s_dram() as f64) / c;
+    let core = (cxl.s_core() as f64 - local.s_core() as f64) / c;
+    let total = (cxl.cycles as f64 - local.cycles as f64) / c;
+    let other = total - (store + l1 + l2 + l3 + dram + core);
+    Breakdown {
+        store,
+        l1,
+        l2,
+        l3,
+        dram,
+        core,
+        other,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(
+        cycles: u64,
+        stalls: u64,
+        p1: u64,
+        p2: u64,
+        p3: u64,
+        p4: u64,
+        p5: u64,
+    ) -> CounterSet {
+        CounterSet {
+            cycles,
+            retired_stalls: stalls,
+            bound_on_loads: p1,
+            bound_on_stores: p2,
+            stalls_l1d_miss: p3,
+            stalls_l2_miss: p4,
+            stalls_l3_miss: p5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn estimators_agree_for_pure_memory_slowdown() {
+        let local = counters(1_000, 400, 380, 20, 350, 330, 300);
+        // +600 cycles, all showing up as memory stalls.
+        let cxl = counters(1_600, 1_000, 960, 40, 930, 910, 880);
+        let e = estimates(&local, &cxl);
+        assert!((e.actual - 0.6).abs() < 1e-9);
+        assert!((e.delta_s - 0.6).abs() < 1e-9);
+        assert!((e.memory - 0.6).abs() < 1e-9);
+        let (a, b, m) = e.abs_errors_pp();
+        assert!(a < 1e-6 && b < 1e-6 && m < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_attributes_dram_delta() {
+        let local = counters(1_000, 300, 250, 0, 200, 180, 150);
+        let cxl = counters(1_500, 800, 750, 0, 700, 680, 650);
+        let b = breakdown(&local, &cxl);
+        // ΔsDRAM = 650-150 = 500 over c=1000.
+        assert!((b.dram - 0.5).abs() < 1e-9);
+        assert!((b.total - 0.5).abs() < 1e-9);
+        assert!(b.other.abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_separates_store_and_cache() {
+        let local = counters(1_000, 300, 200, 50, 150, 150, 150);
+        // CXL: +100 store stalls, +200 L1-exclusive stalls (P1 up, P3 not).
+        let cxl = counters(1_300, 600, 400, 150, 150, 150, 150);
+        let b = breakdown(&local, &cxl);
+        assert!((b.store - 0.1).abs() < 1e-9);
+        assert!((b.l1 - 0.2).abs() < 1e-9);
+        assert!((b.dram - 0.0).abs() < 1e-9);
+        assert!((b.total - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn other_captures_unattributed_slowdown() {
+        let local = counters(1_000, 300, 250, 0, 200, 180, 150);
+        // Cycles grew by 400 but stalls only explain 200.
+        let cxl = counters(1_400, 500, 450, 0, 400, 380, 350);
+        let b = breakdown(&local, &cxl);
+        assert!((b.total - 0.4).abs() < 1e-9);
+        assert!((b.attributed() - 0.2).abs() < 1e-9);
+        assert!((b.other - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let z = CounterSet::default();
+        let e = estimates(&z, &z);
+        assert_eq!(e.actual, 0.0);
+        let b = breakdown(&z, &z);
+        assert_eq!(b.total, 0.0);
+    }
+
+    #[test]
+    fn labels_and_values_align() {
+        let b = Breakdown {
+            dram: 1.0,
+            l3: 2.0,
+            l2: 3.0,
+            l1: 4.0,
+            store: 5.0,
+            core: 6.0,
+            other: 7.0,
+            total: 28.0,
+        };
+        let labels = Breakdown::labels();
+        let values = b.values();
+        assert_eq!(labels[0], "DRAM");
+        assert_eq!(values[0], 1.0);
+        assert_eq!(labels[6], "Other");
+        assert_eq!(values[6], 7.0);
+        assert_eq!(b.cache(), 9.0);
+    }
+}

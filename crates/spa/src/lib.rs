@@ -1,0 +1,47 @@
+//! Spa: stall-based CXL performance root-cause analysis.
+//!
+//! Spa (§5 of the paper) estimates and *dissects* CXL-induced workload
+//! slowdowns from just nine CPU counters by differencing stall cycles
+//! between a local-DRAM run and a CXL run of the same program:
+//!
+//! - Slowdown estimation (Eq. 5): `S ≈ Δs/c ≈ Δs_Backend/c ≈ Δs_Memory/c`
+//!   — see [`estimates`].
+//! - Component breakdown (Eqs. 6–8): `S ≈ S_store + S_L1 + S_L2 + S_L3 +
+//!   S_DRAM` with exclusive per-level stall attribution — see
+//!   [`breakdown`].
+//! - Accuracy evaluation against measured slowdowns over a workload
+//!   population (Figure 11) — see [`accuracy`].
+//! - Prefetcher-inefficiency analysis (Figure 12): the L2PF→L1PF
+//!   L3-miss shift and L2-prefetch coverage loss — see [`prefetch`].
+//! - Period-based analysis (§5.6, Figure 16): converting 1 ms time
+//!   samples into fixed instruction-count periods with proportional
+//!   boundary splitting — see [`period`].
+//!
+//! # Example
+//!
+//! ```
+//! use melody_cpu::CounterSet;
+//! use melody_spa::breakdown;
+//!
+//! let local = CounterSet { cycles: 1_000, retired_stalls: 300,
+//!     bound_on_loads: 250, stalls_l1d_miss: 200, stalls_l2_miss: 180,
+//!     stalls_l3_miss: 150, ..Default::default() };
+//! let cxl = CounterSet { cycles: 1_500, retired_stalls: 800,
+//!     bound_on_loads: 750, stalls_l1d_miss: 700, stalls_l2_miss: 680,
+//!     stalls_l3_miss: 650, ..Default::default() };
+//! let b = breakdown(&local, &cxl);
+//! // The extra 500 stall cycles are all DRAM-level here.
+//! assert!((b.dram - 0.5).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod accuracy;
+mod estimate;
+pub mod period;
+pub mod predict;
+pub mod prefetch;
+
+pub use accuracy::{accuracy, AccuracyReport};
+pub use predict::{evaluate, predict_slowdown, DeviceProfile, Measurement, PredictionQuality};
+pub use estimate::{breakdown, estimates, Breakdown, SlowdownEstimates};

@@ -1,0 +1,264 @@
+//! Period-based slowdown analysis (§5.6, Figure 16).
+//!
+//! The same instruction stream takes different wall-clock time on local
+//! DRAM and on CXL, so time-based counter samples from the two runs
+//! cannot be compared directly. Spa's solution: re-bin each run's
+//! time-sampled counters onto fixed *instruction-count* periods (the
+//! retired-instruction total is invariant across memory backends),
+//! splitting boundary samples proportionally. Each aligned period then
+//! gets its own differential-stall breakdown.
+
+use melody_cpu::CounterSample;
+use melody_stats::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use crate::estimate::Breakdown;
+
+/// Per-run, per-period counter aggregates (fractional cycles because of
+/// proportional boundary splitting).
+#[derive(Debug, Clone, Default)]
+struct Binned {
+    cycles: Vec<f64>,
+    p1: Vec<f64>,
+    p2: Vec<f64>,
+    p3: Vec<f64>,
+    p4: Vec<f64>,
+    p5: Vec<f64>,
+    core: Vec<f64>,
+}
+
+fn deltas(samples: &[CounterSample], f: impl Fn(&CounterSample) -> u64) -> Vec<f64> {
+    let mut prev = 0u64;
+    samples
+        .iter()
+        .map(|s| {
+            let v = f(s);
+            let d = v.saturating_sub(prev) as f64;
+            prev = v;
+            d
+        })
+        .collect()
+}
+
+fn bin_run(samples: &[CounterSample], period_instructions: u64) -> Binned {
+    let pace = TimeSeries::new(1, deltas(samples, |s| s.counters.instructions));
+    let bin = |f: &dyn Fn(&CounterSample) -> u64| -> Vec<f64> {
+        TimeSeries::new(1, deltas(samples, f))
+            .rebin_by_cumulative(&pace, period_instructions as f64)
+    };
+    Binned {
+        cycles: bin(&|s| s.counters.cycles),
+        p1: bin(&|s| s.counters.bound_on_loads),
+        p2: bin(&|s| s.counters.bound_on_stores),
+        p3: bin(&|s| s.counters.stalls_l1d_miss),
+        p4: bin(&|s| s.counters.stalls_l2_miss),
+        p5: bin(&|s| s.counters.stalls_l3_miss),
+        core: bin(&|s| {
+            s.counters.ports_1_util + s.counters.ports_2_util + s.counters.stalls_scoreboard
+        }),
+    }
+}
+
+/// Result of a period-based analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeriodAnalysis {
+    /// Period length in retired instructions.
+    pub period_instructions: u64,
+    /// One breakdown per aligned instruction period.
+    pub periods: Vec<Breakdown>,
+    /// Baseline (local) cycles per period, for weighting.
+    pub local_cycles: Vec<f64>,
+}
+
+impl PeriodAnalysis {
+    /// Mean slowdown across periods (unweighted): the paper's Figure 16
+    /// per-period view averages this way.
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.periods.is_empty() {
+            return 0.0;
+        }
+        self.periods.iter().map(|b| b.total).sum::<f64>() / self.periods.len() as f64
+    }
+
+    /// Baseline-cycle-weighted mean slowdown; equals the whole-run
+    /// slowdown up to sampling truncation, since
+    /// `sum(Δc_i) / sum(c_i) = weighted mean of (Δc_i / c_i)`.
+    pub fn weighted_mean_slowdown(&self) -> f64 {
+        let total_c: f64 = self.local_cycles.iter().sum();
+        if total_c <= 0.0 {
+            return 0.0;
+        }
+        self.periods
+            .iter()
+            .zip(&self.local_cycles)
+            .map(|(b, c)| b.total * c)
+            .sum::<f64>()
+            / total_c
+    }
+
+    /// Indices of periods whose slowdown exceeds `threshold` — the
+    /// "critical segments" the paper's tuning use-case targets (§5.7).
+    pub fn bursty_periods(&self, threshold: f64) -> Vec<usize> {
+        self.periods
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.total > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Aligns two runs' time samples onto instruction periods and computes a
+/// per-period breakdown.
+///
+/// Both sample sets must come from the *same* instruction stream (the
+/// retired-instruction totals should agree to within a period).
+///
+/// # Panics
+///
+/// Panics if `period_instructions` is zero.
+pub fn analyze(
+    local: &[CounterSample],
+    cxl: &[CounterSample],
+    period_instructions: u64,
+) -> PeriodAnalysis {
+    assert!(period_instructions > 0, "period must be positive");
+    if local.is_empty() || cxl.is_empty() {
+        return PeriodAnalysis {
+            period_instructions,
+            periods: Vec::new(),
+            local_cycles: Vec::new(),
+        };
+    }
+    let l = bin_run(local, period_instructions);
+    let x = bin_run(cxl, period_instructions);
+    let n = l.cycles.len().min(x.cycles.len());
+    let mut periods = Vec::with_capacity(n);
+    let mut local_cycles = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = l.cycles[i];
+        local_cycles.push(c.max(0.0));
+        if c <= 0.0 {
+            periods.push(Breakdown::default());
+            continue;
+        }
+        // Exclusive components per period, from the binned raw counters.
+        let ex = |p_hi: &[f64], p_lo: &[f64]| (p_hi[i] - p_lo[i]).max(0.0);
+        let l_store = l.p2[i];
+        let x_store = x.p2[i];
+        let l_l1 = ex(&l.p1, &l.p3);
+        let x_l1 = ex(&x.p1, &x.p3);
+        let l_l2 = ex(&l.p3, &l.p4);
+        let x_l2 = ex(&x.p3, &x.p4);
+        let l_l3 = ex(&l.p4, &l.p5);
+        let x_l3 = ex(&x.p4, &x.p5);
+        let total = (x.cycles[i] - c) / c;
+        let store = (x_store - l_store) / c;
+        let l1 = (x_l1 - l_l1) / c;
+        let l2 = (x_l2 - l_l2) / c;
+        let l3 = (x_l3 - l_l3) / c;
+        let dram = (x.p5[i] - l.p5[i]) / c;
+        let core = (x.core[i] - l.core[i]) / c;
+        let other = total - (store + l1 + l2 + l3 + dram + core);
+        periods.push(Breakdown {
+            store,
+            l1,
+            l2,
+            l3,
+            dram,
+            core,
+            other,
+            total,
+        });
+    }
+    PeriodAnalysis {
+        period_instructions,
+        periods,
+        local_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melody_cpu::CounterSet;
+
+    /// Builds cumulative samples where each time sample retires
+    /// `instr_per_sample` instructions, with the given per-sample cycle
+    /// and P5 (DRAM stall) deltas.
+    fn samples(instr_per_sample: u64, cycle_deltas: &[u64], p5_frac: f64) -> Vec<CounterSample> {
+        let mut out = Vec::new();
+        let mut acc = CounterSet::default();
+        let mut t = 0;
+        for &dc in cycle_deltas {
+            acc.instructions += instr_per_sample;
+            acc.cycles += dc;
+            let stall = (dc as f64 * p5_frac) as u64;
+            acc.retired_stalls += stall;
+            acc.bound_on_loads += stall;
+            acc.stalls_l1d_miss += stall;
+            acc.stalls_l2_miss += stall;
+            acc.stalls_l3_miss += stall;
+            t += 1_000;
+            out.push(CounterSample {
+                time_ns: t,
+                counters: acc,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn uniform_run_gives_uniform_periods() {
+        let local = samples(100, &[1_000; 10], 0.2);
+        let cxl = samples(100, &[1_500; 10], 0.45);
+        // Period = 200 instructions = 2 samples.
+        let a = analyze(&local, &cxl, 200);
+        assert_eq!(a.periods.len(), 5);
+        for b in &a.periods {
+            assert!((b.total - 0.5).abs() < 1e-9, "total {}", b.total);
+            // ΔP5 per period = 1500*0.45*2 − 1000*0.2*2 = 950 over c=2000.
+            assert!((b.dram - 0.475).abs() < 1e-6, "dram {}", b.dram);
+        }
+        assert!((a.mean_slowdown() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_change_is_localised() {
+        // First half slow on CXL, second half identical.
+        let local = samples(100, &[1_000; 10], 0.2);
+        let mut cxl_deltas = vec![2_000u64; 5];
+        cxl_deltas.extend(vec![1_000u64; 5]);
+        let cxl = samples(100, &cxl_deltas, 0.3);
+        let a = analyze(&local, &cxl, 100);
+        assert_eq!(a.periods.len(), 10);
+        for b in &a.periods[..5] {
+            assert!(b.total > 0.9, "early period {}", b.total);
+        }
+        for b in &a.periods[5..] {
+            assert!(b.total.abs() < 1e-9, "late period {}", b.total);
+        }
+        let bursty = a.bursty_periods(0.5);
+        assert_eq!(bursty, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn misaligned_sampling_rates_still_align_by_instructions() {
+        // Local samples every 100 instr; CXL (slower) every 50 instr.
+        let local = samples(100, &[1_000; 10], 0.2);
+        let cxl = samples(50, &[900; 20], 0.4);
+        let a = analyze(&local, &cxl, 100);
+        assert_eq!(a.periods.len(), 10);
+        for b in &a.periods {
+            // CXL: 1800 cycles per 100 instr vs local 1000.
+            assert!((b.total - 0.8).abs() < 1e-6, "total {}", b.total);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_analysis() {
+        let a = analyze(&[], &[], 100);
+        assert!(a.periods.is_empty());
+        assert_eq!(a.mean_slowdown(), 0.0);
+    }
+}

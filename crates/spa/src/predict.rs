@@ -1,0 +1,185 @@
+//! Spa-based performance prediction (§5.7 "Performance prediction and
+//! metric").
+//!
+//! The paper's companion technical report builds predictive models on
+//! Spa: because differential memory-subsystem stalls (`Δs_Memory`) are
+//! *caused* by the latency and bandwidth gap between two backends, a
+//! workload's slowdown on an **unmeasured** device can be extrapolated
+//! from one measured pair plus the devices' latency/bandwidth specs.
+//! This module implements the interpretable first-order model:
+//!
+//! - the latency-driven share of the slowdown scales with the
+//!   idle-latency delta between target and baseline;
+//! - a bandwidth term engages when the workload's measured demand
+//!   exceeds the target's capacity (runtime inflates by the demand/
+//!   capacity ratio).
+
+use melody_cpu::CounterSet;
+use serde::{Deserialize, Serialize};
+
+use crate::estimate::estimates;
+
+/// Latency/bandwidth specification of a memory backend (Table 1 style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Idle load-to-use latency, ns.
+    pub latency_ns: f64,
+    /// Peak deliverable bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl DeviceProfile {
+    /// Creates a profile.
+    pub fn new(latency_ns: f64, bandwidth_gbps: f64) -> Self {
+        Self {
+            latency_ns,
+            bandwidth_gbps,
+        }
+    }
+}
+
+/// Inputs to a prediction: one measured (local, device) counter pair and
+/// the workload's measured bandwidth demand.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement<'a> {
+    /// Local-DRAM baseline counters.
+    pub local: &'a CounterSet,
+    /// Counters on the measured device.
+    pub on_device: &'a CounterSet,
+    /// Profile of the local baseline.
+    pub local_profile: DeviceProfile,
+    /// Profile of the measured device.
+    pub device_profile: DeviceProfile,
+    /// The workload's bandwidth demand on the *local* run, GB/s (its
+    /// unconstrained appetite).
+    pub demand_gbps: f64,
+}
+
+/// Predicts the workload's slowdown (fraction) on `target`.
+///
+/// The prediction is `S_lat + S_bw`:
+/// `S_lat = (Δs_Memory/c) × (L_target − L_local) / (L_measured − L_local)`
+/// (clamped at zero), and `S_bw = max(0, demand/BW_target − 1) −
+/// max(0, demand/BW_measured − 1)` so bandwidth pressure already present
+/// in the measurement is not double-counted.
+pub fn predict_slowdown(m: &Measurement<'_>, target: DeviceProfile) -> f64 {
+    let e = estimates(m.local, m.on_device);
+    let lat_gap_measured = (m.device_profile.latency_ns - m.local_profile.latency_ns).max(1e-9);
+    let lat_gap_target = (target.latency_ns - m.local_profile.latency_ns).max(0.0);
+
+    // Separate the measured slowdown into a bandwidth-pressure part and a
+    // latency part; only the latency part scales with the latency ratio.
+    let bw_term = |bw: f64| (m.demand_gbps / bw.max(1e-9) - 1.0).max(0.0);
+    let s_bw_measured = bw_term(m.device_profile.bandwidth_gbps);
+    let s_lat_measured = (e.memory - s_bw_measured).max(0.0);
+
+    let s_lat = s_lat_measured * lat_gap_target / lat_gap_measured;
+    let s_bw = bw_term(target.bandwidth_gbps);
+    s_lat + s_bw
+}
+
+/// Prediction quality over a population: mean absolute error
+/// (percentage points) and Pearson correlation with the actual
+/// slowdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionQuality {
+    /// Mean absolute error in percentage points.
+    pub mae_pp: f64,
+    /// Pearson correlation between predicted and actual slowdowns.
+    pub correlation: Option<f64>,
+    /// Population size.
+    pub n: usize,
+}
+
+/// Evaluates predictions against actual slowdowns.
+pub fn evaluate(predicted: &[f64], actual: &[f64]) -> PredictionQuality {
+    assert_eq!(predicted.len(), actual.len(), "paired inputs");
+    let n = predicted.len();
+    let mae_pp = if n == 0 {
+        0.0
+    } else {
+        predicted
+            .iter()
+            .zip(actual)
+            .map(|(p, a)| (p - a).abs() * 100.0)
+            .sum::<f64>()
+            / n as f64
+    };
+    PredictionQuality {
+        mae_pp,
+        correlation: melody_stats::pearson(predicted, actual),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(cycles: u64, mem_stalls: u64) -> CounterSet {
+        CounterSet {
+            cycles,
+            retired_stalls: mem_stalls,
+            bound_on_loads: mem_stalls,
+            stalls_l1d_miss: mem_stalls,
+            stalls_l2_miss: mem_stalls,
+            stalls_l3_miss: mem_stalls,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn latency_scaling_is_linear() {
+        // Measured: +40% slowdown on a 214 ns device vs 111 ns local.
+        let local = counters(1_000, 200);
+        let on_a = counters(1_400, 600);
+        let m = Measurement {
+            local: &local,
+            on_device: &on_a,
+            local_profile: DeviceProfile::new(111.0, 240.0),
+            device_profile: DeviceProfile::new(214.0, 24.0),
+            demand_gbps: 2.0, // far below any capacity
+        };
+        // Target with twice the latency gap should double the prediction.
+        let double_gap = DeviceProfile::new(111.0 + 2.0 * 103.0, 24.0);
+        let p = predict_slowdown(&m, double_gap);
+        assert!((p - 0.8).abs() < 1e-9, "predicted {p}");
+        // Target identical to local: no slowdown.
+        let same = predict_slowdown(&m, DeviceProfile::new(111.0, 240.0));
+        assert!(same.abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_term_engages_on_saturation() {
+        let local = counters(1_000, 100);
+        let on_a = counters(1_100, 200);
+        let m = Measurement {
+            local: &local,
+            on_device: &on_a,
+            local_profile: DeviceProfile::new(111.0, 240.0),
+            device_profile: DeviceProfile::new(214.0, 100.0),
+            demand_gbps: 60.0,
+        };
+        // Target can only deliver 20 GB/s against a 60 GB/s appetite:
+        // the bandwidth term alone contributes 2.0 (3x runtime).
+        let p = predict_slowdown(&m, DeviceProfile::new(214.0, 20.0));
+        assert!(p > 2.0, "predicted {p}");
+        // Same latency, ample bandwidth: only the latency part remains.
+        let q = predict_slowdown(&m, DeviceProfile::new(214.0, 200.0));
+        assert!((q - 0.1).abs() < 1e-6, "predicted {q}");
+    }
+
+    #[test]
+    fn evaluate_reports_mae_and_correlation() {
+        let q = evaluate(&[0.1, 0.5, 1.0], &[0.2, 0.4, 1.1]);
+        assert_eq!(q.n, 3);
+        assert!((q.mae_pp - 10.0).abs() < 1e-9);
+        assert!(q.correlation.expect("correlated") > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn evaluate_rejects_mismatched_lengths() {
+        let _ = evaluate(&[0.1], &[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Prefetcher-inefficiency analysis under CXL (§5.4, Figures 12–13).
+//!
+//! The paper's causal chain (Figure 13): CXL's longer latency → reduced
+//! L2-prefetcher timeliness and coverage → L1 prefetches bypass L2 and
+//! fetch from CXL directly → more delayed L1 hits → cache-level stalls.
+//! Its counter signature (Figure 12a) is a near-exact `y = x` relation
+//! between the per-workload *decrease* in `L2PF-L3-miss` and *increase*
+//! in `L1PF-L3-miss`, and (Figure 12b) a correlation between L2
+//! cache-slowdown and L2-prefetch coverage loss.
+
+use melody_cpu::CounterSet;
+use melody_stats::{linear_fit, pearson, LinearFit};
+use serde::{Deserialize, Serialize};
+
+/// Per-workload prefetch-shift point (Figure 12a axes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShiftPoint {
+    /// Decrease of `L2PF-L3-miss` moving local → CXL.
+    pub l2pf_miss_decrease: f64,
+    /// Increase of `L1PF-L3-miss` moving local → CXL.
+    pub l1pf_miss_increase: f64,
+}
+
+/// Population-level shift analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShiftAnalysis {
+    /// One point per workload.
+    pub points: Vec<ShiftPoint>,
+    /// Least-squares fit of increase vs decrease (the paper reports
+    /// slope ≈ 1, Pearson 0.99).
+    pub fit: Option<LinearFit>,
+    /// Pearson correlation coefficient.
+    pub pearson: Option<f64>,
+}
+
+/// Builds the Figure 12a shift analysis from `(local, cxl)` counter
+/// pairs.
+pub fn shift_analysis<'a, I>(pairs: I) -> ShiftAnalysis
+where
+    I: IntoIterator<Item = (&'a CounterSet, &'a CounterSet)>,
+{
+    let points: Vec<ShiftPoint> = pairs
+        .into_iter()
+        .map(|(local, cxl)| ShiftPoint {
+            l2pf_miss_decrease: local.l2pf_l3_miss as f64 - cxl.l2pf_l3_miss as f64,
+            l1pf_miss_increase: cxl.l1pf_l3_miss as f64 - local.l1pf_l3_miss as f64,
+        })
+        .collect();
+    let xs: Vec<f64> = points.iter().map(|p| p.l2pf_miss_decrease).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.l1pf_miss_increase).collect();
+    ShiftAnalysis {
+        fit: linear_fit(&xs, &ys),
+        pearson: pearson(&xs, &ys),
+        points,
+    }
+}
+
+/// L2-prefetch coverage: fraction of L2-prefetchable traffic actually
+/// prefetched, `issued / (issued + dropped)`.
+pub fn l2_coverage(c: &CounterSet) -> f64 {
+    let total = c.l2pf_issued + c.l2pf_dropped;
+    if total == 0 {
+        return 0.0;
+    }
+    c.l2pf_issued as f64 / total as f64
+}
+
+/// Coverage decrease moving local → CXL, in percentage points (the
+/// Figure 12b x-axis).
+pub fn coverage_decrease_pp(local: &CounterSet, cxl: &CounterSet) -> f64 {
+    (l2_coverage(local) - l2_coverage(cxl)) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_pf(l2miss: u64, l1miss: u64, issued: u64, dropped: u64) -> CounterSet {
+        CounterSet {
+            cycles: 1_000,
+            l2pf_l3_miss: l2miss,
+            l1pf_l3_miss: l1miss,
+            l2pf_issued: issued,
+            l2pf_dropped: dropped,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn perfect_shift_fits_y_equals_x() {
+        // Three workloads where every lost L2 prefetch becomes an L1 miss.
+        let pairs: Vec<(CounterSet, CounterSet)> = [(1_000u64, 100u64), (5_000, 300), (9_000, 40)]
+            .iter()
+            .map(|&(l2, shift)| {
+                (
+                    with_pf(l2, 50, l2, 0),
+                    with_pf(l2 - shift, 50 + shift, l2 - shift, shift),
+                )
+            })
+            .collect();
+        let refs: Vec<_> = pairs.iter().map(|(a, b)| (a, b)).collect();
+        let a = shift_analysis(refs);
+        let fit = a.fit.expect("fit");
+        assert!((fit.slope - 1.0).abs() < 1e-9, "slope {}", fit.slope);
+        assert!(a.pearson.expect("r") > 0.999);
+    }
+
+    #[test]
+    fn coverage_math() {
+        let full = with_pf(0, 0, 100, 0);
+        let half = with_pf(0, 0, 50, 50);
+        assert_eq!(l2_coverage(&full), 1.0);
+        assert_eq!(l2_coverage(&half), 0.5);
+        assert!((coverage_decrease_pp(&full, &half) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_prefetch_traffic_is_safe() {
+        let none = with_pf(0, 0, 0, 0);
+        assert_eq!(l2_coverage(&none), 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Exact empirical CDF over f64 samples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::percentile_sorted;
+
+/// An exact empirical cumulative distribution function over a set of
+/// samples, as used throughout the paper for slowdown CDFs (Figure 8) and
+/// Spa accuracy CDFs (Figure 11).
+///
+/// # Example
+///
+/// ```
+/// use melody_stats::Cdf;
+/// let cdf = Cdf::from_samples([5.0, 1.0, 3.0]);
+/// assert_eq!(cdf.quantile(0.5), 3.0);
+/// assert_eq!(cdf.fraction_at_or_below(3.0), 2.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from any collection of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(
+            sorted.iter().all(|x| !x.is_nan()),
+            "CDF samples must not contain NaN"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("checked non-NaN"));
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Value at quantile `q` (0..=1) with linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Value at percentile `p` (0..=100).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_sorted(&self.sorted, p)
+    }
+
+    /// Fraction of samples `<= x` (the CDF evaluated at `x`).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&s| s <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// `(value, cumulative_fraction)` step points for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Minimum sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("min of empty CDF")
+    }
+
+    /// Maximum sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("max of empty CDF")
+    }
+
+    /// Mean of the samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self::from_samples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_endpoints() {
+        let cdf = Cdf::from_samples([2.0, 8.0, 4.0]);
+        assert_eq!(cdf.quantile(0.0), 2.0);
+        assert_eq!(cdf.quantile(1.0), 8.0);
+        assert_eq!(cdf.min(), 2.0);
+        assert_eq!(cdf.max(), 8.0);
+    }
+
+    #[test]
+    fn fraction_steps() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn points_monotone_and_complete() {
+        let cdf = Cdf::from_samples([3.0, 1.0, 2.0]);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Cdf::from_samples([1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let cdf: Cdf = (1..=5).map(|i| i as f64).collect();
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf.mean(), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_monotone(vs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let cdf = Cdf::from_samples(vs);
+            let mut last = f64::NEG_INFINITY;
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                let v = cdf.quantile(q);
+                prop_assert!(v >= last);
+                last = v;
+            }
+        }
+
+        #[test]
+        fn fraction_inverse_of_quantile(vs in proptest::collection::vec(0.0f64..1e3, 2..100), q in 0.0f64..1.0) {
+            let cdf = Cdf::from_samples(vs);
+            let v = cdf.quantile(q);
+            // At least q of the mass is at or below quantile(q).
+            prop_assert!(cdf.fraction_at_or_below(v) + 1e-9 >= q - 1.0 / cdf.len() as f64);
+        }
+    }
+}

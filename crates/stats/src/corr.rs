@@ -1,0 +1,154 @@
+//! Correlation and least-squares regression.
+//!
+//! Used by the prefetcher analysis (§5.4): the paper reports an almost
+//! exact `y = x` relation (Pearson r = 0.99) between the per-workload
+//! *decrease* in L2-prefetch L3 misses and the *increase* in L1-prefetch L3
+//! misses when moving from local DRAM to CXL (Figure 12a).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple least-squares linear fit `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (r²).
+    pub r_squared: f64,
+}
+
+/// Pearson correlation coefficient between two equal-length sequences.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// points, or either sequence has zero variance.
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [2.0, 4.0, 6.0];
+/// assert!((melody_stats::pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxy += (xi - mx) * (yi - my);
+        sxx += (xi - mx) * (xi - mx);
+        syy += (yi - my) * (yi - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Ordinary least-squares fit of `y = slope * x + intercept`.
+///
+/// Returns `None` under the same conditions as [`pearson`] (degenerate
+/// input), except that zero variance in `y` alone is allowed (flat line).
+///
+/// ```
+/// let x = [0.0, 1.0, 2.0];
+/// let y = [1.0, 3.0, 5.0];
+/// let fit = melody_stats::linear_fit(&x, &y).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxy += (xi - mx) * (yi - my);
+        sxx += (xi - mx) * (xi - mx);
+        syy += (yi - my) * (yi - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0 // perfectly flat data, perfectly fit by the flat line
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn fit_flat_line() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [4.0, 4.0, 4.0];
+        let fit = linear_fit(&x, &y).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 4.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn fit_rejects_vertical() {
+        assert_eq!(linear_fit(&[2.0, 2.0], &[1.0, 5.0]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_bounded(xy in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..50)) {
+            let x: Vec<f64> = xy.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = xy.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn fit_recovers_exact_line(slope in -10.0f64..10.0, intercept in -10.0f64..10.0,
+                                   xs in proptest::collection::vec(-100.0f64..100.0, 3..30)) {
+            // Need at least two distinct x values.
+            let mut xs = xs;
+            xs.push(0.0);
+            xs.push(1.0);
+            let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+            let fit = linear_fit(&xs, &ys).unwrap();
+            prop_assert!((fit.slope - slope).abs() < 1e-6);
+            prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! HDR-style log-bucketed latency histogram.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of sub-buckets per power-of-two bucket. 64 sub-buckets gives a
+/// worst-case relative quantization error of 1/64 ≈ 1.6%, well under the
+/// differences the paper reports (e.g. a 50% p99.9-over-median increase).
+const SUB_BUCKETS: usize = 64;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// A log-bucketed histogram of latency values (nanoseconds by convention).
+///
+/// Values up to `2 * SUB_BUCKETS - 1` are recorded exactly; larger values
+/// are grouped into `SUB_BUCKETS` sub-buckets per power of two, bounding
+/// relative error at ~1.6%. This mirrors what HdrHistogram does and is what
+/// a cacheline-latency sampler such as the paper's MIO tool needs: ns-exact
+/// around the 100–400 ns body, percent-accurate in the multi-µs tail.
+///
+/// # Example
+///
+/// ```
+/// use melody_stats::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// h.record(214);
+/// h.record_n(980, 3);
+/// assert_eq!(h.count(), 4);
+/// assert!(h.max() >= 980);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Vec::new(),
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Maps a value to its bucket index.
+    ///
+    /// Values below `SUB_BUCKETS` are stored exactly at their own index.
+    /// Each power-of-two range `[2^m, 2^(m+1))` with `m >= SUB_BITS` is
+    /// split into `SUB_BUCKETS` sub-buckets of width `2^(m - SUB_BITS)`.
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let m = 63 - value.leading_zeros(); // m >= SUB_BITS
+        let b = (m - SUB_BITS) as usize;
+        let sub = ((value - (1u64 << m)) >> b) as usize;
+        SUB_BUCKETS + b * SUB_BUCKETS + sub
+    }
+
+    /// Returns a representative (midpoint) value for a bucket index.
+    fn value_of(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let b = (index - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+        let width = 1u64 << b;
+        (1u64 << (b as u32 + SUB_BITS)) + sub as u64 * width + width / 2
+    }
+
+    /// Records one occurrence of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::index_of(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        self.count += n;
+        self.total += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Value at percentile `p` (0..=100).
+    ///
+    /// Returns 0 for an empty histogram. For `p = 0` this is the minimum
+    /// recorded value; for `p = 100` the maximum.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        if p == 0.0 {
+            return self.min();
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let target = target.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Clamp the bucket-midpoint estimate to the observed range
+                // so p100 == max and low percentiles never undershoot min.
+                return Self::value_of(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Difference between two percentiles, `hi - lo`, saturating at zero.
+    ///
+    /// The paper's headline tail metric is `p99.9 - p50` (Figure 3c).
+    pub fn percentile_gap(&self, lo: f64, hi: f64) -> u64 {
+        self.percentile(hi).saturating_sub(self.percentile(lo))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.is_empty() {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Extracts `(value, cumulative_fraction)` points suitable for plotting
+    /// a CDF, one point per non-empty bucket.
+    pub fn cdf_points(&self) -> Vec<(u64, f64)> {
+        let mut points = Vec::new();
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            let v = Self::value_of(idx).clamp(self.min, self.max);
+            points.push((v, seen as f64 / self.count as f64));
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..120u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 119);
+        assert_eq!(h.percentile(100.0), 119);
+        // Values < 128 are stored exactly; nearest-rank p50 of 0..=119 is
+        // the 60th value, i.e. 59.
+        assert_eq!(h.percentile(50.0), 59);
+    }
+
+    #[test]
+    fn large_values_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        let p = h.percentile(50.0);
+        let err = (p as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(err < 0.02, "relative error {err} too large (got {p})");
+    }
+
+    #[test]
+    fn percentile_monotone_in_p() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 200, 300, 5000, 90000] {
+            h.record_n(v, 10);
+        }
+        let mut last = 0;
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "percentile not monotone at p={p}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for v in [10u64, 500, 70000] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [20u64, 900, 1_000_000] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        for p in [1.0, 50.0, 99.0] {
+            assert_eq!(a.percentile(p), c.percentile(p));
+        }
+    }
+
+    #[test]
+    fn tail_gap_detects_spikes() {
+        let mut stable = LatencyHistogram::new();
+        let mut spiky = LatencyHistogram::new();
+        for _ in 0..10_000 {
+            stable.record(250);
+            spiky.record(250);
+        }
+        for _ in 0..20 {
+            spiky.record(3_000); // 0.2% of samples at 3 µs
+        }
+        assert!(stable.percentile_gap(50.0, 99.9) < 10);
+        assert!(spiky.percentile_gap(50.0, 99.9) > 2_000);
+    }
+
+    #[test]
+    fn cdf_points_reach_one() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 300, 700, 9000] {
+            h.record(v);
+        }
+        let pts = h.cdf_points();
+        assert!(!pts.is_empty());
+        let last = pts.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-12);
+        // Fractions are nondecreasing.
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn index_roundtrip_relative_error(v in 0u64..10_000_000_000) {
+            let idx = LatencyHistogram::index_of(v);
+            let back = LatencyHistogram::value_of(idx);
+            if v < 128 {
+                prop_assert_eq!(back, v);
+            } else {
+                let err = (back as f64 - v as f64).abs() / v as f64;
+                prop_assert!(err < 0.02, "v={} back={} err={}", v, back, err);
+            }
+        }
+
+        #[test]
+        fn index_monotone(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(LatencyHistogram::index_of(lo) <= LatencyHistogram::index_of(hi));
+        }
+
+        #[test]
+        fn percentile_within_min_max(vs in proptest::collection::vec(1u64..100_000_000, 1..200), p in 0.0f64..100.0) {
+            let mut h = LatencyHistogram::new();
+            for &v in &vs { h.record(v); }
+            let q = h.percentile(p);
+            prop_assert!(q >= h.min() && q <= h.max());
+        }
+
+        #[test]
+        fn count_and_mean_consistent(vs in proptest::collection::vec(1u64..1_000_000, 1..100)) {
+            let mut h = LatencyHistogram::new();
+            for &v in &vs { h.record(v); }
+            prop_assert_eq!(h.count(), vs.len() as u64);
+            let exact_mean = vs.iter().sum::<u64>() as f64 / vs.len() as f64;
+            prop_assert!((h.mean() - exact_mean).abs() < 1e-6);
+        }
+    }
+}

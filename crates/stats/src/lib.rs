@@ -1,0 +1,146 @@
+//! Statistics substrate for the Melody CXL characterization framework.
+//!
+//! The Melody paper ([Liu et al., ASPLOS '25]) is built on distributional
+//! analysis of memory-access latency: tail latencies (p99.9 and beyond),
+//! latency CDFs under load, latency-vs-bandwidth curves, slowdown CDFs over
+//! hundreds of workloads, violin summaries across testbed setups, and
+//! Pearson correlation between prefetcher counters. This crate provides the
+//! numeric building blocks for all of that:
+//!
+//! - [`LatencyHistogram`]: an HDR-style log-bucketed histogram for
+//!   nanosecond-scale latencies with microsecond-scale tails, supporting
+//!   percentile queries and merging.
+//! - [`Cdf`]: an exact empirical CDF over collected samples.
+//! - [`Summary`]: streaming mean/variance/min/max (Welford).
+//! - [`pearson`] / [`linear_fit`]: correlation and least-squares regression
+//!   (used for the Figure 12a "y = x, r = 0.99" prefetcher-shift analysis).
+//! - [`TimeSeries`]: fixed-interval sample series with resampling and
+//!   proportional re-binning (used by the period-based Spa analysis, §5.6).
+//! - [`ViolinSummary`]: quartiles plus a kernel density estimate on a fixed
+//!   grid (Figure 9a).
+//!
+//! # Example
+//!
+//! ```
+//! use melody_stats::LatencyHistogram;
+//!
+//! let mut h = LatencyHistogram::new();
+//! for ns in [100, 110, 120, 130, 5000] {
+//!     h.record(ns);
+//! }
+//! assert_eq!(h.count(), 5);
+//! assert!(h.percentile(50.0) >= 110 && h.percentile(50.0) <= 130);
+//! assert!(h.percentile(99.9) >= 4000);
+//! ```
+//!
+//! [Liu et al., ASPLOS '25]: https://doi.org/10.1145/3676641.3715987
+
+#![warn(missing_docs)]
+
+mod cdf;
+mod corr;
+mod hist;
+mod series;
+mod summary;
+mod violin;
+
+pub use cdf::Cdf;
+pub use corr::{linear_fit, pearson, LinearFit};
+pub use hist::LatencyHistogram;
+pub use series::{align_series, TimeSeries};
+pub use summary::Summary;
+pub use violin::ViolinSummary;
+
+/// Computes the exact `p`-th percentile (0..=100) of an unsorted slice by
+/// sorting a copy, using linear interpolation between closest ranks.
+///
+/// Returns `None` on an empty slice.
+///
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(melody_stats::percentile(&xs, 50.0), Some(2.5));
+/// assert_eq!(melody_stats::percentile(&xs, 100.0), Some(4.0));
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Computes the `p`-th percentile of an already-sorted slice with linear
+/// interpolation between closest ranks.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fraction (0..=1) of samples that are `<= threshold`.
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(melody_stats::fraction_at_or_below(&xs, 2.0), 0.5);
+/// ```
+pub fn fraction_at_or_below(samples: &[f64], threshold: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let n = samples.iter().filter(|&&x| x <= threshold).count();
+    n as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_single() {
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 100.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0];
+        assert_eq!(percentile(&xs, 50.0), Some(15.0));
+        assert_eq!(percentile(&xs, 25.0), Some(12.5));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -5.0), Some(1.0));
+        assert_eq!(percentile(&xs, 150.0), Some(3.0));
+    }
+
+    #[test]
+    fn fraction_at_or_below_bounds() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(fraction_at_or_below(&xs, 0.0), 0.0);
+        assert_eq!(fraction_at_or_below(&xs, 3.0), 1.0);
+        assert_eq!(fraction_at_or_below(&[], 1.0), 0.0);
+    }
+}

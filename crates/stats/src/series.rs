@@ -1,0 +1,213 @@
+//! Fixed-interval time series with proportional re-binning.
+//!
+//! The period-based Spa analysis (§5.6 of the paper) must convert
+//! *time-based* counter samples (taken every 1 ms of execution) into
+//! *instruction-count-based* periods (e.g. every 1 B instructions), because
+//! the same instruction stream takes different wall-clock time on local
+//! DRAM and on CXL. The conversion assumes counters progress smoothly
+//! within one sampling interval and splits boundary samples
+//! proportionally; [`TimeSeries::rebin_by_cumulative`] implements exactly
+//! that.
+
+use serde::{Deserialize, Serialize};
+
+/// A series of samples taken at a fixed interval.
+///
+/// `interval` is in arbitrary units (the Melody runner uses nanoseconds of
+/// simulated time); `values` holds the per-interval deltas of a counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sampling interval in caller-defined units (Melody uses ns).
+    pub interval: u64,
+    /// Per-interval counter deltas.
+    pub values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from per-interval deltas.
+    pub fn new(interval: u64, values: Vec<f64>) -> Self {
+        Self { interval, values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total (sum of all per-interval deltas).
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Cumulative series: element `i` is the sum of deltas `0..=i`.
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.values
+            .iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+
+    /// Re-bins this series onto periods defined by a *pacing* series.
+    ///
+    /// `pace` gives, for each time sample, the progress of some monotone
+    /// quantity (typically retired instructions) during that interval; it
+    /// must be sample-aligned with `self`. The output has one bin per
+    /// `period` units of cumulative pace (the final, possibly partial, bin
+    /// is included). Each time sample's value is distributed over the pace
+    /// bins it spans, proportionally to the pace covered — the "partial
+    /// time-based sampling results are proportionally adjusted" rule of
+    /// §5.6.
+    ///
+    /// Returns the per-period sums of `self.values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ, `period` is not positive, or any pace
+    /// delta is negative.
+    pub fn rebin_by_cumulative(&self, pace: &TimeSeries, period: f64) -> Vec<f64> {
+        assert_eq!(
+            self.values.len(),
+            pace.values.len(),
+            "value/pace series must be sample-aligned"
+        );
+        assert!(period > 0.0, "period must be positive");
+        let mut bins: Vec<f64> = Vec::new();
+        let mut pace_before = 0.0f64;
+        for (&v, &dp) in self.values.iter().zip(&pace.values) {
+            assert!(dp >= 0.0, "pace must be monotone (non-negative deltas)");
+            if dp == 0.0 {
+                // No pace progress: attribute the whole sample to the bin
+                // containing the current pace position.
+                let bin = (pace_before / period) as usize;
+                grow_to(&mut bins, bin);
+                bins[bin] += v;
+                continue;
+            }
+            let start = pace_before;
+            let end = pace_before + dp;
+            let first_bin = (start / period) as usize;
+            // End is exclusive: pace exactly on a boundary belongs to the
+            // earlier bin.
+            let last_bin = ((end - f64::EPSILON * end.abs()) / period).max(0.0) as usize;
+            grow_to(&mut bins, last_bin.max(first_bin));
+            if first_bin == last_bin {
+                bins[first_bin] += v;
+            } else {
+                for (idx, slot) in bins
+                    .iter_mut()
+                    .enumerate()
+                    .take(last_bin + 1)
+                    .skip(first_bin)
+                {
+                    let lo = (idx as f64 * period).max(start);
+                    let hi = ((idx + 1) as f64 * period).min(end);
+                    let frac = ((hi - lo) / dp).clamp(0.0, 1.0);
+                    *slot += v * frac;
+                }
+            }
+            pace_before = end;
+        }
+        bins
+    }
+}
+
+fn grow_to(bins: &mut Vec<f64>, idx: usize) {
+    if idx >= bins.len() {
+        bins.resize(idx + 1, 0.0);
+    }
+}
+
+/// Truncates two series to their common length so they can be compared
+/// element-wise, returning the aligned pair.
+pub fn align_series(a: &TimeSeries, b: &TimeSeries) -> (TimeSeries, TimeSeries) {
+    let n = a.values.len().min(b.values.len());
+    (
+        TimeSeries::new(a.interval, a.values[..n].to_vec()),
+        TimeSeries::new(b.interval, b.values[..n].to_vec()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cumulative_basic() {
+        let s = TimeSeries::new(1, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.cumulative(), vec![1.0, 3.0, 6.0]);
+        assert_eq!(s.total(), 6.0);
+    }
+
+    #[test]
+    fn rebin_identity_when_period_matches() {
+        // Each sample advances pace by exactly one period: output == input.
+        let v = TimeSeries::new(1, vec![5.0, 7.0, 9.0]);
+        let pace = TimeSeries::new(1, vec![10.0, 10.0, 10.0]);
+        assert_eq!(v.rebin_by_cumulative(&pace, 10.0), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn rebin_merges_samples() {
+        // Two time samples per instruction period.
+        let v = TimeSeries::new(1, vec![1.0, 2.0, 3.0, 4.0]);
+        let pace = TimeSeries::new(1, vec![5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(v.rebin_by_cumulative(&pace, 10.0), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn rebin_splits_boundary_sample_proportionally() {
+        // One sample spans 1.5 periods: 2/3 into bin0, 1/3 into bin1.
+        let v = TimeSeries::new(1, vec![6.0]);
+        let pace = TimeSeries::new(1, vec![15.0]);
+        let bins = v.rebin_by_cumulative(&pace, 10.0);
+        assert_eq!(bins.len(), 2);
+        assert!((bins[0] - 4.0).abs() < 1e-9);
+        assert!((bins[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebin_zero_pace_sample_attributed_to_current_bin() {
+        let v = TimeSeries::new(1, vec![1.0, 5.0, 1.0]);
+        let pace = TimeSeries::new(1, vec![10.0, 0.0, 10.0]);
+        let bins = v.rebin_by_cumulative(&pace, 10.0);
+        // Sample 1 has no pace progress; it lands in bin 1 (pace=10 is the
+        // start of the second period).
+        assert_eq!(bins, vec![1.0, 6.0]);
+    }
+
+    #[test]
+    fn align_truncates_to_common_length() {
+        let a = TimeSeries::new(1, vec![1.0, 2.0, 3.0]);
+        let b = TimeSeries::new(1, vec![4.0, 5.0]);
+        let (a2, b2) = align_series(&a, &b);
+        assert_eq!(a2.len(), 2);
+        assert_eq!(b2.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn rebin_conserves_mass(
+            vals in proptest::collection::vec(0.0f64..100.0, 1..50),
+            paces in proptest::collection::vec(0.0f64..50.0, 1..50),
+            period in 1.0f64..100.0,
+        ) {
+            let n = vals.len().min(paces.len());
+            let v = TimeSeries::new(1, vals[..n].to_vec());
+            let p = TimeSeries::new(1, paces[..n].to_vec());
+            let bins = v.rebin_by_cumulative(&p, period);
+            let sum: f64 = bins.iter().sum();
+            prop_assert!((sum - v.total()).abs() < 1e-6 * (1.0 + v.total().abs()),
+                         "mass not conserved: {} vs {}", sum, v.total());
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Violin-plot summaries (Figure 9a).
+
+use serde::{Deserialize, Serialize};
+
+use crate::percentile_sorted;
+
+/// Summary of a sample distribution suitable for rendering a violin plot:
+/// the five-number summary plus a Gaussian kernel density estimate
+/// evaluated on a fixed grid.
+///
+/// # Example
+///
+/// ```
+/// use melody_stats::ViolinSummary;
+/// let v = ViolinSummary::from_samples(&[1.0, 2.0, 2.0, 3.0, 10.0], 16);
+/// assert_eq!(v.median, 2.0);
+/// assert_eq!(v.density.len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolinSummary {
+    /// Minimum sample.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample count.
+    pub count: usize,
+    /// `(value, density)` pairs on an evenly spaced grid over
+    /// `[min, max]`; densities are normalised to peak at 1.0.
+    pub density: Vec<(f64, f64)>,
+}
+
+impl ViolinSummary {
+    /// Builds a summary with a KDE evaluated at `grid_points` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `grid_points` is zero.
+    pub fn from_samples(samples: &[f64], grid_points: usize) -> Self {
+        assert!(!samples.is_empty(), "violin of empty sample set");
+        assert!(grid_points > 0, "grid_points must be positive");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let min = sorted[0];
+        let max = *sorted.last().expect("non-empty");
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let q1 = percentile_sorted(&sorted, 25.0);
+        let median = percentile_sorted(&sorted, 50.0);
+        let q3 = percentile_sorted(&sorted, 75.0);
+
+        // Silverman's rule-of-thumb bandwidth; fall back to a small
+        // positive width for degenerate (constant) data.
+        let n = sorted.len() as f64;
+        let std = {
+            let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            var.sqrt()
+        };
+        let iqr = q3 - q1;
+        let spread = if iqr > 0.0 { std.min(iqr / 1.34) } else { std };
+        let h = if spread > 0.0 {
+            0.9 * spread * n.powf(-0.2)
+        } else {
+            (max - min).max(1.0) * 0.05
+        };
+
+        let density = (0..grid_points)
+            .map(|i| {
+                let x = if grid_points == 1 {
+                    (min + max) / 2.0
+                } else {
+                    min + (max - min) * i as f64 / (grid_points - 1) as f64
+                };
+                let d: f64 = sorted
+                    .iter()
+                    .map(|&s| {
+                        let z = (x - s) / h;
+                        (-0.5 * z * z).exp()
+                    })
+                    .sum();
+                (x, d)
+            })
+            .collect::<Vec<_>>();
+        let peak = density.iter().map(|p| p.1).fold(0.0f64, f64::max);
+        let density = density
+            .into_iter()
+            .map(|(x, d)| (x, if peak > 0.0 { d / peak } else { 0.0 }))
+            .collect();
+
+        Self {
+            min,
+            q1,
+            median,
+            q3,
+            max,
+            mean,
+            count: samples.len(),
+            density,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quartiles_ordered() {
+        let v = ViolinSummary::from_samples(&[5.0, 1.0, 3.0, 9.0, 7.0], 8);
+        assert!(v.min <= v.q1 && v.q1 <= v.median && v.median <= v.q3 && v.q3 <= v.max);
+    }
+
+    #[test]
+    fn constant_data_does_not_panic() {
+        let v = ViolinSummary::from_samples(&[4.0; 10], 4);
+        assert_eq!(v.min, 4.0);
+        assert_eq!(v.max, 4.0);
+        assert_eq!(v.median, 4.0);
+    }
+
+    #[test]
+    fn density_peak_normalised() {
+        let v = ViolinSummary::from_samples(&[1.0, 2.0, 2.0, 2.0, 3.0], 32);
+        let peak = v.density.iter().map(|p| p.1).fold(0.0f64, f64::max);
+        assert!((peak - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodal_density_has_two_humps() {
+        let mut xs = vec![0.0; 50];
+        xs.extend(vec![100.0; 50]);
+        let v = ViolinSummary::from_samples(&xs, 64);
+        // Density at the modes should far exceed density at the midpoint.
+        let at = |x: f64| {
+            v.density
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).expect("non-NaN")
+                })
+                .expect("non-empty grid")
+                .1
+        };
+        assert!(at(0.0) > 5.0 * at(50.0));
+        assert!(at(100.0) > 5.0 * at(50.0));
+    }
+
+    proptest! {
+        #[test]
+        fn densities_in_unit_range(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let v = ViolinSummary::from_samples(&xs, 16);
+            for (_, d) in &v.density {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(d));
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Workload models for Melody.
+//!
+//! The paper characterizes 265 workloads spanning SPEC CPU 2017, graph
+//! processing (GAPBS, PBBS), PARSEC, cloud services (Redis, VoltDB,
+//! CloudSuite), data analytics (Spark), ML/AI (GPT-2, Llama, MLPerf,
+//! DLRM) and Phoronix. On this simulated testbed each workload is a
+//! *memory-behaviour model*: a set of phases, each parametrised by
+//! arithmetic intensity, load dependence (pointer-chase fraction), working
+//! set, spatial locality, store fraction and hot-set skew. The parameters
+//! were chosen per suite so the population reproduces the paper's
+//! workload-level distributions (Figure 8's slowdown CDFs), and the named
+//! workloads the paper discusses individually (`519.lbm` store-bound,
+//! `603.bwaves` bandwidth-bound, `605.mcf` LLC-bound, `520.omnetpp`
+//! tail-sensitive, ...) are pinned to parameters matching their described
+//! behaviour.
+//!
+//! The crate also provides the MLC-style loaded-latency harness
+//! ([`mlc`]) used for the device-level sweeps of Figures 1, 3a and 5.
+//!
+//! # Example
+//!
+//! ```
+//! use melody_workloads::registry;
+//!
+//! let all = registry::all();
+//! assert_eq!(all.len(), 265);
+//! let mcf = registry::by_name("605.mcf").expect("known workload");
+//! assert!(mcf.phases[0].dependence > 0.4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod mlc;
+pub mod registry;
+mod spec;
+mod stream;
+
+pub use spec::{Pattern, Phase, Suite, WorkloadSpec};
+pub use stream::SlotStream;

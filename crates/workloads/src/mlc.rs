@@ -1,0 +1,278 @@
+//! MLC-style loaded-latency measurement harness.
+//!
+//! Reproduces the methodology of Intel Memory Latency Checker as the
+//! paper uses it (§3.2): one foreground latency thread performs a
+//! dependent pointer chase while N traffic-generator threads inject
+//! configurable delays (0–40 K cycles) between accesses to sweep offered
+//! load, optionally mixing reads and writes (ratios 1:0 … 1:1 of
+//! Figure 5). The output of one run is a latency histogram of the
+//! foreground thread plus the aggregate achieved bandwidth — one point of
+//! a latency–bandwidth curve.
+
+use melody_mem::{DeviceSpec, MemRequest, RequestKind};
+use melody_sim::{EventQueue, SimRng, SimTime};
+use melody_stats::LatencyHistogram;
+
+/// One point of a loaded-latency curve.
+#[derive(Debug, Clone)]
+pub struct LoadedPoint {
+    /// Injected delay between a traffic thread's accesses, cycles.
+    pub delay_cycles: u64,
+    /// Foreground (pointer-chase) latency distribution, ns.
+    pub latency: LatencyHistogram,
+    /// Aggregate achieved bandwidth, GB/s (all threads).
+    pub bandwidth_gbps: f64,
+}
+
+impl LoadedPoint {
+    /// Mean foreground latency in ns.
+    pub fn mean_latency_ns(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+/// Configuration of one loaded-latency measurement.
+#[derive(Debug, Clone)]
+pub struct MlcConfig {
+    /// Number of traffic-generating threads (the paper uses 31).
+    pub traffic_threads: usize,
+    /// Read fraction of traffic accesses (1.0 = read-only; 0.5 = 1:1).
+    pub read_frac: f64,
+    /// Injected delay between one traffic thread's accesses, cycles.
+    pub delay_cycles: u64,
+    /// Core clock for cycle→time conversion, GHz.
+    pub ghz: f64,
+    /// Outstanding requests per traffic thread (MLP of the AVX loops).
+    pub traffic_mlp: usize,
+    /// Total requests to issue before stopping.
+    pub total_requests: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlcConfig {
+    fn default() -> Self {
+        Self {
+            traffic_threads: 31,
+            read_frac: 1.0,
+            delay_cycles: 0,
+            ghz: 2.1,
+            traffic_mlp: 16,
+            total_requests: 60_000,
+            seed: 0x4D4C43,
+        }
+    }
+}
+
+enum Actor {
+    Foreground,
+    Traffic { stream: u64 },
+}
+
+/// Runs one loaded-latency measurement against a fresh instance of
+/// `spec`.
+pub fn loaded_latency(spec: &DeviceSpec, cfg: &MlcConfig) -> LoadedPoint {
+    let mut dev = spec.build(cfg.seed);
+    let mut rng = SimRng::seed_from(cfg.seed ^ 0xD15EA5E);
+    let delay_ps = (cfg.delay_cycles as f64 * 1_000.0 / cfg.ghz) as SimTime;
+
+    let mut q: EventQueue<Actor> = EventQueue::new();
+    q.push(0, Actor::Foreground);
+    for t in 0..cfg.traffic_threads {
+        for m in 0..cfg.traffic_mlp {
+            // Small deterministic stagger so threads do not issue in
+            // lockstep at t=0.
+            q.push(
+                (t * 97 + m * 13) as u64,
+                Actor::Traffic {
+                    stream: (t * cfg.traffic_mlp + m) as u64,
+                },
+            );
+        }
+    }
+
+    let mut hist = LatencyHistogram::new();
+    let mut issued = 0u64;
+    let mut stream_cursor: Vec<u64> = vec![0; cfg.traffic_threads.max(1) * cfg.traffic_mlp];
+    // Give each stream its own 64 MiB region.
+    const REGION_LINES: u64 = 1 << 20;
+
+    while issued < cfg.total_requests {
+        let Some((t, actor)) = q.pop() else { break };
+        match actor {
+            Actor::Foreground => {
+                let addr = rng.below(1 << 26) * 64;
+                let a = dev.access(&MemRequest::new(addr, RequestKind::DemandRead, t));
+                hist.record((a.completion - t) / 1_000);
+                issued += 1;
+                q.push(a.completion, Actor::Foreground);
+            }
+            Actor::Traffic { stream } => {
+                let cur = &mut stream_cursor[stream as usize];
+                let addr = (stream * REGION_LINES + (*cur % REGION_LINES)) * 64;
+                *cur += 1;
+                let kind = if rng.chance(cfg.read_frac) {
+                    RequestKind::DemandRead
+                } else {
+                    RequestKind::WriteBack
+                };
+                let a = dev.access(&MemRequest::new(addr, kind, t));
+                issued += 1;
+                q.push(a.completion + delay_ps, Actor::Traffic { stream });
+            }
+        }
+    }
+
+    let stats = dev.stats();
+    LoadedPoint {
+        delay_cycles: cfg.delay_cycles,
+        latency: hist,
+        bandwidth_gbps: stats.bandwidth_gbps(),
+    }
+}
+
+/// Sweeps injected delays to trace a latency–bandwidth curve
+/// (Figure 3a / Figure 5). Delays are in cycles; the paper sweeps
+/// 0–20 K (Figure 3a) and 0–40 K (Figure 5).
+pub fn latency_bandwidth_curve(
+    spec: &DeviceSpec,
+    delays: &[u64],
+    read_frac: f64,
+    requests_per_point: u64,
+) -> Vec<LoadedPoint> {
+    delays
+        .iter()
+        .map(|&d| {
+            let cfg = MlcConfig {
+                delay_cycles: d,
+                read_frac,
+                total_requests: requests_per_point,
+                ..MlcConfig::default()
+            };
+            loaded_latency(spec, &cfg)
+        })
+        .collect()
+}
+
+/// The standard delay ladder used by the figure harnesses.
+pub fn standard_delays() -> Vec<u64> {
+    vec![
+        0, 50, 100, 150, 200, 300, 400, 500, 700, 1_000, 1_500, 2_500, 4_000, 7_000, 12_000,
+        20_000, 40_000,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melody_mem::presets;
+
+    fn quick(cfg: MlcConfig, spec: &DeviceSpec) -> LoadedPoint {
+        loaded_latency(spec, &cfg)
+    }
+
+    #[test]
+    fn idle_point_matches_device_latency() {
+        let cfg = MlcConfig {
+            traffic_threads: 0,
+            total_requests: 2_000,
+            ..MlcConfig::default()
+        };
+        let p = quick(cfg, &presets::cxl_a());
+        let m = p.mean_latency_ns();
+        assert!((180.0..260.0).contains(&m), "idle loaded point {m} ns");
+    }
+
+    #[test]
+    fn more_load_means_more_latency_and_bandwidth() {
+        let spec = presets::cxl_b();
+        let hot = quick(
+            MlcConfig {
+                delay_cycles: 0,
+                total_requests: 40_000,
+                ..MlcConfig::default()
+            },
+            &spec,
+        );
+        let cold = quick(
+            MlcConfig {
+                delay_cycles: 20_000,
+                total_requests: 20_000,
+                ..MlcConfig::default()
+            },
+            &spec,
+        );
+        assert!(
+            hot.bandwidth_gbps > cold.bandwidth_gbps * 3.0,
+            "bw {} vs {}",
+            hot.bandwidth_gbps,
+            cold.bandwidth_gbps
+        );
+        assert!(
+            hot.mean_latency_ns() > cold.mean_latency_ns(),
+            "lat {} vs {}",
+            hot.mean_latency_ns(),
+            cold.mean_latency_ns()
+        );
+    }
+
+    #[test]
+    fn curve_is_monotone_in_bandwidth() {
+        let pts = latency_bandwidth_curve(
+            &presets::cxl_a(),
+            &[0, 500, 5_000, 40_000],
+            1.0,
+            20_000,
+        );
+        assert_eq!(pts.len(), 4);
+        // Smaller delay = more offered load = more bandwidth.
+        for w in pts.windows(2) {
+            assert!(
+                w[0].bandwidth_gbps >= w[1].bandwidth_gbps * 0.8,
+                "bandwidth should fall with delay: {} then {}",
+                w[0].bandwidth_gbps,
+                w[1].bandwidth_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_bandwidth_respects_device_limits() {
+        let p = quick(
+            MlcConfig {
+                delay_cycles: 0,
+                total_requests: 60_000,
+                ..MlcConfig::default()
+            },
+            &presets::cxl_a(),
+        );
+        assert!(
+            p.bandwidth_gbps < 40.0,
+            "CXL-A cannot exceed ~34 GB/s duplex: {}",
+            p.bandwidth_gbps
+        );
+        assert!(p.bandwidth_gbps > 10.0, "saturation too low: {}", p.bandwidth_gbps);
+    }
+
+    #[test]
+    fn local_sustains_low_latency_under_load_cxl_does_not() {
+        let mk = |spec: &DeviceSpec| {
+            quick(
+                MlcConfig {
+                    delay_cycles: 100,
+                    total_requests: 60_000,
+                    ..MlcConfig::default()
+                },
+                spec,
+            )
+        };
+        let local = mk(&presets::local_emr());
+        let cxl = mk(&presets::cxl_c());
+        let local_blowup = local.mean_latency_ns() / 111.0;
+        let cxl_blowup = cxl.mean_latency_ns() / 394.0;
+        assert!(
+            cxl_blowup > local_blowup,
+            "CXL-C should degrade more under load: {cxl_blowup:.2} vs {local_blowup:.2}"
+        );
+    }
+}

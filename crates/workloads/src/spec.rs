@@ -1,0 +1,200 @@
+//! Workload specification types.
+
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite a workload belongs to (Table: §3.1 "Workloads").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPEC CPU 2017 (int + fp, rate + speed).
+    SpecCpu2017,
+    /// GAP Benchmark Suite (graph kernels × input graphs).
+    Gapbs,
+    /// PARSEC 3.0.
+    Parsec,
+    /// Problem-Based Benchmark Suite.
+    Pbbs,
+    /// CloudSuite service benchmarks.
+    CloudSuite,
+    /// Phoronix Test Suite selections.
+    Phoronix,
+    /// Spark / HiBench data analytics.
+    Spark,
+    /// ML/AI inference (GPT-2, Llama, MLPerf, DLRM).
+    MlAi,
+    /// Redis with YCSB drivers.
+    Redis,
+    /// VoltDB with YCSB drivers.
+    Voltdb,
+}
+
+impl Suite {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Suite::SpecCpu2017 => "CPU 2017",
+            Suite::Gapbs => "GAPBS",
+            Suite::Parsec => "PARSEC",
+            Suite::Pbbs => "PBBS",
+            Suite::CloudSuite => "CloudSuite",
+            Suite::Phoronix => "Phoronix",
+            Suite::Spark => "Spark",
+            Suite::MlAi => "ML/AI",
+            Suite::Redis => "Redis",
+            Suite::Voltdb => "VoltDB",
+        }
+    }
+}
+
+/// Spatial access pattern of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Streaming: consecutive cachelines.
+    Sequential,
+    /// Fixed stride in cachelines.
+    Strided(u32),
+    /// Uniform random over the working set.
+    Random,
+    /// Skewed: `hot_frac` of accesses go to a hot region of `hot_bytes`
+    /// at the base of the working set (cloud key-value behaviour).
+    Skewed {
+        /// Fraction of accesses hitting the hot region (0..=1).
+        hot_frac: f64,
+        /// Hot-region size in bytes.
+        hot_bytes: u64,
+    },
+}
+
+/// One execution phase of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Fraction of the workload's memory references in this phase.
+    pub weight: f64,
+    /// Non-memory µops per memory reference (arithmetic intensity).
+    pub uops_per_mem: f64,
+    /// Fraction of loads whose address depends on the previous load.
+    pub dependence: f64,
+    /// Working-set size in bytes.
+    pub working_set: u64,
+    /// Fraction of accesses that walk sequentially (prefetchable).
+    pub seq_frac: f64,
+    /// Pattern for the non-sequential accesses.
+    pub pattern: Pattern,
+    /// Fraction of memory references that are stores.
+    pub store_frac: f64,
+}
+
+impl Phase {
+    /// A balanced default phase, useful as a template.
+    pub fn balanced() -> Self {
+        Self {
+            weight: 1.0,
+            uops_per_mem: 12.0,
+            dependence: 0.3,
+            working_set: 512 << 20,
+            seq_frac: 0.5,
+            pattern: Pattern::Random,
+            store_frac: 0.2,
+        }
+    }
+}
+
+/// A complete workload model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (e.g. `"605.mcf"`).
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Execution phases (at least one; weights need not sum to 1 — they
+    /// are normalised).
+    pub phases: Vec<Phase>,
+    /// Frontend-bound fraction for the core model.
+    pub frontend_bound: f64,
+    /// Sustained compute ILP (µops/cycle).
+    pub ilp: f64,
+    /// Serializing-operation fraction (scoreboard pressure).
+    pub serialize_frac: f64,
+    /// Thread count. Multi-threaded workloads are approximated by scaling
+    /// the simulated core's MLP resources (LFB, store buffer, prefetch
+    /// slots, issue width) — see `Platform::smp_scaled` — so aggregate
+    /// demand can exceed a single CXL device's bandwidth the way the
+    /// paper's parallel workloads (GAPBS, `603.bwaves`, ...) do.
+    pub threads: u32,
+}
+
+impl WorkloadSpec {
+    /// Creates a single-phase workload.
+    pub fn single(name: impl Into<String>, suite: Suite, phase: Phase) -> Self {
+        Self {
+            name: name.into(),
+            suite,
+            phases: vec![phase],
+            frontend_bound: 0.05,
+            ilp: 2.0,
+            serialize_frac: 0.01,
+            threads: 1,
+        }
+    }
+
+    /// Total normalised phase weights (for sanity checks).
+    pub fn total_weight(&self) -> f64 {
+        self.phases.iter().map(|p| p.weight).sum()
+    }
+
+    /// Rough memory intensity score: memory references per µop, weighted
+    /// over phases. Used for workload classification in reports.
+    pub fn memory_intensity(&self) -> f64 {
+        let tw = self.total_weight();
+        if tw == 0.0 {
+            return 0.0;
+        }
+        self.phases
+            .iter()
+            .map(|p| p.weight / (1.0 + p.uops_per_mem))
+            .sum::<f64>()
+            / tw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_phase_sane() {
+        let p = Phase::balanced();
+        assert!(p.weight > 0.0);
+        assert!(p.dependence >= 0.0 && p.dependence <= 1.0);
+    }
+
+    #[test]
+    fn memory_intensity_orders_workloads() {
+        let mut hot = Phase::balanced();
+        hot.uops_per_mem = 2.0;
+        let mut cold = Phase::balanced();
+        cold.uops_per_mem = 200.0;
+        let w_hot = WorkloadSpec::single("hot", Suite::Gapbs, hot);
+        let w_cold = WorkloadSpec::single("cold", Suite::SpecCpu2017, cold);
+        assert!(w_hot.memory_intensity() > w_cold.memory_intensity());
+    }
+
+    #[test]
+    fn suite_labels_unique() {
+        let suites = [
+            Suite::SpecCpu2017,
+            Suite::Gapbs,
+            Suite::Parsec,
+            Suite::Pbbs,
+            Suite::CloudSuite,
+            Suite::Phoronix,
+            Suite::Spark,
+            Suite::MlAi,
+            Suite::Redis,
+            Suite::Voltdb,
+        ];
+        let mut labels: Vec<_> = suites.iter().map(|s| s.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), suites.len());
+    }
+}

@@ -1,0 +1,289 @@
+//! Slot-stream generation from a workload spec.
+
+use melody_cpu::Slot;
+use melody_sim::SimRng;
+
+use crate::spec::{Pattern, WorkloadSpec};
+
+/// An iterator of [`Slot`]s realising a [`WorkloadSpec`].
+///
+/// The stream is deterministic for a given `(spec, seed, mem_refs)`
+/// triple, so a local-DRAM run and a CXL run of the same stream execute
+/// the *identical* instruction sequence — the property the paper's
+/// differential (Δ) analysis depends on.
+#[derive(Debug)]
+pub struct SlotStream {
+    rng: SimRng,
+    phases: Vec<PhasePlan>,
+    phase_idx: usize,
+    emitted_in_phase: u64,
+    cursor_line: u64,
+    uop_debt: f64,
+    pending: Option<Slot>,
+    done: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PhasePlan {
+    refs: u64,
+    uops_per_mem: f64,
+    dependence: f64,
+    ws_lines: u64,
+    seq_frac: f64,
+    pattern: Pattern,
+    store_frac: f64,
+}
+
+impl SlotStream {
+    /// Builds a stream of approximately `mem_refs` memory references
+    /// (plus interleaved compute slots).
+    pub fn new(spec: &WorkloadSpec, seed: u64, mem_refs: u64) -> Self {
+        let tw: f64 = spec.phases.iter().map(|p| p.weight).sum();
+        let tw = if tw <= 0.0 { 1.0 } else { tw };
+        let phases = spec
+            .phases
+            .iter()
+            .map(|p| PhasePlan {
+                refs: ((p.weight / tw) * mem_refs as f64).round().max(1.0) as u64,
+                uops_per_mem: p.uops_per_mem,
+                // Dependent chains are per-thread; with `threads` chains
+                // in flight the probability that the aggregate stream is
+                // blocked on any given chase is divided accordingly.
+                dependence: p.dependence / spec.threads.max(1) as f64,
+                ws_lines: (p.working_set / 64).max(64),
+                seq_frac: p.seq_frac,
+                pattern: p.pattern,
+                store_frac: p.store_frac,
+            })
+            .collect();
+        Self {
+            rng: SimRng::seed_from(seed ^ 0x5EED_5EED),
+            phases,
+            phase_idx: 0,
+            emitted_in_phase: 0,
+            cursor_line: 0,
+            uop_debt: 0.0,
+            pending: None,
+            done: false,
+        }
+    }
+
+    /// Draws the next address. The spatial pattern is independent of
+    /// *dependence*: a pointer chase over a sequentially laid-out linked
+    /// list is still a dependent chain but remains prefetchable, which is
+    /// exactly the class of workload whose CXL slowdown shows up as
+    /// cache-level (prefetch-timeliness) stalls in the paper's Figure 14.
+    fn next_addr(&mut self, plan: &PhasePlan) -> u64 {
+        let ws = plan.ws_lines;
+        let line = if self.rng.unit() < plan.seq_frac {
+            self.cursor_line = (self.cursor_line + 1) % ws;
+            self.cursor_line
+        } else {
+            match plan.pattern {
+                Pattern::Sequential => {
+                    self.cursor_line = (self.cursor_line + 1) % ws;
+                    self.cursor_line
+                }
+                Pattern::Strided(s) => {
+                    self.cursor_line = (self.cursor_line + s as u64) % ws;
+                    self.cursor_line
+                }
+                Pattern::Random => self.rng.below(ws),
+                Pattern::Skewed { hot_frac, hot_bytes } => {
+                    let hot_lines = (hot_bytes / 64).clamp(1, ws);
+                    if self.rng.unit() < hot_frac || hot_lines >= ws {
+                        self.rng.below(hot_lines)
+                    } else {
+                        hot_lines + self.rng.below(ws - hot_lines)
+                    }
+                }
+            }
+        };
+        line * 64
+    }
+}
+
+impl Iterator for SlotStream {
+    type Item = Slot;
+
+    fn next(&mut self) -> Option<Slot> {
+        if let Some(slot) = self.pending.take() {
+            return Some(slot);
+        }
+        if self.done {
+            return None;
+        }
+        let plan = loop {
+            let plan = self.phases.get(self.phase_idx)?.clone();
+            if self.emitted_in_phase < plan.refs {
+                break plan;
+            }
+            self.phase_idx += 1;
+            self.emitted_in_phase = 0;
+            if self.phase_idx >= self.phases.len() {
+                self.done = true;
+                return None;
+            }
+        };
+        self.emitted_in_phase += 1;
+
+        // Memory slot for this reference.
+        let mem = if self.rng.unit() < plan.store_frac {
+            let addr = self.next_addr(&plan);
+            Slot::Store { addr }
+        } else {
+            let dependent = self.rng.unit() < plan.dependence;
+            let addr = self.next_addr(&plan);
+            Slot::Load { addr, dependent }
+        };
+
+        // Interleave the arithmetic work, carrying fractional µops.
+        self.uop_debt += plan.uops_per_mem;
+        if self.uop_debt >= 1.0 {
+            let uops = self.uop_debt as u32;
+            self.uop_debt -= uops as f64;
+            self.pending = Some(mem);
+            Some(Slot::Compute { uops })
+        } else {
+            Some(mem)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Phase, Suite};
+
+    fn spec(phase: Phase) -> WorkloadSpec {
+        WorkloadSpec::single("t", Suite::SpecCpu2017, phase)
+    }
+
+    fn count_kinds(stream: SlotStream) -> (u64, u64, u64, u64) {
+        let (mut loads, mut deps, mut stores, mut uops) = (0, 0, 0, 0u64);
+        for s in stream {
+            match s {
+                Slot::Load { dependent, .. } => {
+                    loads += 1;
+                    if dependent {
+                        deps += 1;
+                    }
+                }
+                Slot::Store { .. } => stores += 1,
+                Slot::Compute { uops: u } => uops += u as u64,
+            }
+        }
+        (loads, deps, stores, uops)
+    }
+
+    #[test]
+    fn mem_ref_count_approximate() {
+        let s = SlotStream::new(&spec(Phase::balanced()), 1, 10_000);
+        let (loads, _, stores, _) = count_kinds(s);
+        let total = loads + stores;
+        assert!((9_500..=10_500).contains(&total), "refs {total}");
+    }
+
+    #[test]
+    fn store_fraction_respected() {
+        let mut p = Phase::balanced();
+        p.store_frac = 0.4;
+        let (loads, _, stores, _) = count_kinds(SlotStream::new(&spec(p), 2, 20_000));
+        let frac = stores as f64 / (loads + stores) as f64;
+        assert!((0.37..0.43).contains(&frac), "store frac {frac}");
+    }
+
+    #[test]
+    fn dependence_fraction_respected() {
+        let mut p = Phase::balanced();
+        p.store_frac = 0.0;
+        p.dependence = 0.7;
+        let (loads, deps, _, _) = count_kinds(SlotStream::new(&spec(p), 3, 20_000));
+        let frac = deps as f64 / loads as f64;
+        assert!((0.67..0.73).contains(&frac), "dependence {frac}");
+    }
+
+    #[test]
+    fn uops_per_mem_respected() {
+        let mut p = Phase::balanced();
+        p.uops_per_mem = 7.5;
+        let (loads, _, stores, uops) = count_kinds(SlotStream::new(&spec(p), 4, 20_000));
+        let ratio = uops as f64 / (loads + stores) as f64;
+        assert!((7.0..8.0).contains(&ratio), "uops/mem {ratio}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<Slot> = SlotStream::new(&spec(Phase::balanced()), 9, 1_000).collect();
+        let b: Vec<Slot> = SlotStream::new(&spec(Phase::balanced()), 9, 1_000).collect();
+        assert_eq!(a, b);
+        let c: Vec<Slot> = SlotStream::new(&spec(Phase::balanced()), 10, 1_000).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let mut p = Phase::balanced();
+        p.working_set = 1 << 20; // 1 MiB
+        for s in SlotStream::new(&spec(p), 5, 5_000) {
+            match s {
+                Slot::Load { addr, .. } | Slot::Store { addr } => {
+                    assert!(addr < 1 << 20, "addr {addr} outside working set");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn phases_execute_in_order() {
+        let mut a = Phase::balanced();
+        a.weight = 1.0;
+        a.working_set = 64 * 100; // lines 0..100
+        let mut b = Phase::balanced();
+        b.weight = 1.0;
+        b.working_set = 64 * 1_000_000;
+        let spec = WorkloadSpec {
+            name: "two-phase".into(),
+            suite: Suite::SpecCpu2017,
+            phases: vec![a, b],
+            frontend_bound: 0.0,
+            ilp: 2.0,
+            serialize_frac: 0.0,
+            threads: 1,
+        };
+        let addrs: Vec<u64> = SlotStream::new(&spec, 6, 10_000)
+            .filter_map(|s| match s {
+                Slot::Load { addr, .. } | Slot::Store { addr } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        let first_half_max = addrs[..addrs.len() / 4].iter().max().copied().unwrap();
+        let second_half_max = addrs[addrs.len() / 2..].iter().max().copied().unwrap();
+        assert!(first_half_max < 64 * 100);
+        assert!(second_half_max > 64 * 100);
+    }
+
+    #[test]
+    fn skewed_pattern_concentrates_accesses() {
+        let mut p = Phase::balanced();
+        p.pattern = Pattern::Skewed { hot_frac: 0.9, hot_bytes: 64 * 1_000 };
+        p.seq_frac = 0.0;
+        p.dependence = 0.0;
+        p.store_frac = 0.0;
+        p.working_set = 64 * 10_000;
+        let hot_boundary = 64 * 1_000;
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for s in SlotStream::new(&spec(p), 7, 20_000) {
+            if let Slot::Load { addr, .. } = s {
+                total += 1;
+                if addr < hot_boundary {
+                    hot += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.85, "hot fraction {frac}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Spa-guided memory placement (§5.7): find the bursty execution periods
+//! of `605.mcf` on CXL, relocate the hot region to local DRAM with a
+//! split (tiered) device, and measure the recovered performance — the
+//! paper's 13% → 2% tuning story.
+//!
+//! ```sh
+//! cargo run --release --example memory_placement
+//! ```
+
+use melody::experiments::{placement, Scale};
+
+fn main() {
+    let d = placement::run(Scale::Smoke);
+    println!("workload:            {}", d.workload);
+    println!(
+        "baseline slowdown:   {:.1}% (everything on CXL-B)",
+        d.baseline_slowdown * 100.0
+    );
+    println!(
+        "bursty periods:      {} of {} (found via period-based Spa)",
+        d.bursty_periods, d.total_periods
+    );
+    println!(
+        "relocated to DRAM:   {:.1} GiB of hot objects",
+        d.boundary_bytes as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "tuned slowdown:      {:.1}%  ({:.1}x reduction)",
+        d.tuned_slowdown * 100.0,
+        d.baseline_slowdown / d.tuned_slowdown.max(1e-6)
+    );
+    println!("\npaper reference: 605.mcf went from 13% to 2% after moving two");
+    println!("performance-critical 2 GB objects to local DRAM (§5.7).");
+}

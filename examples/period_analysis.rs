@@ -1,0 +1,43 @@
+//! Period-based Spa analysis (§5.6 / Figure 16): convert time-sampled
+//! counters from a local run and a CXL run into aligned instruction
+//! periods and chart how the slowdown (and its composition) evolves over
+//! a workload's lifetime.
+//!
+//! ```sh
+//! cargo run --release --example period_analysis
+//! ```
+
+use melody::experiments::{fig16, Scale};
+
+fn main() {
+    for panel in fig16::run(Scale::Smoke) {
+        println!(
+            "== {} | overall slowdown {:.1}%, period mean {:.1}% (cycle-weighted {:.1}%) ==",
+            panel.workload,
+            panel.overall_slowdown * 100.0,
+            panel.analysis.mean_slowdown() * 100.0,
+            panel.analysis.weighted_mean_slowdown() * 100.0,
+        );
+        // A terminal sparkline of per-period total slowdown.
+        let max = panel
+            .analysis
+            .periods
+            .iter()
+            .map(|b| b.total)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        for (i, b) in panel.analysis.periods.iter().enumerate() {
+            let bar = "#".repeat(((b.total / max) * 48.0).max(0.0) as usize);
+            println!(
+                "  period {i:>2}  {:>6.1}%  |{bar}",
+                b.total * 100.0
+            );
+        }
+        let bursty = panel.analysis.bursty_periods(0.10);
+        println!(
+            "  bursty periods (>10% slowdown): {} of {}\n",
+            bursty.len(),
+            panel.analysis.periods.len()
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: characterize a CXL device and dissect one workload's
+//! slowdown in under a minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use melody::prelude::*;
+
+fn main() {
+    // 1. Device-level characterization: idle latency and tail behaviour
+    //    of CXL-B vs socket-local DRAM, measured with the MIO
+    //    pointer-chase microbenchmark.
+    println!("== Device characterization (MIO pointer chase) ==");
+    for spec in [presets::local_emr(), presets::numa_emr(), presets::cxl_b()] {
+        let out = melody_mio::run(
+            &spec,
+            &melody_mio::MioConfig {
+                accesses: 30_000,
+                ..Default::default()
+            },
+        );
+        println!(
+            "{:10}  p50 {:>4} ns   p99.9 {:>5} ns   tail gap {:>4} ns",
+            spec.name(),
+            out.latency.percentile(50.0),
+            out.latency.percentile(99.9),
+            out.tail_gap_ns,
+        );
+    }
+
+    // 2. Workload-level: run 605.mcf on local DRAM and on CXL-B, then let
+    //    Spa break the slowdown into its sources.
+    println!("\n== 605.mcf on CXL-B: Spa slowdown breakdown ==");
+    let wl = registry::by_name("605.mcf").expect("known workload");
+    let opts = RunOptions {
+        mem_refs: 30_000,
+        ..Default::default()
+    };
+    let pair = run_pair(
+        &Platform::emr2s(),
+        &presets::local_emr(),
+        &presets::cxl_b(),
+        &wl,
+        &opts,
+    );
+    println!("measured slowdown: {:.1}%", pair.slowdown * 100.0);
+    let b = &pair.breakdown;
+    for (label, v) in Breakdown::labels().iter().zip(b.values()) {
+        println!("  {label:6} {:>6.1}%", v * 100.0);
+    }
+
+    // 3. The Eq. 5 estimators: how well do differential stalls predict
+    //    the measured slowdown?
+    let e = estimates(&pair.local.counters, &pair.target.counters);
+    println!(
+        "\nSpa estimates: Δs/c = {:.1}%   backend = {:.1}%   memory = {:.1}%  (actual {:.1}%)",
+        e.delta_s * 100.0,
+        e.backend * 100.0,
+        e.memory * 100.0,
+        e.actual * 100.0
+    );
+}

@@ -1,0 +1,280 @@
+//! `melody` — command-line front end to the characterization framework.
+//!
+//! ```text
+//! melody devices                      # list device presets with specs
+//! melody workloads [--suite NAME]     # list the 265-workload registry
+//! melody probe <device>               # idle latency + peak bandwidth
+//! melody mio <device> [--threads N] [--noise N] [--accesses N]
+//! melody mlc <device> [--rw R] [--delay CYCLES] [--requests N]
+//! melody run <workload> <device> [--refs N] [--platform NAME]
+//! melody cpmu <device> [--accesses N] # white-box component attribution
+//! ```
+//!
+//! Devices: local, numa, cxl-a, cxl-b, cxl-c, cxl-d, cxl-a+numa, ...,
+//! cxl-d-x2. Platforms: spr2s, emr2s, emr2s-prime, skx2s, skx8s.
+
+use melody::prelude::*;
+use melody_mem::CpmuDevice;
+use melody_workloads::mlc::{loaded_latency, MlcConfig};
+use melody_workloads::Suite;
+
+fn device_by_name(name: &str) -> Option<DeviceSpec> {
+    let base = |n: &str| -> Option<DeviceSpec> {
+        Some(match n {
+            "local" => presets::local_emr(),
+            "numa" => presets::numa_emr(),
+            "cxl-a" => presets::cxl_a(),
+            "cxl-b" => presets::cxl_b(),
+            "cxl-c" => presets::cxl_c(),
+            "cxl-d" => presets::cxl_d(),
+            "skx-140" => presets::skx_140(),
+            "skx-190" => presets::skx_190(),
+            "skx-410" => presets::skx8s_410(),
+            _ => return None,
+        })
+    };
+    if let Some(stripped) = name.strip_suffix("+numa") {
+        return base(stripped).map(|d| d.with_numa_hop());
+    }
+    if let Some(stripped) = name.strip_suffix("+switch") {
+        return base(stripped).map(|d| d.with_switch_hop());
+    }
+    if let Some(stripped) = name.strip_suffix("-x2") {
+        return base(stripped).map(|d| d.interleaved(2));
+    }
+    base(name)
+}
+
+fn platform_by_name(name: &str) -> Option<Platform> {
+    Some(match name {
+        "spr2s" => Platform::spr2s(),
+        "emr2s" => Platform::emr2s(),
+        "emr2s-prime" => Platform::emr2s_prime(),
+        "skx2s" => Platform::skx2s(),
+        "skx8s" => Platform::skx8s(),
+        _ => return None,
+    })
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu> [args]\n\
+         see `src/bin/melody.rs` header or README for details"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "devices" => cmd_devices(),
+        "workloads" => cmd_workloads(&args[1..]),
+        "probe" => cmd_probe(&args[1..]),
+        "mio" => cmd_mio(&args[1..]),
+        "mlc" => cmd_mlc(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "cpmu" => cmd_cpmu(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_devices() {
+    println!("{:12} {:>12} {:>10}", "device", "nominal(ns)", "class");
+    for (name, spec) in [
+        ("local", presets::local_emr()),
+        ("numa", presets::numa_emr()),
+        ("cxl-a", presets::cxl_a()),
+        ("cxl-b", presets::cxl_b()),
+        ("cxl-c", presets::cxl_c()),
+        ("cxl-d", presets::cxl_d()),
+        ("cxl-a+numa", presets::cxl_a().with_numa_hop()),
+        ("cxl-d+switch", presets::cxl_d().with_switch_hop()),
+        ("cxl-d-x2", presets::cxl_d().interleaved(2)),
+        ("skx-410", presets::skx8s_410()),
+    ] {
+        let class = match &spec {
+            DeviceSpec::Imc(_) => "iMC",
+            DeviceSpec::Cxl(_) => "CXL",
+            DeviceSpec::Hopped { .. } => "hopped",
+            DeviceSpec::Interleaved { .. } => "interleave",
+            DeviceSpec::Split { .. } => "tiered",
+        };
+        println!("{:12} {:>12.0} {:>10}", name, spec.nominal_latency_ns(), class);
+    }
+}
+
+fn cmd_workloads(args: &[String]) {
+    let suite_filter = flag(args, "--suite");
+    let mut shown = 0;
+    for w in registry::all() {
+        if let Some(f) = &suite_filter {
+            if !w.suite.label().eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        let p = &w.phases[0];
+        println!(
+            "{:32} {:10} threads {:>2}  uops/mem {:>6.1}  dep {:>4.2}  ws {:>6} MiB",
+            w.name,
+            w.suite.label(),
+            w.threads,
+            p.uops_per_mem,
+            p.dependence,
+            p.working_set >> 20,
+        );
+        shown += 1;
+    }
+    println!("-- {shown} workloads");
+    let _ = Suite::Redis; // keep the import meaningful for --suite docs
+}
+
+fn cmd_probe(args: &[String]) {
+    let Some(spec) = args.first().and_then(|n| device_by_name(n)) else {
+        usage()
+    };
+    let mut dev = spec.build(1);
+    let idle = probe::idle_latency_ns(dev.as_mut(), 5_000);
+    let mut dev2 = spec.build(1);
+    let bw = probe::peak_bandwidth_gbps(dev2.as_mut(), 1.0, 40_000, 256);
+    println!(
+        "{}: idle {:.0} ns (nominal {:.0}), peak read {:.1} GB/s",
+        spec.name(),
+        idle,
+        spec.nominal_latency_ns(),
+        bw
+    );
+}
+
+fn cmd_mio(args: &[String]) {
+    let Some(spec) = args.first().and_then(|n| device_by_name(n)) else {
+        usage()
+    };
+    let cfg = melody_mio::MioConfig {
+        chase_threads: flag_u64(args, "--threads", 1) as usize,
+        noise_threads: flag_u64(args, "--noise", 0) as usize,
+        accesses: flag_u64(args, "--accesses", 40_000),
+        ..Default::default()
+    };
+    let r = melody_mio::run(&spec, &cfg);
+    println!(
+        "{}: p50 {} ns  p99 {} ns  p99.9 {} ns  gap {} ns  bw {:.1} GB/s",
+        spec.name(),
+        r.latency.percentile(50.0),
+        r.latency.percentile(99.0),
+        r.latency.percentile(99.9),
+        r.tail_gap_ns,
+        r.bandwidth_gbps
+    );
+}
+
+fn cmd_mlc(args: &[String]) {
+    let Some(spec) = args.first().and_then(|n| device_by_name(n)) else {
+        usage()
+    };
+    let read_frac = flag(args, "--rw")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let cfg = MlcConfig {
+        read_frac,
+        delay_cycles: flag_u64(args, "--delay", 0),
+        total_requests: flag_u64(args, "--requests", 40_000),
+        ..MlcConfig::default()
+    };
+    let p = loaded_latency(&spec, &cfg);
+    println!(
+        "{}: loaded latency {:.0} ns (p99.9 {} ns) at {:.1} GB/s (delay {} cyc, read {:.0}%)",
+        spec.name(),
+        p.mean_latency_ns(),
+        p.latency.percentile(99.9),
+        p.bandwidth_gbps,
+        cfg.delay_cycles,
+        read_frac * 100.0
+    );
+}
+
+fn cmd_run(args: &[String]) {
+    let (Some(wname), Some(dname)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let Some(w) = registry::by_name(wname) else {
+        eprintln!("unknown workload {wname} (try `melody workloads`)");
+        std::process::exit(2);
+    };
+    let Some(spec) = device_by_name(dname) else { usage() };
+    let platform = flag(args, "--platform")
+        .and_then(|p| platform_by_name(&p))
+        .unwrap_or_else(Platform::emr2s);
+    let opts = RunOptions {
+        mem_refs: flag_u64(args, "--refs", 30_000),
+        ..Default::default()
+    };
+    let local = match platform.name.as_str() {
+        "SPR2S" => presets::local_spr(),
+        "EMR2S'" => presets::local_emr_prime(),
+        "SKX2S" => presets::local_skx2s(),
+        "SKX8S" => presets::local_skx8s(),
+        _ => presets::local_emr(),
+    };
+    let pair = run_pair(&platform, &local, &spec, &w, &opts);
+    println!(
+        "{} on {} ({}): slowdown {:.1}%",
+        w.name,
+        spec.name(),
+        platform.name,
+        pair.slowdown * 100.0
+    );
+    for (label, v) in Breakdown::labels().iter().zip(pair.breakdown.values()) {
+        println!("  {label:6} {:>6.1}%", v * 100.0);
+    }
+    println!(
+        "  ipc {:.2} -> {:.2}; demand p99.9 {} -> {} ns",
+        pair.local.ipc(),
+        pair.target.ipc(),
+        pair.local.demand_lat_hist.percentile(99.9),
+        pair.target.demand_lat_hist.percentile(99.9)
+    );
+}
+
+fn cmd_cpmu(args: &[String]) {
+    let Some(spec) = args.first().and_then(|n| device_by_name(n)) else {
+        usage()
+    };
+    let accesses = flag_u64(args, "--accesses", 40_000);
+    let mut dev = CpmuDevice::new(spec.build(1));
+    let mut rng = melody_sim::SimRng::seed_from(0xC11);
+    let mut t = 0;
+    for _ in 0..accesses {
+        let addr = rng.below(1 << 26) * 64;
+        let a = dev.access(&melody_mem::MemRequest::new(
+            addr,
+            melody_mem::RequestKind::DemandRead,
+            t,
+        ));
+        t = a.completion;
+    }
+    let r = dev.report();
+    println!(
+        "{}: total p50/p99.9 = {}/{} ns | p99.9 by component: queue {} dram {} fabric {} spike {} | dominant: {}",
+        spec.name(),
+        r.total.percentile(50.0),
+        r.total.percentile(99.9),
+        r.queue.percentile(99.9),
+        r.dram.percentile(99.9),
+        r.fabric.percentile(99.9),
+        r.spike.percentile(99.9),
+        r.dominant_tail_component()
+    );
+}

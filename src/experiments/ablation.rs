@@ -1,0 +1,322 @@
+//! Ablation experiments over the model's design choices.
+//!
+//! The device models attribute CXL's behaviour to explicit mechanisms
+//! (transaction-layer jitter, congestion episodes, link retries, duplex
+//! links, prefetch timeliness, bounded MLP). Each ablation switches one
+//! mechanism off and measures what disappears — both a validation that
+//! the mechanisms do what `DESIGN.md` claims and a reproduction of the
+//! paper's forward-looking points (thermal throttling for PCIe 6.0-class
+//! devices, CPU tolerance via MLP).
+
+use melody_cpu::Platform;
+use melody_mem::{presets, CxlConfig, DeviceSpec, ThermalConfig};
+use melody_mio::MioConfig;
+use melody_sim::Dist;
+use melody_workloads::mlc::{loaded_latency, MlcConfig};
+use melody_workloads::registry;
+use serde::{Deserialize, Serialize};
+
+use crate::report::TableData;
+use crate::runner::{run_pair, RunOptions};
+
+use super::Scale;
+
+fn cxl_b_cfg() -> CxlConfig {
+    match presets::cxl_b() {
+        DeviceSpec::Cxl(cfg) => cfg,
+        _ => unreachable!("cxl_b is a CXL spec"),
+    }
+}
+
+/// Tail-mechanism ablation: p99.9 − p50 gap of CXL-B with each
+/// stochastic mechanism removed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TailAblation {
+    /// `(variant, tail gap ns)`.
+    pub gaps: Vec<(String, u64)>,
+}
+
+impl TailAblation {
+    /// Gap for a variant.
+    pub fn gap(&self, variant: &str) -> Option<u64> {
+        self.gaps.iter().find(|(v, _)| v == variant).map(|(_, g)| *g)
+    }
+
+    /// Renders as a table.
+    pub fn render(&self) -> String {
+        let mut t = TableData::new("ablation: CXL-B tail mechanisms", &["Variant", "p99.9-p50 (ns)"]);
+        for (v, g) in &self.gaps {
+            t.push_row(vec![v.clone(), g.to_string()]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the tail-mechanism ablation under moderate R/W noise.
+pub fn tail_mechanisms(scale: Scale) -> TailAblation {
+    let mio_cfg = MioConfig {
+        noise_threads: 3,
+        noise_read_frac: 0.7,
+        accesses: scale.mio_accesses(),
+        ..Default::default()
+    };
+    let gap = |spec: DeviceSpec| melody_mio::run(&spec, &mio_cfg).tail_gap_ns;
+
+    let stock = cxl_b_cfg();
+    let mut no_jitter = stock.clone();
+    no_jitter.txn_jitter_ns = Dist::zero();
+    let mut no_congestion = stock.clone();
+    no_congestion.congestion_p = 0.0;
+    let mut no_retry = stock.clone();
+    no_retry.retry_p = 0.0;
+    let mut none = stock.clone();
+    none.txn_jitter_ns = Dist::zero();
+    none.congestion_p = 0.0;
+    none.retry_p = 0.0;
+
+    TailAblation {
+        gaps: vec![
+            ("stock".into(), gap(DeviceSpec::Cxl(stock))),
+            ("no-jitter".into(), gap(DeviceSpec::Cxl(no_jitter))),
+            ("no-congestion".into(), gap(DeviceSpec::Cxl(no_congestion))),
+            ("no-retry".into(), gap(DeviceSpec::Cxl(no_retry))),
+            ("none".into(), gap(DeviceSpec::Cxl(none))),
+        ],
+    }
+}
+
+/// Thermal-throttling ablation (the paper's PCIe 6.0 outlook): mean and
+/// tail latency of CXL-A under sustained load, with and without a
+/// thermal model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThermalAblation {
+    /// Mean loaded latency without throttling, ns.
+    pub mean_off_ns: f64,
+    /// Mean loaded latency with throttling, ns.
+    pub mean_on_ns: f64,
+    /// p99.9 without throttling, ns.
+    pub p999_off_ns: u64,
+    /// p99.9 with throttling, ns.
+    pub p999_on_ns: u64,
+}
+
+/// Runs the thermal ablation.
+pub fn thermal(scale: Scale) -> ThermalAblation {
+    let stock = match presets::cxl_a() {
+        DeviceSpec::Cxl(cfg) => cfg,
+        _ => unreachable!(),
+    };
+    let mut hot = stock.clone();
+    hot.thermal = Some(ThermalConfig {
+        util_threshold: 0.5,
+        period_ns: 20_000.0,
+        duration_ns: 4_000.0,
+    });
+    let cfg = MlcConfig {
+        delay_cycles: 0,
+        total_requests: scale.mlc_requests(),
+        ..MlcConfig::default()
+    };
+    let off = loaded_latency(&DeviceSpec::Cxl(stock), &cfg);
+    let on = loaded_latency(&DeviceSpec::Cxl(hot), &cfg);
+    ThermalAblation {
+        mean_off_ns: off.mean_latency_ns(),
+        mean_on_ns: on.mean_latency_ns(),
+        p999_off_ns: off.latency.percentile(99.9),
+        p999_on_ns: on.latency.percentile(99.9),
+    }
+}
+
+/// Prefetcher ablation: per-workload slowdown with prefetchers on vs
+/// off, plus the cache-component share (the Finding #4 causal check at
+/// experiment scale).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefetchAblation {
+    /// `(workload, slowdown_on, slowdown_off, cache_component_on)`.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+/// Runs the prefetcher ablation on prefetch-sensitive workloads.
+pub fn prefetchers(scale: Scale) -> PrefetchAblation {
+    let names = ["603.bwaves", "649.fotonik3d", "503.bwaves", "605.mcf"];
+    let platform = Platform::emr2s();
+    let rows = names
+        .iter()
+        .map(|n| {
+            let w = registry::by_name(n).expect("registry workload");
+            let on = run_pair(
+                &platform,
+                &presets::local_emr(),
+                &presets::cxl_a(),
+                &w,
+                &RunOptions {
+                    mem_refs: scale.mem_refs(),
+                    ..Default::default()
+                },
+            );
+            let off = run_pair(
+                &platform,
+                &presets::local_emr(),
+                &presets::cxl_a(),
+                &w,
+                &RunOptions {
+                    mem_refs: scale.mem_refs(),
+                    prefetchers: false,
+                    ..Default::default()
+                },
+            );
+            (n.to_string(), on.slowdown, off.slowdown, on.breakdown.cache())
+        })
+        .collect();
+    PrefetchAblation { rows }
+}
+
+/// MLP (CPU tolerance) ablation: the same bandwidth-hungry workload on
+/// CXL-A as the line-fill buffer shrinks — fewer outstanding misses
+/// means less latency tolerance (Implication #1a: future CPUs need to
+/// tolerate CXL latencies).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpAblation {
+    /// `(lfb entries, slowdown)`.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Runs the MLP ablation on a latency-hiding subject: independent random
+/// misses with moderate compute, single-threaded, below every device's
+/// bandwidth cap — so the only question is how much of the latency the
+/// outstanding-miss window hides. (A bandwidth-*saturating* workload
+/// behaves oppositely: wider LFB raises local demand far above the CXL
+/// cap and widens the gap; that regime is covered by Figure 8b.)
+pub fn mlp_tolerance(scale: Scale) -> MlpAblation {
+    use melody_workloads::{Pattern, Phase, Suite, WorkloadSpec};
+    let w = WorkloadSpec::single(
+        "ablation.mlp-probe",
+        Suite::Phoronix,
+        Phase {
+            weight: 1.0,
+            uops_per_mem: 10.0,
+            dependence: 0.0,
+            working_set: 2 << 30,
+            seq_frac: 0.0,
+            pattern: Pattern::Random,
+            store_frac: 0.0,
+        },
+    );
+    let points = [4usize, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&lfb| {
+            let mut platform = Platform::emr2s();
+            platform.lfb_entries = lfb;
+            let p = run_pair(
+                &platform,
+                &presets::local_emr(),
+                &presets::cxl_a(),
+                &w,
+                &RunOptions {
+                    mem_refs: scale.mem_refs() / 2,
+                    ..Default::default()
+                },
+            );
+            (lfb, p.slowdown)
+        })
+        .collect();
+    MlpAblation { points }
+}
+
+/// DIMM-fairness control (§3.2): the paper re-ran its tail comparison
+/// with the server reduced to 2 DIMMs per socket to match the CXL
+/// devices' channel counts, and still saw CXL tails but none on
+/// local/NUMA. Returns `(label, p99.9 − p50 ns)`.
+pub fn dimm_fairness(scale: Scale) -> Vec<(String, u64)> {
+    use melody_mem::{DramTiming, ImcConfig};
+    let local_2ch = DeviceSpec::Imc(ImcConfig::calibrated(
+        "Local-2ch",
+        111.0,
+        DramTiming::ddr5(),
+        2,
+    ));
+    let cfg = MioConfig {
+        chase_threads: 8,
+        accesses: scale.mio_accesses(),
+        ..Default::default()
+    };
+    [
+        ("Local-8ch".to_string(), presets::local_emr()),
+        ("Local-2ch".to_string(), local_2ch),
+        ("CXL-B".to_string(), presets::cxl_b()),
+    ]
+    .into_iter()
+    .map(|(label, spec)| (label, melody_mio::run(&spec, &cfg).tail_gap_ns))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stochastic_mechanisms_cause_the_tail() {
+        let a = tail_mechanisms(Scale::Smoke);
+        let stock = a.gap("stock").expect("stock");
+        let none = a.gap("none").expect("none");
+        assert!(
+            none * 3 < stock,
+            "removing all mechanisms should collapse the tail: {none} vs {stock}"
+        );
+        // Each single mechanism removal helps or is neutral; jitter is
+        // the dominant light-load contributor for CXL-B.
+        let no_jitter = a.gap("no-jitter").expect("no-jitter");
+        assert!(no_jitter < stock, "jitter contributes: {no_jitter} vs {stock}");
+    }
+
+    #[test]
+    fn thermal_throttling_raises_latency_under_load() {
+        let t = thermal(Scale::Smoke);
+        assert!(
+            t.mean_on_ns > t.mean_off_ns,
+            "throttling should raise mean latency: {} vs {}",
+            t.mean_on_ns,
+            t.mean_off_ns
+        );
+        assert!(t.p999_on_ns >= t.p999_off_ns);
+    }
+
+    #[test]
+    fn prefetchers_help_both_backends() {
+        let a = prefetchers(Scale::Smoke);
+        let bwaves = a
+            .rows
+            .iter()
+            .find(|r| r.0 == "603.bwaves")
+            .expect("bwaves row");
+        // Paper: disabling prefetchers cost 603.bwaves ~50% performance;
+        // here the check is that the prefetch-sensitive workload keeps a
+        // nonzero cache component with PF on.
+        assert!(bwaves.3 > 0.05, "bwaves cache component {}", bwaves.3);
+    }
+
+    #[test]
+    fn channel_count_does_not_explain_cxl_tails() {
+        // Matching DIMM counts does not give local DRAM CXL-like tails.
+        let rows = dimm_fairness(Scale::Smoke);
+        let gap = |l: &str| rows.iter().find(|(n, _)| n == l).expect("row").1;
+        assert!(gap("Local-2ch") < 150, "2-channel local gap {}", gap("Local-2ch"));
+        assert!(
+            gap("CXL-B") > 2 * gap("Local-2ch"),
+            "CXL-B {} vs Local-2ch {}",
+            gap("CXL-B"),
+            gap("Local-2ch")
+        );
+    }
+
+    #[test]
+    fn more_mlp_means_more_latency_tolerance() {
+        let a = mlp_tolerance(Scale::Smoke);
+        let first = a.points.first().expect("points").1;
+        let last = a.points.last().expect("points").1;
+        assert!(
+            last < first,
+            "wider LFB should tolerate CXL better: lfb4 {first:.2} vs lfb32 {last:.2}"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 7: tail latencies in real workloads — per-millisecond latency
+//! and bandwidth time series for `508.namd` (panels a/b) and Redis
+//! YCSB-C tail-latency percentiles (panel c).
+
+use melody_cpu::Platform;
+use melody_mem::presets;
+use melody_workloads::registry;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{Series, TableData};
+use crate::runner::{run_workload, RunOptions};
+
+use super::Scale;
+
+/// Figure 7 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig07Data {
+    /// Panel a: per-window max memory latency (µs) over time (s), one
+    /// series per config, for `508.namd`.
+    pub latency_series: Vec<Series>,
+    /// Panel b: per-window read bandwidth (GB/s) over time (s) on CXL-C.
+    pub bandwidth_series: Series,
+    /// Panel c: Redis YCSB-C latency percentiles per config:
+    /// (config, [(percentile, latency µs)]).
+    pub ycsb_percentiles: Vec<Series>,
+}
+
+impl Fig07Data {
+    /// Renders panel c as a table.
+    pub fn render(&self) -> String {
+        let mut t = TableData::new(
+            "fig07c: Redis YCSB-C memory-latency percentiles (ns)",
+            &["Config", "p50", "p90", "p99", "p99.9"],
+        );
+        for s in &self.ycsb_percentiles {
+            let find = |p: f64| {
+                s.points
+                    .iter()
+                    .find(|(x, _)| (*x - p).abs() < 1e-9)
+                    .map(|(_, y)| format!("{y:.0}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.push_row(vec![
+                s.name.clone(),
+                find(50.0),
+                find(90.0),
+                find(99.0),
+                find(99.9),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the Figure 7 experiment.
+pub fn run(scale: Scale) -> Fig07Data {
+    let namd = registry::by_name("508.namd").expect("508.namd in registry");
+    let opts = RunOptions {
+        mem_refs: scale.mem_refs(),
+        sample_interval_ns: Some(20_000), // fine-grained windows
+        ..Default::default()
+    };
+    let configs = [
+        presets::local_emr(),
+        presets::numa_emr(),
+        presets::cxl_c(),
+    ];
+    let mut latency_series = Vec::new();
+    let mut bandwidth_series = Series::new("CXL-C read BW", Vec::new());
+    for spec in &configs {
+        let r = run_workload(&Platform::emr2s(), spec, &namd, &opts);
+        let pts: Vec<(f64, f64)> = r
+            .latency_series
+            .iter()
+            .map(|p| (p.time_ns as f64 / 1e9, p.max_lat_ns as f64 / 1_000.0))
+            .collect();
+        if spec.name() == "CXL-C" {
+            bandwidth_series.points = r
+                .latency_series
+                .iter()
+                .map(|p| {
+                    (
+                        p.time_ns as f64 / 1e9,
+                        // bytes per 20 µs window -> GB/s.
+                        p.read_bytes as f64 / 20_000.0,
+                    )
+                })
+                .collect();
+        }
+        latency_series.push(Series::new(spec.name(), pts));
+    }
+
+    // Panel c: Redis YCSB-C on local/NUMA/CXL-B/CXL-C; report the
+    // demand-latency distribution the workload observed.
+    let ycsb_c = registry::by_name("redis.ycsb-C").expect("ycsb-C");
+    let mut ycsb_percentiles = Vec::new();
+    for spec in [
+        presets::local_emr(),
+        presets::numa_emr(),
+        presets::cxl_b(),
+        presets::cxl_c(),
+    ] {
+        let r = run_workload(
+            &Platform::emr2s(),
+            &spec,
+            &ycsb_c,
+            &RunOptions {
+                mem_refs: scale.mem_refs(),
+                ..Default::default()
+            },
+        );
+        let pts = [50.0, 75.0, 90.0, 95.0, 99.0, 99.9]
+            .iter()
+            .map(|&p| (p, r.demand_lat_hist.percentile(p) as f64))
+            .collect();
+        ycsb_percentiles.push(Series::new(spec.name(), pts));
+    }
+
+    Fig07Data {
+        latency_series,
+        bandwidth_series,
+        ycsb_percentiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namd_spikes_on_cxl_c_despite_low_bandwidth() {
+        let d = run(Scale::Smoke);
+        let cxl = d
+            .latency_series
+            .iter()
+            .find(|s| s.name == "CXL-C")
+            .expect("CXL-C series");
+        let local = d
+            .latency_series
+            .iter()
+            .find(|s| s.name == "Local")
+            .expect("Local series");
+        // Paper: CXL-C shows µs-scale latency spikes even though namd's
+        // bandwidth is mostly low; local stays far lower.
+        assert!(cxl.max_y() > 0.7, "CXL-C max {} µs", cxl.max_y());
+        assert!(
+            local.max_y() < cxl.max_y() / 2.0,
+            "local {} vs CXL-C {}",
+            local.max_y(),
+            cxl.max_y()
+        );
+    }
+
+    #[test]
+    fn ycsb_c_tails_worst_on_cxl_c() {
+        let d = run(Scale::Smoke);
+        let tail = |name: &str| {
+            d.ycsb_percentiles
+                .iter()
+                .find(|s| s.name == name)
+                .expect("series")
+                .points
+                .iter()
+                .find(|(p, _)| *p == 99.9)
+                .expect("p99.9")
+                .1
+        };
+        assert!(
+            tail("CXL-C") > tail("Local"),
+            "CXL-C {} vs local {}",
+            tail("CXL-C"),
+            tail("Local")
+        );
+        assert!(tail("CXL-C") > tail("CXL-B"));
+    }
+}

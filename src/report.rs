@@ -1,0 +1,153 @@
+//! Plain-text and JSON reporting helpers.
+//!
+//! Every experiment harness produces serde-serialisable data plus a
+//! human-readable rendition built from these two shapes: [`TableData`]
+//! (paper tables, CDF summaries) and [`Series`] (figure curves).
+
+use serde::{Deserialize, Serialize};
+
+/// A named `(x, y)` series — one curve of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (e.g. `"CXL-A"`).
+    pub name: String,
+    /// Points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Renders as `name: (x, y) (x, y) ...` with limited precision.
+    pub fn render(&self) -> String {
+        let pts: Vec<String> = self
+            .points
+            .iter()
+            .map(|(x, y)| format!("({x:.4}, {y:.4})"))
+            .collect();
+        format!("{}: {}", self.name, pts.join(" "))
+    }
+
+    /// Largest y value (0.0 when empty).
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+
+    /// y at the first x `>= x0`, if any.
+    pub fn y_at_or_after(&self, x0: f64) -> Option<f64> {
+        self.points.iter().find(|(x, _)| *x >= x0).map(|(_, y)| *y)
+    }
+}
+
+/// A rectangular table with headers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableData {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableData {
+    /// Creates a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage string with one decimal.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Serialises any experiment payload to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TableData::new("Demo", &["name", "value"]);
+        t.push_row(vec!["short".into(), "1".into()]);
+        t.push_row(vec!["a-much-longer-name".into(), "23".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("a-much-longer-name"));
+        // Header row padded to the widest cell.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("name"));
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = Series::new("x", vec![(1.0, 10.0), (2.0, 30.0), (3.0, 20.0)]);
+        assert_eq!(s.max_y(), 30.0);
+        assert_eq!(s.y_at_or_after(1.5), Some(30.0));
+        assert_eq!(s.y_at_or_after(9.0), None);
+        assert!(s.render().contains("(1.0000, 10.0000)"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.125), "12.5%");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = Series::new("a", vec![(0.0, 1.0)]);
+        let json = to_json(&s);
+        let back: Series = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(s, back);
+    }
+}

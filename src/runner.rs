@@ -1,0 +1,236 @@
+//! Workload execution: single runs, local-vs-target pairs, and
+//! populations.
+
+use melody_cpu::{Core, CoreConfig, Platform, RunResult};
+use melody_mem::DeviceSpec;
+use melody_spa::{breakdown, Breakdown};
+use melody_workloads::{SlotStream, Suite, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Options for one workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Memory references to simulate per run (instruction count follows
+    /// from the workload's arithmetic intensity).
+    pub mem_refs: u64,
+    /// Seed for the workload's address stream and the device RNG.
+    pub seed: u64,
+    /// Periodic counter sampling interval (simulated ns).
+    pub sample_interval_ns: Option<u64>,
+    /// Hardware prefetchers on/off.
+    pub prefetchers: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            mem_refs: 60_000,
+            seed: 42,
+            sample_interval_ns: None,
+            prefetchers: true,
+        }
+    }
+}
+
+fn workload_seed(base: u64, name: &str) -> u64 {
+    let mut h: u64 = base ^ 0x6d656c6f6479; // "melody"
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs one workload on one device.
+pub fn run_workload(
+    platform: &Platform,
+    device: &DeviceSpec,
+    workload: &WorkloadSpec,
+    opts: &RunOptions,
+) -> RunResult {
+    let scaled = platform.smp_scaled(workload.threads);
+    let ipc_peak = scaled.ipc_peak;
+    let mut cfg = CoreConfig::new(scaled);
+    cfg.prefetchers = opts.prefetchers;
+    cfg.sample_interval_ns = opts.sample_interval_ns;
+    cfg.frontend_bound = workload.frontend_bound;
+    cfg.ilp = (workload.ilp * workload.threads as f64).min(ipc_peak);
+    cfg.serialize_frac = workload.serialize_frac;
+    let seed = workload_seed(opts.seed, &workload.name);
+    let mut core = Core::new(cfg, device.build(seed));
+    // Functional warming removes cold-start bias (see [`Core::warm`]).
+    // The warmed ranges approximate the steady-state cache contents:
+    // phases share one address space rooted at 0, so the *smallest*
+    // phase footprint (and any skewed hot region) is warmed at the base,
+    // and for overflowing phases the *tail* of the working set, so that
+    // streams and uniform-random traffic keep their steady-state miss
+    // ratios. The largest set is warmed first so the base region wins
+    // cache residency on overlap.
+    {
+        let cap = core.l3_capacity_bytes();
+        let mut phases: Vec<&melody_workloads::Phase> = workload.phases.iter().collect();
+        phases.sort_by_key(|p| std::cmp::Reverse(p.working_set));
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for p in phases {
+            let ws = p.working_set;
+            let range = match p.pattern {
+                melody_workloads::Pattern::Skewed { hot_bytes, .. } if ws > cap => {
+                    (0, hot_bytes.min(cap))
+                }
+                _ if ws <= cap => (0, ws),
+                _ => (ws - cap, ws),
+            };
+            if !ranges.contains(&range) {
+                ranges.push(range);
+            }
+        }
+        for (start, end) in ranges {
+            core.warm(start, end);
+        }
+    }
+    // Same stream seed regardless of device: local and target runs
+    // execute the identical instruction sequence.
+    core.run(SlotStream::new(workload, opts.seed, opts.mem_refs))
+}
+
+/// Outcome of running one workload on a local baseline and a target
+/// device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Workload suite.
+    pub suite: Suite,
+    /// Measured slowdown `c_target/c_local − 1` (fraction).
+    pub slowdown: f64,
+    /// Spa breakdown of the slowdown.
+    pub breakdown: Breakdown,
+    /// Baseline run.
+    pub local: RunResult,
+    /// Target run.
+    pub target: RunResult,
+}
+
+/// Runs a workload against a (local, target) device pair.
+pub fn run_pair(
+    platform: &Platform,
+    local_spec: &DeviceSpec,
+    target_spec: &DeviceSpec,
+    workload: &WorkloadSpec,
+    opts: &RunOptions,
+) -> PairOutcome {
+    let local = run_workload(platform, local_spec, workload, opts);
+    let target = run_workload(platform, target_spec, workload, opts);
+    let slowdown = target.slowdown_vs(&local);
+    let breakdown = breakdown(&local.counters, &target.counters);
+    PairOutcome {
+        workload: workload.name.clone(),
+        suite: workload.suite,
+        slowdown,
+        breakdown,
+        local,
+        target,
+    }
+}
+
+/// Runs a workload population against one device pair, in registry order.
+pub fn run_population(
+    platform: &Platform,
+    local_spec: &DeviceSpec,
+    target_spec: &DeviceSpec,
+    workloads: &[WorkloadSpec],
+    opts: &RunOptions,
+) -> Vec<PairOutcome> {
+    workloads
+        .iter()
+        .map(|w| run_pair(platform, local_spec, target_spec, w, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melody_mem::presets;
+    use melody_workloads::registry;
+
+    fn opts() -> RunOptions {
+        RunOptions {
+            mem_refs: 8_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pair_outcome_consistent() {
+        let w = registry::by_name("605.mcf").expect("mcf");
+        let p = run_pair(
+            &Platform::emr2s(),
+            &presets::local_emr(),
+            &presets::cxl_b(),
+            &w,
+            &opts(),
+        );
+        assert!(p.slowdown > 0.2, "mcf on CXL-B should slow down: {}", p.slowdown);
+        // Breakdown total equals measured slowdown by construction.
+        assert!((p.breakdown.total - p.slowdown).abs() < 1e-9);
+        // Identical instruction streams.
+        assert_eq!(
+            p.local.counters.instructions,
+            p.target.counters.instructions
+        );
+    }
+
+    #[test]
+    fn compute_bound_workload_tolerates_cxl() {
+        let w = registry::by_name("541.leela").expect("leela");
+        let p = run_pair(
+            &Platform::emr2s(),
+            &presets::local_emr(),
+            &presets::cxl_c(),
+            &w,
+            &opts(),
+        );
+        assert!(
+            p.slowdown < 0.15,
+            "compute-bound leela should tolerate even CXL-C: {}",
+            p.slowdown
+        );
+    }
+
+    #[test]
+    fn determinism_across_invocations() {
+        let w = registry::by_name("bfs-web").expect("bfs-web");
+        let a = run_pair(
+            &Platform::emr2s(),
+            &presets::local_emr(),
+            &presets::cxl_a(),
+            &w,
+            &opts(),
+        );
+        let b = run_pair(
+            &Platform::emr2s(),
+            &presets::local_emr(),
+            &presets::cxl_a(),
+            &w,
+            &opts(),
+        );
+        assert_eq!(a.local.counters, b.local.counters);
+        assert_eq!(a.target.counters, b.target.counters);
+    }
+
+    #[test]
+    fn population_preserves_order() {
+        let ws: Vec<_> = registry::all().into_iter().take(3).collect();
+        let out = run_population(
+            &Platform::emr2s(),
+            &presets::local_emr(),
+            &presets::numa_emr(),
+            &ws,
+            &opts(),
+        );
+        assert_eq!(out.len(), 3);
+        for (w, o) in ws.iter().zip(&out) {
+            assert_eq!(w.name, o.workload);
+        }
+    }
+}

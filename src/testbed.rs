@@ -1,0 +1,113 @@
+//! Testbed setups: (platform, local baseline, target device) triples
+//! mirroring the paper's Table 1 configurations.
+
+use melody_cpu::Platform;
+use melody_mem::{presets, DeviceSpec};
+use serde::{Deserialize, Serialize};
+
+/// One measurement setup: a CPU platform, its local-DRAM baseline and the
+/// target memory backend whose slowdown is being measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Setup {
+    /// Display label (e.g. `"EMR-CXL-A"`).
+    pub label: String,
+    /// CPU platform.
+    pub platform: Platform,
+    /// Local-DRAM baseline device.
+    pub local: DeviceSpec,
+    /// Target device under test.
+    pub target: DeviceSpec,
+}
+
+impl Setup {
+    /// Creates a setup.
+    pub fn new(
+        label: impl Into<String>,
+        platform: Platform,
+        local: DeviceSpec,
+        target: DeviceSpec,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            platform,
+            local,
+            target,
+        }
+    }
+}
+
+/// The EMR2S setups of Figure 8a: NUMA and all four CXL devices, each
+/// against the EMR local-DRAM baseline.
+pub fn emr_cxl_setups() -> Vec<Setup> {
+    let p = Platform::emr2s();
+    vec![
+        Setup::new("EMR-NUMA", p.clone(), presets::local_emr(), presets::numa_emr()),
+        Setup::new("EMR-CXL-A", p.clone(), presets::local_emr(), presets::cxl_a()),
+        Setup::new("EMR-CXL-B", p.clone(), presets::local_emr(), presets::cxl_b()),
+        Setup::new("EMR-CXL-C", p.clone(), presets::local_emr(), presets::cxl_c()),
+        Setup::new("EMR-CXL-D", p, presets::local_emr(), presets::cxl_d()),
+    ]
+}
+
+/// The SPR2S setups used by Figure 8e (CXL-A / CXL-B on SPR).
+pub fn spr_cxl_setups() -> Vec<Setup> {
+    let p = Platform::spr2s();
+    vec![
+        Setup::new("SPR-CXL-A", p.clone(), presets::local_spr(), presets::cxl_a()),
+        Setup::new("SPR-CXL-B", p, presets::local_spr(), presets::cxl_b()),
+    ]
+}
+
+/// The full 11-setup latency spectrum of Figure 9a, left-to-right in the
+/// paper's order: SKX-140ns, SKX-190ns, SPR-NUMA, SPR-CXL-A, SPR-CXL-B,
+/// EMR-NUMA, EMR-CXL-A, EMR-CXL-B, EMR-CXL-D, EMR-CXL-C, SKX-410ns.
+pub fn full_latency_spectrum() -> Vec<Setup> {
+    let skx = Platform::skx2s();
+    let skx8 = Platform::skx8s();
+    let spr = Platform::spr2s();
+    let emr = Platform::emr2s();
+    vec![
+        Setup::new("SKX-140ns", skx.clone(), presets::local_skx2s(), presets::skx_140()),
+        Setup::new("SKX-190ns", skx, presets::local_skx2s(), presets::skx_190()),
+        Setup::new("SPR-NUMA", spr.clone(), presets::local_spr(), presets::numa_spr()),
+        Setup::new("SPR-CXL-A", spr.clone(), presets::local_spr(), presets::cxl_a()),
+        Setup::new("SPR-CXL-B", spr, presets::local_spr(), presets::cxl_b()),
+        Setup::new("EMR-NUMA", emr.clone(), presets::local_emr(), presets::numa_emr()),
+        Setup::new("EMR-CXL-A", emr.clone(), presets::local_emr(), presets::cxl_a()),
+        Setup::new("EMR-CXL-B", emr.clone(), presets::local_emr(), presets::cxl_b()),
+        Setup::new("EMR-CXL-D", emr.clone(), presets::local_emr(), presets::cxl_d()),
+        Setup::new("EMR-CXL-C", emr, presets::local_emr(), presets::cxl_c()),
+        Setup::new("SKX-410ns", skx8, presets::local_skx8s(), presets::skx8s_410()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_has_eleven_setups_in_paper_order() {
+        let s = full_latency_spectrum();
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0].label, "SKX-140ns");
+        assert_eq!(s[10].label, "SKX-410ns");
+        // Latency ordering: first is the fastest target, last the slowest.
+        assert!(s[0].target.nominal_latency_ns() < s[10].target.nominal_latency_ns());
+    }
+
+    #[test]
+    fn emr_setups_cover_all_cxl_devices() {
+        let labels: Vec<String> = emr_cxl_setups().iter().map(|s| s.label.clone()).collect();
+        for d in ["NUMA", "CXL-A", "CXL-B", "CXL-C", "CXL-D"] {
+            assert!(labels.iter().any(|l| l.contains(d)), "missing {d}");
+        }
+    }
+
+    #[test]
+    fn setups_pair_platform_and_baseline() {
+        for s in emr_cxl_setups() {
+            assert_eq!(s.platform.name, "EMR2S");
+            assert_eq!(s.local.name(), "Local");
+        }
+    }
+}

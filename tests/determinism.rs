@@ -1,0 +1,88 @@
+//! End-to-end determinism: identical inputs produce bit-identical
+//! results across the whole stack, and different seeds genuinely differ.
+
+use melody::prelude::*;
+use melody_workloads::mlc::{loaded_latency, MlcConfig};
+
+#[test]
+fn full_stack_run_is_deterministic() {
+    let w = registry::by_name("bfs-web").expect("bfs-web");
+    let opts = RunOptions {
+        mem_refs: 6_000,
+        sample_interval_ns: Some(10_000),
+        ..Default::default()
+    };
+    let a = run_pair(
+        &Platform::emr2s(),
+        &presets::local_emr(),
+        &presets::cxl_c(),
+        &w,
+        &opts,
+    );
+    let b = run_pair(
+        &Platform::emr2s(),
+        &presets::local_emr(),
+        &presets::cxl_c(),
+        &w,
+        &opts,
+    );
+    assert_eq!(a.local.counters, b.local.counters);
+    assert_eq!(a.target.counters, b.target.counters);
+    assert_eq!(a.local.samples.len(), b.local.samples.len());
+    assert_eq!(
+        a.target.demand_lat_hist.percentile(99.9),
+        b.target.demand_lat_hist.percentile(99.9)
+    );
+}
+
+#[test]
+fn different_seed_changes_stochastic_outcomes() {
+    let w = registry::by_name("bfs-web").expect("bfs-web");
+    let mk = |seed| RunOptions {
+        mem_refs: 6_000,
+        seed,
+        ..Default::default()
+    };
+    let a = run_workload(&Platform::emr2s(), &presets::cxl_c(), &w, &mk(1));
+    let b = run_workload(&Platform::emr2s(), &presets::cxl_c(), &w, &mk(2));
+    assert_ne!(
+        a.counters.cycles, b.counters.cycles,
+        "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn mlc_deterministic() {
+    let cfg = MlcConfig {
+        total_requests: 10_000,
+        ..MlcConfig::default()
+    };
+    let a = loaded_latency(&presets::cxl_b(), &cfg);
+    let b = loaded_latency(&presets::cxl_b(), &cfg);
+    assert_eq!(a.latency.percentile(99.9), b.latency.percentile(99.9));
+    assert_eq!(a.bandwidth_gbps, b.bandwidth_gbps);
+}
+
+#[test]
+fn mio_deterministic() {
+    let cfg = melody_mio::MioConfig {
+        accesses: 8_000,
+        noise_threads: 3,
+        ..Default::default()
+    };
+    let a = melody_mio::run(&presets::cxl_c(), &cfg);
+    let b = melody_mio::run(&presets::cxl_c(), &cfg);
+    assert_eq!(a.tail_gap_ns, b.tail_gap_ns);
+    assert_eq!(a.bandwidth_gbps, b.bandwidth_gbps);
+}
+
+#[test]
+fn registry_and_streams_are_stable() {
+    let r1 = registry::all();
+    let r2 = registry::all();
+    assert_eq!(r1, r2);
+    let w = &r1[17];
+    let s1: Vec<_> = SlotStream::new(w, 7, 500).collect();
+    let s2: Vec<_> = SlotStream::new(w, 7, 500).collect();
+    assert_eq!(s1, s2);
+}

@@ -1,0 +1,138 @@
+//! Cross-crate validation of the Spa machinery on real simulated runs:
+//! counter identities, breakdown conservation, period-analysis
+//! consistency, and the placement use-case.
+
+use melody::experiments::{placement, Scale};
+use melody::prelude::*;
+use melody_spa::period;
+
+fn some_workloads() -> Vec<WorkloadSpec> {
+    ["605.mcf", "519.lbm", "bfs-web", "redis.ycsb-A", "541.leela", "503.bwaves"]
+        .iter()
+        .map(|n| registry::by_name(n).expect("registry"))
+        .collect()
+}
+
+/// The Figure 10 counter containment invariants hold on every run, for
+/// every device class.
+#[test]
+fn counter_invariants_on_real_runs() {
+    let opts = RunOptions {
+        mem_refs: 8_000,
+        ..Default::default()
+    };
+    for spec in [
+        presets::local_emr(),
+        presets::numa_emr(),
+        presets::cxl_b(),
+        presets::cxl_a().with_numa_hop(),
+        presets::cxl_d().interleaved(2),
+    ] {
+        for w in some_workloads() {
+            let r = run_workload(&Platform::emr2s(), &spec, &w, &opts);
+            assert!(
+                r.counters.invariants_hold(),
+                "{} on {}: {:?}",
+                w.name,
+                spec.name(),
+                r.counters
+            );
+        }
+    }
+}
+
+/// Exclusive breakdown components sum to the memory-subsystem stalls on
+/// every run (Eq. 6 is an identity, not an approximation).
+#[test]
+fn breakdown_identity_eq6() {
+    let opts = RunOptions {
+        mem_refs: 8_000,
+        ..Default::default()
+    };
+    for w in some_workloads() {
+        let r = run_workload(&Platform::emr2s(), &presets::cxl_b(), &w, &opts);
+        let c = &r.counters;
+        assert_eq!(
+            c.s_store() + c.s_l1() + c.s_l2() + c.s_l3() + c.s_dram(),
+            c.s_memory(),
+            "{}",
+            w.name
+        );
+    }
+}
+
+/// The pair-level breakdown's `total` equals the measured slowdown, and
+/// `other` is the exact residual.
+#[test]
+fn breakdown_conservation() {
+    let opts = RunOptions {
+        mem_refs: 8_000,
+        ..Default::default()
+    };
+    for w in some_workloads() {
+        let p = run_pair(
+            &Platform::emr2s(),
+            &presets::local_emr(),
+            &presets::cxl_a(),
+            &w,
+            &opts,
+        );
+        assert!((p.breakdown.total - p.slowdown).abs() < 1e-9, "{}", w.name);
+        let parts = p.breakdown.attributed() + p.breakdown.other;
+        assert!((parts - p.breakdown.total).abs() < 1e-9, "{}", w.name);
+    }
+}
+
+/// Period-based analysis conserves the whole-run slowdown when weighted
+/// by baseline cycles, on a real phased workload.
+#[test]
+fn period_analysis_conservation_on_real_run() {
+    let w = registry::by_name("602.gcc").expect("gcc");
+    let opts = RunOptions {
+        mem_refs: 16_000,
+        sample_interval_ns: Some(5_000),
+        ..Default::default()
+    };
+    let local = run_workload(&Platform::emr2s(), &presets::local_emr(), &w, &opts);
+    let cxl = run_workload(&Platform::emr2s(), &presets::cxl_b(), &w, &opts);
+    let overall = cxl.slowdown_vs(&local);
+    let period = (local.counters.instructions / 30).max(1);
+    let mut a = period::analyze(&local.samples, &cxl.samples, period);
+    // Drop the drain-distorted final period, as the harness does.
+    a.periods.pop();
+    a.local_cycles.pop();
+    let weighted = a.weighted_mean_slowdown();
+    assert!(
+        (weighted - overall).abs() < 0.15 * (1.0 + overall),
+        "weighted {weighted:.3} vs overall {overall:.3}"
+    );
+}
+
+/// The §5.7 placement use case recovers most of the slowdown.
+#[test]
+fn placement_use_case() {
+    let d = placement::run(Scale::Smoke);
+    assert!(d.baseline_slowdown > 0.10);
+    assert!(d.tuned_slowdown < d.baseline_slowdown / 2.5);
+    assert!(d.bursty_periods > 0);
+}
+
+/// Local-vs-local differential analysis reports ~zero slowdown and ~zero
+/// components (the null experiment).
+#[test]
+fn null_experiment_is_clean() {
+    let w = registry::by_name("605.mcf").expect("mcf");
+    let opts = RunOptions {
+        mem_refs: 8_000,
+        ..Default::default()
+    };
+    let p = run_pair(
+        &Platform::emr2s(),
+        &presets::local_emr(),
+        &presets::local_emr(),
+        &w,
+        &opts,
+    );
+    assert!(p.slowdown.abs() < 0.02, "null slowdown {}", p.slowdown);
+    assert!(p.breakdown.dram.abs() < 0.02);
+}

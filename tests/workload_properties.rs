@@ -1,0 +1,104 @@
+//! Property-based tests over the whole pipeline: for *arbitrary*
+//! workload specifications, the differential-analysis preconditions and
+//! counter invariants must hold on every device.
+
+use melody::prelude::*;
+use melody_workloads::{Pattern, Phase, Suite};
+use proptest::prelude::*;
+
+fn any_phase() -> impl Strategy<Value = Phase> {
+    (
+        1.0f64..200.0,   // uops_per_mem
+        0.0f64..0.9,     // dependence
+        20u64..4_000,    // working set in MiB
+        0.0f64..0.95,    // seq_frac
+        0.0f64..0.5,     // store_frac
+        prop_oneof![
+            Just(Pattern::Sequential),
+            Just(Pattern::Random),
+            (1u32..16).prop_map(Pattern::Strided),
+            (0.2f64..0.9, 16u64..256).prop_map(|(hot_frac, mb)| Pattern::Skewed {
+                hot_frac,
+                hot_bytes: mb << 20,
+            }),
+        ],
+    )
+        .prop_map(|(uops, dep, ws_mb, seq, store, pattern)| Phase {
+            weight: 1.0,
+            uops_per_mem: uops,
+            dependence: dep,
+            working_set: ws_mb << 20,
+            seq_frac: seq,
+            pattern,
+            store_frac: store,
+        })
+}
+
+fn any_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (any_phase(), 1u32..9, 1.0f64..3.5, 0.0f64..0.4).prop_map(|(p, threads, ilp, fe)| {
+        let mut w = WorkloadSpec::single("prop.workload", Suite::Phoronix, p);
+        w.threads = threads;
+        w.ilp = ilp;
+        w.frontend_bound = fe;
+        w
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Local and CXL runs of any workload execute the identical
+    /// instruction stream, and both satisfy the Figure 10 counter
+    /// invariants.
+    #[test]
+    fn differential_preconditions(w in any_spec()) {
+        let opts = RunOptions { mem_refs: 2_000, ..Default::default() };
+        let local = run_workload(&Platform::emr2s(), &presets::local_emr(), &w, &opts);
+        let cxl = run_workload(&Platform::emr2s(), &presets::cxl_b(), &w, &opts);
+        prop_assert_eq!(local.counters.instructions, cxl.counters.instructions);
+        prop_assert!(local.counters.invariants_hold(), "{:?}", local.counters);
+        prop_assert!(cxl.counters.invariants_hold(), "{:?}", cxl.counters);
+        // Higher-latency lower-bandwidth memory can't make things faster
+        // (beyond rounding noise).
+        prop_assert!(
+            cxl.counters.cycles as f64 >= local.counters.cycles as f64 * 0.99,
+            "CXL run faster than local: {} vs {}",
+            cxl.counters.cycles,
+            local.counters.cycles
+        );
+    }
+
+    /// The Spa breakdown's components exactly account for the measured
+    /// slowdown on arbitrary workloads.
+    #[test]
+    fn breakdown_accounts_for_slowdown(w in any_spec()) {
+        let opts = RunOptions { mem_refs: 2_000, ..Default::default() };
+        let p = run_pair(
+            &Platform::emr2s(),
+            &presets::local_emr(),
+            &presets::cxl_a(),
+            &w,
+            &opts,
+        );
+        prop_assert!((p.breakdown.total - p.slowdown).abs() < 1e-9);
+        let sum = p.breakdown.attributed() + p.breakdown.other;
+        prop_assert!((sum - p.breakdown.total).abs() < 1e-9);
+    }
+
+    /// Eq. 5's tightest estimator stays within 10pp of the measured
+    /// slowdown for arbitrary (not just calibrated) workloads.
+    #[test]
+    fn estimators_track_arbitrary_workloads(w in any_spec()) {
+        let opts = RunOptions { mem_refs: 2_000, ..Default::default() };
+        let p = run_pair(
+            &Platform::emr2s(),
+            &presets::local_emr(),
+            &presets::cxl_b(),
+            &w,
+            &opts,
+        );
+        let e = estimates(&p.local.counters, &p.target.counters);
+        let (d, _, _) = e.abs_errors_pp();
+        prop_assert!(d < 10.0, "Δs error {d}pp for {:?}", w.phases[0]);
+    }
+}
