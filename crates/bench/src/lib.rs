@@ -37,10 +37,16 @@ pub fn bench_opts() -> RunOptions {
 /// The workloads exercised by the per-figure bench kernels: one per
 /// behaviour class the paper highlights.
 pub fn bench_workloads() -> Vec<WorkloadSpec> {
-    ["605.mcf", "519.lbm", "603.bwaves", "redis.ycsb-C", "541.leela"]
-        .iter()
-        .map(|n| registry::by_name(n).expect("registry workload"))
-        .collect()
+    [
+        "605.mcf",
+        "519.lbm",
+        "603.bwaves",
+        "redis.ycsb-C",
+        "541.leela",
+    ]
+    .iter()
+    .map(|n| registry::by_name(n).expect("registry workload"))
+    .collect()
 }
 
 #[cfg(test)]

@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_mostly_misses() {
         let mut c = Cache::new(64 * 1024, 8); // 64 KiB
-        // Stream a 1 MiB working set twice.
+                                              // Stream a 1 MiB working set twice.
         for pass in 0..2 {
             for line in 0..16_384u64 {
                 let hit = c.probe(line);

@@ -70,7 +70,9 @@ impl CounterSet {
             retired_stalls: self.retired_stalls.saturating_sub(other.retired_stalls),
             ports_1_util: self.ports_1_util.saturating_sub(other.ports_1_util),
             ports_2_util: self.ports_2_util.saturating_sub(other.ports_2_util),
-            stalls_scoreboard: self.stalls_scoreboard.saturating_sub(other.stalls_scoreboard),
+            stalls_scoreboard: self
+                .stalls_scoreboard
+                .saturating_sub(other.stalls_scoreboard),
             l1pf_l3_miss: self.l1pf_l3_miss.saturating_sub(other.l1pf_l3_miss),
             l2pf_l3_miss: self.l2pf_l3_miss.saturating_sub(other.l2pf_l3_miss),
             l2pf_l3_hit: self.l2pf_l3_hit.saturating_sub(other.l2pf_l3_hit),

@@ -72,6 +72,38 @@ impl CoreConfig {
     }
 }
 
+/// Timing constants hoisted out of the per-slot hot path.
+///
+/// `Platform` owns a `String` name, so cloning it inside `do_load` /
+/// `do_compute` / the prefetcher hooks allocated on every slot. The
+/// latencies are pre-multiplied by `cycle_ps` — the same integer
+/// products the hot path computed before, so behaviour is
+/// byte-identical.
+#[derive(Debug, Clone, Copy)]
+struct HotParams {
+    ipc_peak: f64,
+    l1_lat_ps: u64,
+    l2_lat_ps: u64,
+    l3_lat_ps: u64,
+    l2pf_slots: usize,
+    lfb_entries: usize,
+    store_buffer_entries: usize,
+}
+
+impl HotParams {
+    fn new(p: &Platform, cycle_ps: u64) -> Self {
+        Self {
+            ipc_peak: p.ipc_peak,
+            l1_lat_ps: p.l1_lat_cy * cycle_ps,
+            l2_lat_ps: p.l2_lat_cy * cycle_ps,
+            l3_lat_ps: p.l3_lat_cy * cycle_ps,
+            l2pf_slots: p.l2pf_slots,
+            lfb_entries: p.lfb_entries,
+            store_buffer_entries: p.store_buffer_entries,
+        }
+    }
+}
+
 /// How deep a load had to go; orders stall attribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Depth {
@@ -148,6 +180,7 @@ impl RunResult {
 pub struct Core {
     cfg: CoreConfig,
     device: Box<dyn MemoryDevice>,
+    hot: HotParams,
     cycle_ps: u64,
     t_ps: u64,
     l1: Cache,
@@ -181,6 +214,7 @@ impl Core {
     pub fn new(cfg: CoreConfig, device: Box<dyn MemoryDevice>) -> Self {
         let p = &cfg.platform;
         let cycle_ps = p.cycle_ps();
+        let hot = HotParams::new(p, cycle_ps);
         let l1 = Cache::new(p.l1d_kb as usize * 1024, 12);
         let l2 = Cache::new(p.l2_kb as usize * 1024, 16);
         let l3 = Cache::new((p.l3_mb * 1024.0 * 1024.0) as usize, 16);
@@ -191,6 +225,7 @@ impl Core {
         Self {
             l1pf: StridePrefetcher::l1_default(),
             l2pf: StreamPrefetcher::l2_default(),
+            hot,
             cycle_ps,
             t_ps: 0,
             l1,
@@ -328,8 +363,7 @@ impl Core {
         // A sliver of long memory stalls shows up as scoreboard pressure
         // (data-dependent serialization), the small Core term of Eq. 3.
         if depth == Depth::Mem && self.cfg.serialize_frac > 0.0 {
-            self.counters.stalls_scoreboard +=
-                (dc as f64 * self.cfg.serialize_frac * 0.05) as u64;
+            self.counters.stalls_scoreboard += (dc as f64 * self.cfg.serialize_frac * 0.05) as u64;
         }
     }
 
@@ -433,7 +467,7 @@ impl Core {
     }
 
     fn l1pf_budget(&self) -> usize {
-        self.cfg.platform.lfb_entries.max(2)
+        self.hot.lfb_entries.max(2)
     }
 
     /// Where is `line`, as of now, without side effects on pendings.
@@ -460,8 +494,7 @@ impl Core {
     }
 
     fn do_compute(&mut self, uops: u32) {
-        let p = self.cfg.platform.clone();
-        let ilp = self.cfg.ilp.clamp(0.25, p.ipc_peak);
+        let ilp = self.cfg.ilp.clamp(0.25, self.hot.ipc_peak);
         let cycles = (uops as f64 / ilp).ceil() as u64;
         self.counters.instructions += uops as u64;
         self.advance(cycles * self.cycle_ps);
@@ -469,7 +502,7 @@ impl Core {
         // counters; purely a function of the instruction mix, so the
         // local-vs-CXL delta of these counters is ~0 (the paper's
         // observation that CXL barely moves Core/frontend stalls).
-        let retire_cycles = (uops as f64 / p.ipc_peak).ceil() as u64;
+        let retire_cycles = (uops as f64 / self.hot.ipc_peak).ceil() as u64;
         let nonretiring = cycles.saturating_sub(retire_cycles);
         self.counters.retired_stalls += nonretiring;
         let w1 = ((2.5 - ilp) * 0.4).clamp(0.0, 0.8);
@@ -500,7 +533,6 @@ impl Core {
         let line = addr / 64;
         self.counters.instructions += 1;
         self.settle();
-        let p = self.cfg.platform.clone();
 
         // Hardware prefetch hooks observe the demand stream first so they
         // can run ahead of it.
@@ -512,7 +544,7 @@ impl Core {
         // latency; independent L1 hits are fully hidden by the OoO core.
         if self.l1.probe(line) {
             if dependent {
-                let d = p.l1_lat_cy * self.cycle_ps;
+                let d = self.hot.l1_lat_ps;
                 self.dep_load_hist.record(d / 1_000);
                 self.load_stall(d, Depth::L1);
             }
@@ -525,7 +557,7 @@ impl Core {
         // "delayed L1 hits" component of the paper's Finding #4.
         if let Some(ready) = self.find_pending_l1(line) {
             if dependent {
-                let d = ready.saturating_sub(self.t_ps) + p.l1_lat_cy * self.cycle_ps;
+                let d = ready.saturating_sub(self.t_ps) + self.hot.l1_lat_ps;
                 self.dep_load_hist.record(d / 1_000);
                 self.load_stall(d, Depth::L1);
             }
@@ -539,7 +571,7 @@ impl Core {
         if self.l2.probe(line) {
             self.fill_l1(line, false);
             if dependent {
-                let d = p.l2_lat_cy * self.cycle_ps;
+                let d = self.hot.l2_lat_ps;
                 self.dep_load_hist.record(d / 1_000);
                 self.load_stall(d, Depth::L2);
             }
@@ -548,7 +580,7 @@ impl Core {
 
         // Delayed L2 hit on a pending L2 prefetch: stalls at the L2 level.
         if let Some(ready) = self.find_pending_l2(line) {
-            let wait = ready.saturating_sub(self.t_ps) + p.l2_lat_cy * self.cycle_ps;
+            let wait = ready.saturating_sub(self.t_ps) + self.hot.l2_lat_ps;
             if dependent {
                 self.dep_load_hist.record(wait / 1_000);
                 self.load_stall(wait, Depth::L2);
@@ -561,11 +593,11 @@ impl Core {
         if self.l3.probe(line) {
             self.fill_l1(line, false);
             if dependent {
-                let d = p.l3_lat_cy * self.cycle_ps;
+                let d = self.hot.l3_lat_ps;
                 self.dep_load_hist.record(d / 1_000);
                 self.load_stall(d, Depth::L3);
             } else {
-                self.lfb_insert(line, self.t_ps + p.l3_lat_cy * self.cycle_ps, Depth::L3, false);
+                self.lfb_insert(line, self.t_ps + self.hot.l3_lat_ps, Depth::L3, false);
             }
             return;
         }
@@ -590,7 +622,7 @@ impl Core {
 
     /// Inserts an independent miss into the LFB, stalling if it is full.
     fn lfb_insert(&mut self, line: u64, ready_ps: u64, depth: Depth, is_prefetch: bool) {
-        while self.lfb_used() >= self.cfg.platform.lfb_entries {
+        while self.lfb_used() >= self.hot.lfb_entries {
             // Stall until the earliest in-flight entry completes.
             let earliest = self
                 .lfb
@@ -627,7 +659,7 @@ impl Core {
         // cycles where a *load stall* is concurrently charged, and the
         // exclusive partition of Figure 10 holds because P1 and P2 never
         // double-count the same cycle here.
-        while self.sb.len() >= self.cfg.platform.store_buffer_entries {
+        while self.sb.len() >= self.hot.store_buffer_entries {
             let earliest = *self.sb.iter().min().expect("non-empty");
             let wait = earliest.saturating_sub(self.t_ps).max(1);
             let dc = self.stall_cycles(wait);
@@ -645,7 +677,6 @@ impl Core {
 
     fn run_l1_prefetcher(&mut self, line: u64) {
         let reqs = self.l1pf.observe(line);
-        let p = self.cfg.platform.clone();
         for r in reqs {
             if self.l1.contains(r.line)
                 || self.find_pending_l1(r.line).is_some()
@@ -659,11 +690,11 @@ impl Core {
             self.run_l2_prefetcher(r.line);
             // Resolve the prefetch source.
             let ready = if self.l2.contains(r.line) {
-                self.t_ps + p.l2_lat_cy * self.cycle_ps
+                self.t_ps + self.hot.l2_lat_ps
             } else if let Some(r2) = self.find_pending_l2(r.line) {
-                r2.max(self.t_ps) + p.l2_lat_cy * self.cycle_ps
+                r2.max(self.t_ps) + self.hot.l2_lat_ps
             } else if self.l3.contains(r.line) {
-                self.t_ps + p.l3_lat_cy * self.cycle_ps
+                self.t_ps + self.hot.l3_lat_ps
             } else {
                 // L1 prefetch all the way to memory: the L1PF-L3-miss
                 // event of Figure 12a.
@@ -683,12 +714,11 @@ impl Core {
     fn run_l2_prefetcher(&mut self, line: u64) {
         self.tick += 1;
         let reqs = self.l2pf.observe(line, self.tick);
-        let p = self.cfg.platform.clone();
         for r in reqs {
             if self.l2.contains(r.line) || self.find_pending_l2(r.line).is_some() {
                 continue;
             }
-            if self.pending_l2.len() >= p.l2pf_slots {
+            if self.pending_l2.len() >= self.hot.l2pf_slots {
                 // No free in-flight slot: the prefetch is dropped. Longer
                 // memory latency keeps slots busy longer, so more drops —
                 // the coverage loss of Finding #4.
@@ -698,7 +728,7 @@ impl Core {
             self.counters.l2pf_issued += 1;
             let ready = if self.l3.contains(r.line) {
                 self.counters.l2pf_l3_hit += 1;
-                self.t_ps + p.l3_lat_cy * self.cycle_ps
+                self.t_ps + self.hot.l3_lat_ps
             } else {
                 self.counters.l2pf_l3_miss += 1;
                 let a = self.device.access(&MemRequest::new(
@@ -715,11 +745,7 @@ impl Core {
 
     fn maybe_sample(&mut self) {
         while self.t_ps >= self.next_sample_ps {
-            let interval_ps = self
-                .cfg
-                .sample_interval_ns
-                .expect("sampling enabled")
-                * 1_000;
+            let interval_ps = self.cfg.sample_interval_ns.expect("sampling enabled") * 1_000;
             let mut c = self.counters;
             c.cycles = self.cycles_at(self.next_sample_ps);
             self.samples.push(CounterSample {
@@ -827,10 +853,12 @@ mod tests {
 
     #[test]
     fn sequential_stream_is_prefetched() {
-        let seq = |n: u64| (0..n).map(|i| Slot::Load {
-            addr: i * 64,
-            dependent: true,
-        });
+        let seq = |n: u64| {
+            (0..n).map(|i| Slot::Load {
+                addr: i * 64,
+                dependent: true,
+            })
+        };
         let pf_on = emr_core(presets::local_emr()).run(seq(20_000));
         let mut cfg = CoreConfig::new(Platform::emr2s());
         cfg.prefetchers = false;
@@ -868,15 +896,17 @@ mod tests {
         // enough that the L2 prefetcher's in-flight budget covers it at
         // local latency but not at CXL latency (~9 ns/line: 16 slots give
         // 16·9 = 144 ns of run-ahead — above 111 ns, below 271 ns).
-        let seq = |n: u64| (0..n).flat_map(|i| {
-            [
-                Slot::Compute { uops: 38 },
-                Slot::Load {
-                    addr: i * 64,
-                    dependent: false,
-                },
-            ]
-        });
+        let seq = |n: u64| {
+            (0..n).flat_map(|i| {
+                [
+                    Slot::Compute { uops: 38 },
+                    Slot::Load {
+                        addr: i * 64,
+                        dependent: false,
+                    },
+                ]
+            })
+        };
         let local = emr_core(presets::local_emr()).run(seq(40_000));
         let cxl = emr_core(presets::cxl_b()).run(seq(40_000));
         assert!(
@@ -965,7 +995,11 @@ mod tests {
             dependent: true,
         });
         let r = Core::new(cfg, presets::local_emr().build(7)).run(stream);
-        assert!(r.samples.len() > 10, "expected samples, got {}", r.samples.len());
+        assert!(
+            r.samples.len() > 10,
+            "expected samples, got {}",
+            r.samples.len()
+        );
         // Samples are time-ordered and counters monotone.
         for w in r.samples.windows(2) {
             assert!(w[1].time_ns > w[0].time_ns);
@@ -981,7 +1015,10 @@ mod tests {
         let stream = (0..500).map(|_| Slot::Compute { uops: 40 });
         let r = Core::new(cfg, presets::local_emr().build(1)).run(stream);
         assert_eq!(r.counters.instructions, 500 * 40);
-        assert!(r.counters.ports_1_util > 0, "low-ILP compute must show 1-port cycles");
+        assert!(
+            r.counters.ports_1_util > 0,
+            "low-ILP compute must show 1-port cycles"
+        );
         assert_eq!(r.counters.bound_on_loads, 0);
         assert_eq!(r.counters.demand_l3_miss, 0);
         assert!(r.counters.invariants_hold());
@@ -1021,7 +1058,7 @@ mod tests {
             presets::cxl_c().build(1),
         );
         cfg_core.warm(0, 4 << 20); // 4 MiB
-        // Dependent chase inside the warmed range: everything hits cache.
+                                   // Dependent chase inside the warmed range: everything hits cache.
         let stream = (0..5_000u64).map(|i| Slot::Load {
             addr: (i.wrapping_mul(2654435761) % (4 * 16_384)) * 64,
             dependent: true,
@@ -1045,7 +1082,11 @@ mod tests {
         let stores = (0..30_000u64).map(|i| Slot::Store { addr: i * 64 });
         let r = Core::new(CoreConfig::new(platform), presets::local_emr().build(7)).run(stores);
         assert!(r.device_stats.reads > 10_000, "RFOs: {:?}", r.device_stats);
-        assert!(r.device_stats.writes > 1_000, "writebacks: {:?}", r.device_stats);
+        assert!(
+            r.device_stats.writes > 1_000,
+            "writebacks: {:?}",
+            r.device_stats
+        );
     }
 
     #[test]

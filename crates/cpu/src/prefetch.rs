@@ -17,6 +17,74 @@ pub struct PrefetchRequest {
     pub line: u64,
 }
 
+/// Largest supported prefetch degree (candidates per `observe` call).
+pub const MAX_PREFETCH_DEGREE: usize = 8;
+
+/// A fixed-capacity batch of prefetch candidates, returned by value from
+/// the `observe` hooks. `observe` runs on every demand load, so a
+/// returned `Vec` put a heap allocation on the engine's hottest path;
+/// this batch lives entirely on the stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchBatch {
+    lines: [u64; MAX_PREFETCH_DEGREE],
+    len: usize,
+}
+
+impl PrefetchBatch {
+    fn push(&mut self, line: u64) {
+        self.lines[self.len] = line;
+        self.len += 1;
+    }
+
+    /// Number of candidates in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl IntoIterator for PrefetchBatch {
+    type Item = PrefetchRequest;
+    type IntoIter = PrefetchBatchIter;
+
+    fn into_iter(self) -> PrefetchBatchIter {
+        PrefetchBatchIter {
+            batch: self,
+            idx: 0,
+        }
+    }
+}
+
+/// Iterator over a [`PrefetchBatch`], in issue order.
+#[derive(Debug, Clone)]
+pub struct PrefetchBatchIter {
+    batch: PrefetchBatch,
+    idx: usize,
+}
+
+impl Iterator for PrefetchBatchIter {
+    type Item = PrefetchRequest;
+
+    fn next(&mut self) -> Option<PrefetchRequest> {
+        if self.idx < self.batch.len {
+            let line = self.batch.lines[self.idx];
+            self.idx += 1;
+            Some(PrefetchRequest { line })
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.batch.len - self.idx;
+        (n, Some(n))
+    }
+}
+
 /// Detects constant-stride streams in the L1 access stream and prefetches
 /// a small distance ahead (the L1 prefetcher).
 #[derive(Debug, Clone)]
@@ -31,7 +99,15 @@ pub struct StridePrefetcher {
 impl StridePrefetcher {
     /// Creates a stride prefetcher issuing `degree` lines ahead once a
     /// stride repeats `confidence_needed` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` exceeds [`MAX_PREFETCH_DEGREE`].
     pub fn new(degree: u32, confidence_needed: u32) -> Self {
+        assert!(
+            degree as usize <= MAX_PREFETCH_DEGREE,
+            "degree {degree} exceeds MAX_PREFETCH_DEGREE"
+        );
         Self {
             last_line: u64::MAX,
             last_stride: 0,
@@ -48,8 +124,8 @@ impl StridePrefetcher {
     }
 
     /// Observes a demand access; returns prefetch candidates.
-    pub fn observe(&mut self, line: u64) -> Vec<PrefetchRequest> {
-        let mut out = Vec::new();
+    pub fn observe(&mut self, line: u64) -> PrefetchBatch {
+        let mut out = PrefetchBatch::default();
         if self.last_line != u64::MAX {
             let stride = line as i64 - self.last_line as i64;
             if stride != 0 && stride == self.last_stride && stride.unsigned_abs() <= 8 {
@@ -62,9 +138,7 @@ impl StridePrefetcher {
                 for k in 1..=self.degree {
                     let target = line as i64 + self.last_stride * k as i64;
                     if target >= 0 {
-                        out.push(PrefetchRequest {
-                            line: target as u64,
-                        });
+                        out.push(target as u64);
                     }
                 }
             }
@@ -97,7 +171,15 @@ struct StreamEntry {
 impl StreamPrefetcher {
     /// Creates a stream prefetcher with `degree` prefetches per trigger,
     /// running up to `distance` lines ahead, tracking `max_entries` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` exceeds [`MAX_PREFETCH_DEGREE`].
     pub fn new(degree: u32, distance: u32, max_entries: usize) -> Self {
+        assert!(
+            degree as usize <= MAX_PREFETCH_DEGREE,
+            "degree {degree} exceeds MAX_PREFETCH_DEGREE"
+        );
         Self {
             entries: Vec::with_capacity(max_entries),
             max_entries,
@@ -118,9 +200,9 @@ impl StreamPrefetcher {
 
     /// Observes an L2 access (demand miss or L1 prefetch); returns stream
     /// prefetch candidates.
-    pub fn observe(&mut self, line: u64, tick: u64) -> Vec<PrefetchRequest> {
+    pub fn observe(&mut self, line: u64, tick: u64) -> PrefetchBatch {
         let page = line / 64; // 64 lines = 4 KiB page
-        let mut out = Vec::new();
+        let mut out = PrefetchBatch::default();
         if let Some(e) = self.entries.iter_mut().find(|e| e.page == page) {
             e.lru = tick;
             let dir = (line as i64 - e.last_line as i64).signum();
@@ -138,9 +220,7 @@ impl StreamPrefetcher {
                     // Stay within the page (stream prefetchers do not cross
                     // 4 KiB boundaries).
                     if target >= 0 && target as u64 / 64 == page {
-                        out.push(PrefetchRequest {
-                            line: target as u64,
-                        });
+                        out.push(target as u64);
                     }
                 }
             }
@@ -236,5 +316,23 @@ mod tests {
             // Each access on a new page: constant entry churn.
             pf.observe(i * 64, i);
         }
+    }
+
+    #[test]
+    fn batch_iterates_in_issue_order() {
+        let mut b = PrefetchBatch::default();
+        assert!(b.is_empty());
+        for line in [3u64, 1, 7] {
+            b.push(line);
+        }
+        assert_eq!(b.len(), 3);
+        let lines: Vec<u64> = b.into_iter().map(|p| p.line).collect();
+        assert_eq!(lines, vec![3, 1, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PREFETCH_DEGREE")]
+    fn oversized_degree_is_rejected() {
+        StridePrefetcher::new(MAX_PREFETCH_DEGREE as u32 + 1, 2);
     }
 }

@@ -229,11 +229,15 @@ impl CxlDevice {
             pool.submit(at, service)
         } else {
             const ALPHA: f64 = 0.02;
-            self.write_frac_ewma = self.write_frac_ewma * (1.0 - ALPHA)
-                + if is_read { 0.0 } else { ALPHA };
+            self.write_frac_ewma =
+                self.write_frac_ewma * (1.0 - ALPHA) + if is_read { 0.0 } else { ALPHA };
             let fw = self.write_frac_ewma.clamp(0.0, 1.0);
             let overhead = 1.0 + 0.8 * 2.0 * fw * (1.0 - fw);
-            let share = if is_read { (1.0 - fw).max(0.05) } else { fw.max(0.05) };
+            let share = if is_read {
+                (1.0 - fw).max(0.05)
+            } else {
+                fw.max(0.05)
+            };
             let gbps_eff = self.cfg.read_link_gbps * share / overhead;
             let service = (64.0 / gbps_eff * 1_000.0) as SimTime;
             let pool = if is_read {
@@ -279,8 +283,8 @@ impl MemoryDevice for CxlDevice {
         // exhaustion episode; average and tail latency rise from
         // `load_onset` onward while peak bandwidth stays reachable — the
         // Figure 3a/3c shape.
-        let excess = ((util - self.cfg.load_onset) / (1.0 - self.cfg.load_onset).max(1e-9))
-            .clamp(0.0, 1.0);
+        let excess =
+            ((util - self.cfg.load_onset) / (1.0 - self.cfg.load_onset).max(1e-9)).clamp(0.0, 1.0);
         if excess > 0.0 && self.rng.chance(self.cfg.congestion_p * excess) {
             let w = (self.cfg.congestion_window_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
             defer_ps += w;
@@ -310,8 +314,7 @@ impl MemoryDevice for CxlDevice {
         }
 
         // --- MC request scheduler.
-        let sched_service =
-            (self.cfg.sched_service_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+        let sched_service = (self.cfg.sched_service_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
         let (sched_start, sched_done) = self.sched.submit(t, sched_service);
         queue_ps += sched_start - t;
 
@@ -447,7 +450,10 @@ mod tests {
             last = a.completion.max(last);
         }
         let gbps = n as f64 * 64.0 / last as f64 * 1_000.0;
-        assert!(gbps > 24.0, "duplex mixed bandwidth {gbps} should exceed 22");
+        assert!(
+            gbps > 24.0,
+            "duplex mixed bandwidth {gbps} should exceed 22"
+        );
     }
 
     #[test]
@@ -504,7 +510,11 @@ mod tests {
         // Drive at ~10% utilization.
         let mut spikes = 0u64;
         for i in 0..20_000u64 {
-            let a = dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 30_000));
+            let a = dev.access(&MemRequest::new(
+                i * 64,
+                RequestKind::DemandRead,
+                i * 30_000,
+            ));
             // tRFC for DDR4 is 350 ns, so anything above 400 ns must be a
             // congestion window.
             if a.spike_ps > 400_000 {

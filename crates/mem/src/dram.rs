@@ -143,10 +143,8 @@ impl DramBackend {
                 // Stagger refresh across channels so they never align, and
                 // shift past the first per-bank window so simulation start
                 // (t = 0, often bank 0) is not mid-refresh.
-                refresh_offset: ns(
-                    (timing.t_refi_ns as u64 / channels as u64) * i as u64
-                        + (timing.t_rfc_ns / 3.0) as u64,
-                ),
+                refresh_offset: ns((timing.t_refi_ns as u64 / channels as u64) * i as u64
+                    + (timing.t_rfc_ns / 3.0) as u64),
             })
             .collect();
         Self {

@@ -121,12 +121,7 @@ mod tests {
     use crate::request::RequestKind;
 
     fn local() -> ImcDevice {
-        ImcDevice::new(ImcConfig::calibrated(
-            "Local",
-            111.0,
-            DramTiming::ddr5(),
-            8,
-        ))
+        ImcDevice::new(ImcConfig::calibrated("Local", 111.0, DramTiming::ddr5(), 8))
     }
 
     #[test]
@@ -173,6 +168,9 @@ mod tests {
             total_queue += a.queue_ps;
         }
         let mean_queue_ns = total_queue as f64 / n as f64 / 1_000.0;
-        assert!(mean_queue_ns < 10.0, "queueing {mean_queue_ns} ns at 50% load");
+        assert!(
+            mean_queue_ns < 10.0,
+            "queueing {mean_queue_ns} ns at 50% load"
+        );
     }
 }

@@ -113,7 +113,11 @@ mod tests {
     fn traffic_splits_across_parts() {
         let mut dev = two_way();
         for i in 0..1_000u64 {
-            dev.access(&MemRequest::new(i * 256, RequestKind::DemandRead, i * 1_000));
+            dev.access(&MemRequest::new(
+                i * 256,
+                RequestKind::DemandRead,
+                i * 1_000,
+            ));
         }
         let s = dev.stats();
         assert_eq!(s.reads, 1_000);

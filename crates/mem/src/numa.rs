@@ -60,8 +60,21 @@ impl NumaHopConfig {
             burst_congestion_p: 0.10,
             burst_ia_ns: 120.0,
             congestion_window_ns: Dist::Mixture(vec![
-                (0.8, Dist::Uniform { lo: 250.0, hi: 550.0 }),
-                (0.2, Dist::BoundedPareto { scale: 500.0, shape: 1.6, cap: 4_000.0 }),
+                (
+                    0.8,
+                    Dist::Uniform {
+                        lo: 250.0,
+                        hi: 550.0,
+                    },
+                ),
+                (
+                    0.2,
+                    Dist::BoundedPareto {
+                        scale: 500.0,
+                        shape: 1.6,
+                        cap: 4_000.0,
+                    },
+                ),
             ]),
             window_min_gap_ns: 4_000.0,
         }
@@ -195,12 +208,7 @@ mod tests {
     use crate::request::RequestKind;
 
     fn remote_dram() -> NumaHopDevice {
-        let imc = ImcDevice::new(ImcConfig::calibrated(
-            "Local",
-            111.0,
-            DramTiming::ddr5(),
-            8,
-        ));
+        let imc = ImcDevice::new(ImcConfig::calibrated("Local", 111.0, DramTiming::ddr5(), 8));
         NumaHopDevice::new(NumaHopConfig::plain(82.0, 120.0), Box::new(imc), 1)
     }
 
@@ -210,7 +218,10 @@ mod tests {
         assert!((dev.nominal_latency_ns() - 193.0).abs() < 1e-9);
         let a = dev.access(&MemRequest::new(64 * 999, RequestKind::DemandRead, 0));
         let ns = a.completion as f64 / 1_000.0;
-        assert!((160.0..230.0).contains(&ns), "NUMA idle {ns} ns, expect ~193");
+        assert!(
+            (160.0..230.0).contains(&ns),
+            "NUMA idle {ns} ns, expect ~193"
+        );
     }
 
     #[test]
@@ -229,17 +240,8 @@ mod tests {
 
     #[test]
     fn coupled_hop_amplifies_bursty_tails() {
-        let imc = ImcDevice::new(ImcConfig::calibrated(
-            "Local",
-            111.0,
-            DramTiming::ddr5(),
-            8,
-        ));
-        let mut dev = NumaHopDevice::new(
-            NumaHopConfig::cxl_coupled(161.0, 14.0),
-            Box::new(imc),
-            2,
-        );
+        let imc = ImcDevice::new(ImcConfig::calibrated("Local", 111.0, DramTiming::ddr5(), 8));
+        let mut dev = NumaHopDevice::new(NumaHopConfig::cxl_coupled(161.0, 14.0), Box::new(imc), 2);
         let mut big_spikes = 0u64;
         for i in 0..20_000u64 {
             let t = (i / 8) * 4_000_000 + (i % 8) * 30_000; // bursts of 8, 30 ns apart
@@ -257,12 +259,7 @@ mod tests {
     #[test]
     fn lower_intensity_reduces_congestion() {
         let make = || {
-            let imc = ImcDevice::new(ImcConfig::calibrated(
-                "Local",
-                111.0,
-                DramTiming::ddr5(),
-                8,
-            ));
+            let imc = ImcDevice::new(ImcConfig::calibrated("Local", 111.0, DramTiming::ddr5(), 8));
             NumaHopDevice::new(NumaHopConfig::cxl_coupled(161.0, 14.0), Box::new(imc), 3)
         };
         let spikes_at = |burst: u64, gap: u64| {

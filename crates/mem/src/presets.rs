@@ -98,17 +98,33 @@ pub fn cxl_a() -> DeviceSpec {
             sched_service_ns: Dist::Exp { mean: 3.0 },
             txn_jitter_ns: Dist::Mixture(vec![
                 (0.9992, Dist::zero()),
-                (0.0006, Dist::Uniform { lo: 40.0, hi: 150.0 }),
+                (
+                    0.0006,
+                    Dist::Uniform {
+                        lo: 40.0,
+                        hi: 150.0,
+                    },
+                ),
                 (
                     0.0002,
-                    Dist::BoundedPareto { scale: 300.0, shape: 1.5, cap: 2_000.0 },
+                    Dist::BoundedPareto {
+                        scale: 300.0,
+                        shape: 1.5,
+                        cap: 2_000.0,
+                    },
                 ),
             ]),
             congestion_p: 0.08,
-            congestion_window_ns: Dist::Uniform { lo: 300.0, hi: 900.0 },
+            congestion_window_ns: Dist::Uniform {
+                lo: 300.0,
+                hi: 900.0,
+            },
             load_onset: 0.30,
             retry_p: 2e-5,
-            retry_penalty_ns: Dist::Uniform { lo: 1_500.0, hi: 3_000.0 },
+            retry_penalty_ns: Dist::Uniform {
+                lo: 1_500.0,
+                hi: 3_000.0,
+            },
             timing: DramTiming::ddr4(),
             channels: 2,
             thermal: None,
@@ -131,17 +147,33 @@ pub fn cxl_b() -> DeviceSpec {
             sched_service_ns: Dist::Exp { mean: 3.5 },
             txn_jitter_ns: Dist::Mixture(vec![
                 (0.990, Dist::zero()),
-                (0.008, Dist::Uniform { lo: 80.0, hi: 170.0 }),
+                (
+                    0.008,
+                    Dist::Uniform {
+                        lo: 80.0,
+                        hi: 170.0,
+                    },
+                ),
                 (
                     0.002,
-                    Dist::BoundedPareto { scale: 250.0, shape: 1.5, cap: 2_500.0 },
+                    Dist::BoundedPareto {
+                        scale: 250.0,
+                        shape: 1.5,
+                        cap: 2_500.0,
+                    },
                 ),
             ]),
             congestion_p: 0.10,
-            congestion_window_ns: Dist::Uniform { lo: 400.0, hi: 1_200.0 },
+            congestion_window_ns: Dist::Uniform {
+                lo: 400.0,
+                hi: 1_200.0,
+            },
             load_onset: 0.35,
             retry_p: 4e-5,
-            retry_penalty_ns: Dist::Uniform { lo: 1_500.0, hi: 3_500.0 },
+            retry_penalty_ns: Dist::Uniform {
+                lo: 1_500.0,
+                hi: 3_500.0,
+            },
             timing: DramTiming::ddr5(),
             channels: 1,
             thermal: None,
@@ -165,17 +197,33 @@ pub fn cxl_c() -> DeviceSpec {
             sched_service_ns: Dist::Exp { mean: 8.0 },
             txn_jitter_ns: Dist::Mixture(vec![
                 (0.970, Dist::zero()),
-                (0.025, Dist::Uniform { lo: 100.0, hi: 400.0 }),
+                (
+                    0.025,
+                    Dist::Uniform {
+                        lo: 100.0,
+                        hi: 400.0,
+                    },
+                ),
                 (
                     0.005,
-                    Dist::BoundedPareto { scale: 400.0, shape: 1.3, cap: 5_000.0 },
+                    Dist::BoundedPareto {
+                        scale: 400.0,
+                        shape: 1.3,
+                        cap: 5_000.0,
+                    },
                 ),
             ]),
             congestion_p: 0.25,
-            congestion_window_ns: Dist::Uniform { lo: 500.0, hi: 2_500.0 },
+            congestion_window_ns: Dist::Uniform {
+                lo: 500.0,
+                hi: 2_500.0,
+            },
             load_onset: 0.20,
             retry_p: 1e-4,
-            retry_penalty_ns: Dist::Uniform { lo: 2_000.0, hi: 5_000.0 },
+            retry_penalty_ns: Dist::Uniform {
+                lo: 2_000.0,
+                hi: 5_000.0,
+            },
             timing: DramTiming::ddr4(),
             channels: 2,
             thermal: None,
@@ -199,17 +247,33 @@ pub fn cxl_d() -> DeviceSpec {
             sched_service_ns: Dist::Exp { mean: 2.5 },
             txn_jitter_ns: Dist::Mixture(vec![
                 (0.998, Dist::zero()),
-                (0.0017, Dist::Uniform { lo: 40.0, hi: 110.0 }),
+                (
+                    0.0017,
+                    Dist::Uniform {
+                        lo: 40.0,
+                        hi: 110.0,
+                    },
+                ),
                 (
                     0.0003,
-                    Dist::BoundedPareto { scale: 400.0, shape: 1.6, cap: 1_500.0 },
+                    Dist::BoundedPareto {
+                        scale: 400.0,
+                        shape: 1.6,
+                        cap: 1_500.0,
+                    },
                 ),
             ]),
             congestion_p: 0.05,
-            congestion_window_ns: Dist::Uniform { lo: 250.0, hi: 700.0 },
+            congestion_window_ns: Dist::Uniform {
+                lo: 250.0,
+                hi: 700.0,
+            },
             load_onset: 0.70,
             retry_p: 1e-5,
-            retry_penalty_ns: Dist::Uniform { lo: 1_500.0, hi: 3_000.0 },
+            retry_penalty_ns: Dist::Uniform {
+                lo: 1_500.0,
+                hi: 3_000.0,
+            },
             timing: DramTiming::ddr5(),
             channels: 2,
             thermal: None,

@@ -46,7 +46,7 @@ pub fn peak_bandwidth_gbps(
 ) -> f64 {
     assert!(outstanding > 0, "need at least one in-flight request");
     let mut rng = SimRng::seed_from(0xBEEF);
-    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(outstanding);
     for slot in 0..outstanding as u64 {
         q.push(0, slot);
     }

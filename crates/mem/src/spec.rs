@@ -81,7 +81,11 @@ impl DeviceSpec {
                     .collect();
                 Box::new(InterleavedDevice::new(built, *granularity))
             }
-            DeviceSpec::Split { boundary, fast, slow } => Box::new(SplitDevice::new(
+            DeviceSpec::Split {
+                boundary,
+                fast,
+                slow,
+            } => Box::new(SplitDevice::new(
                 fast.build(seed.wrapping_add(2)),
                 slow.build(seed.wrapping_add(3)),
                 *boundary,

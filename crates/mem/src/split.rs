@@ -105,7 +105,11 @@ mod tests {
     fn routes_by_boundary() {
         let mut d = split(1 << 20);
         let fast = d.access(&MemRequest::new(0, RequestKind::DemandRead, 0));
-        let slow = d.access(&MemRequest::new(1 << 21, RequestKind::DemandRead, 1_000_000));
+        let slow = d.access(&MemRequest::new(
+            1 << 21,
+            RequestKind::DemandRead,
+            1_000_000,
+        ));
         let f_ns = fast.completion as f64 / 1_000.0;
         let s_ns = (slow.completion - 1_000_000) as f64 / 1_000.0;
         assert!(f_ns < 150.0, "fast tier {f_ns} ns");

@@ -105,7 +105,9 @@ pub fn run(spec: &DeviceSpec, cfg: &MioConfig) -> MioResult {
         .collect();
     let mut noise_rng = SimRng::seed_from(cfg.seed ^ 0xA0A0);
 
-    let mut q: EventQueue<Actor> = EventQueue::new();
+    // One in-flight event per actor: size the heap once, up front.
+    let mut q: EventQueue<Actor> =
+        EventQueue::with_capacity(cfg.chase_threads + cfg.noise_threads * cfg.noise_mlp);
     for id in 0..cfg.chase_threads {
         q.push((id * 31) as u64, Actor::Chase { id });
     }
@@ -149,8 +151,7 @@ pub fn run(spec: &DeviceSpec, cfg: &MioConfig) -> MioResult {
             Actor::Noise { stream } => {
                 let base = (cfg.chase_threads as u64 * cfg.ws_lines).next_power_of_two();
                 let cur = &mut noise_cursor[stream as usize];
-                let addr =
-                    (base + stream * NOISE_REGION_LINES + (*cur % NOISE_REGION_LINES)) * 64;
+                let addr = (base + stream * NOISE_REGION_LINES + (*cur % NOISE_REGION_LINES)) * 64;
                 *cur += 1;
                 let kind = if noise_rng.chance(cfg.noise_read_frac) {
                     RequestKind::DemandRead

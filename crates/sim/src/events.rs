@@ -69,6 +69,31 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` events before the
+    /// heap reallocates. Closed-loop drivers know their in-flight
+    /// population up front (one event per actor), so sizing the heap
+    /// once avoids every growth reallocation on the hot path.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Removes all pending events and resets the FIFO tie-break counter,
+    /// *retaining* the heap allocation — reusing one queue across sweep
+    /// iterations behaves exactly like a fresh queue without paying the
+    /// allocation again.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
@@ -140,6 +165,43 @@ mod tests {
         assert_eq!(q.peek_time(), None);
     }
 
+    #[test]
+    fn with_capacity_never_reallocates_within_bound() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for i in 0..64 {
+            q.push(1_000 - i, i as u32);
+        }
+        assert_eq!(q.capacity(), cap, "pushes within capacity must not grow");
+        let mut last = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn clear_retains_allocation_and_resets_fifo_order() {
+        let mut q: EventQueue<usize> = EventQueue::with_capacity(32);
+        for i in 0..32 {
+            q.push(5, i);
+        }
+        let cap = q.capacity();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), cap, "clear must keep the heap allocation");
+        // After clear, equal-time events pop in insertion order again —
+        // the seq counter restarts, so a reused queue is indistinguishable
+        // from a fresh one.
+        for i in 0..10 {
+            q.push(100, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((100, i)));
+        }
+    }
+
     proptest! {
         #[test]
         fn pops_in_time_order(times in proptest::collection::vec(0u64..1000, 0..200)) {
@@ -151,6 +213,33 @@ mod tests {
             while let Some((t, _)) = q.pop() {
                 prop_assert!(t >= last);
                 last = t;
+            }
+        }
+
+        #[test]
+        fn cleared_queue_behaves_like_fresh(
+            first in proptest::collection::vec(0u64..1000, 0..100),
+            times in proptest::collection::vec(0u64..1000, 0..100),
+        ) {
+            // Drain sequence of a reused (clear()ed) queue == that of a
+            // brand-new queue fed the same events, including FIFO
+            // tie-breaks at equal times.
+            let mut reused = EventQueue::new();
+            for (i, &t) in first.iter().enumerate() {
+                reused.push(t, i);
+            }
+            reused.clear();
+            let mut fresh = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                reused.push(t, i);
+                fresh.push(t, i);
+            }
+            loop {
+                let (a, b) = (reused.pop(), fresh.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
             }
         }
     }

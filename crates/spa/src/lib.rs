@@ -43,5 +43,5 @@ pub mod predict;
 pub mod prefetch;
 
 pub use accuracy::{accuracy, AccuracyReport};
-pub use predict::{evaluate, predict_slowdown, DeviceProfile, Measurement, PredictionQuality};
 pub use estimate::{breakdown, estimates, Breakdown, SlowdownEstimates};
+pub use predict::{evaluate, predict_slowdown, DeviceProfile, Measurement, PredictionQuality};

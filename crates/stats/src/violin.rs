@@ -142,7 +142,10 @@ mod tests {
             v.density
                 .iter()
                 .min_by(|a, b| {
-                    (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).expect("non-NaN")
+                    (a.0 - x)
+                        .abs()
+                        .partial_cmp(&(b.0 - x).abs())
+                        .expect("non-NaN")
                 })
                 .expect("non-empty grid")
                 .1

@@ -76,7 +76,9 @@ pub fn loaded_latency(spec: &DeviceSpec, cfg: &MlcConfig) -> LoadedPoint {
     let mut rng = SimRng::seed_from(cfg.seed ^ 0xD15EA5E);
     let delay_ps = (cfg.delay_cycles as f64 * 1_000.0 / cfg.ghz) as SimTime;
 
-    let mut q: EventQueue<Actor> = EventQueue::new();
+    // One in-flight event per actor: size the heap once, up front.
+    let mut q: EventQueue<Actor> =
+        EventQueue::with_capacity(1 + cfg.traffic_threads * cfg.traffic_mlp);
     q.push(0, Actor::Foreground);
     for t in 0..cfg.traffic_threads {
         for m in 0..cfg.traffic_mlp {
@@ -218,12 +220,7 @@ mod tests {
 
     #[test]
     fn curve_is_monotone_in_bandwidth() {
-        let pts = latency_bandwidth_curve(
-            &presets::cxl_a(),
-            &[0, 500, 5_000, 40_000],
-            1.0,
-            20_000,
-        );
+        let pts = latency_bandwidth_curve(&presets::cxl_a(), &[0, 500, 5_000, 40_000], 1.0, 20_000);
         assert_eq!(pts.len(), 4);
         // Smaller delay = more offered load = more bandwidth.
         for w in pts.windows(2) {
@@ -251,7 +248,11 @@ mod tests {
             "CXL-A cannot exceed ~34 GB/s duplex: {}",
             p.bandwidth_gbps
         );
-        assert!(p.bandwidth_gbps > 10.0, "saturation too low: {}", p.bandwidth_gbps);
+        assert!(
+            p.bandwidth_gbps > 10.0,
+            "saturation too low: {}",
+            p.bandwidth_gbps
+        );
     }
 
     #[test]

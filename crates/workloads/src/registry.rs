@@ -598,7 +598,10 @@ pub fn ycsb(backend: Suite) -> Vec<WorkloadSpec> {
                 deps,
                 16 * GB,
                 if mix == "E" { 0.5 } else { 0.05 },
-                Pattern::Skewed { hot_frac: hot, hot_bytes: 192 * MB },
+                Pattern::Skewed {
+                    hot_frac: hot,
+                    hot_bytes: 192 * MB,
+                },
                 store,
             );
             if mix == "E" {
@@ -636,7 +639,14 @@ fn ml_ai() -> Vec<WorkloadSpec> {
         let mut w = WorkloadSpec::single(
             n,
             Suite::MlAi,
-            phase(uops * 3.0, 0.08, ws_gb * GB, 0.88, Pattern::Sequential, 0.06),
+            phase(
+                uops * 3.0,
+                0.08,
+                ws_gb * GB,
+                0.88,
+                Pattern::Sequential,
+                0.06,
+            ),
         );
         w.threads = 4;
         w.ilp = 2.4;
@@ -653,7 +663,10 @@ fn ml_ai() -> Vec<WorkloadSpec> {
                 0.35,
                 ws_gb * GB,
                 0.1,
-                Pattern::Skewed { hot_frac: 0.6, hot_bytes: 512 * MB },
+                Pattern::Skewed {
+                    hot_frac: 0.6,
+                    hot_bytes: 512 * MB,
+                },
                 0.05,
             ),
         );

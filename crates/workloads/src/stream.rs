@@ -89,7 +89,10 @@ impl SlotStream {
                     self.cursor_line
                 }
                 Pattern::Random => self.rng.below(ws),
-                Pattern::Skewed { hot_frac, hot_bytes } => {
+                Pattern::Skewed {
+                    hot_frac,
+                    hot_bytes,
+                } => {
                     let hot_lines = (hot_bytes / 64).clamp(1, ws);
                     if self.rng.unit() < hot_frac || hot_lines >= ws {
                         self.rng.below(hot_lines)
@@ -267,7 +270,10 @@ mod tests {
     #[test]
     fn skewed_pattern_concentrates_accesses() {
         let mut p = Phase::balanced();
-        p.pattern = Pattern::Skewed { hot_frac: 0.9, hot_bytes: 64 * 1_000 };
+        p.pattern = Pattern::Skewed {
+            hot_frac: 0.9,
+            hot_bytes: 64 * 1_000,
+        };
         p.seq_frac = 0.0;
         p.dependence = 0.0;
         p.store_frac = 0.0;

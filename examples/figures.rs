@@ -5,7 +5,12 @@
 //! cargo run --release --example figures -- fig8a --scale quick
 //! cargo run --release --example figures -- all --scale smoke
 //! cargo run --release --example figures -- fig16 --json
+//! cargo run --release --example figures -- all --scale quick --jobs 8
 //! ```
+//!
+//! `--jobs N` sets the worker-thread count for the parallel experiment
+//! engine (`--jobs 1` forces the legacy serial path; the default uses
+//! all cores). Output is byte-identical for every worker count.
 //!
 //! IDs: table1, fig1, fig3a, fig3b, fig3c, fig4, fig5, fig6, fig7,
 //! fig8a, fig8b, fig8c, fig8d, fig8e, fig8f, fig9a, fig9a-full, fig9b,
@@ -32,6 +37,16 @@ fn parse_args() -> (Vec<String>, Scale, bool) {
                 }
             }
             "--json" => json = true,
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs expects a worker count");
+                        std::process::exit(2);
+                    });
+                melody::exec::set_jobs(n);
+            }
             id => ids.push(id.to_string()),
         }
     }
@@ -83,7 +98,10 @@ fn main() {
         if json {
             println!("{}", to_json(&cells));
         } else {
-            println!("{}", tails::render_cells("fig3b: chase latency tails", &cells));
+            println!(
+                "{}",
+                tails::render_cells("fig3b: chase latency tails", &cells)
+            );
         }
     }
     if want("fig3c") {
@@ -99,7 +117,10 @@ fn main() {
         if json {
             println!("{}", to_json(&cells));
         } else {
-            println!("{}", tails::render_cells("fig4: latency under R/W noise", &cells));
+            println!(
+                "{}",
+                tails::render_cells("fig4: latency under R/W noise", &cells)
+            );
         }
     }
     if want("fig5") {
@@ -132,13 +153,21 @@ fn main() {
         if json {
             println!("{}", to_json(&d));
         } else {
-            print_series("fig7a: per-window max latency (µs) over time (s)", &d.latency_series);
+            print_series(
+                "fig7a: per-window max latency (µs) over time (s)",
+                &d.latency_series,
+            );
             println!("{}", d.bandwidth_series.render());
             println!("{}", d.render());
         }
     }
-    if want("fig8a") || want("fig8b") || want("fig9a") || want("fig11") || want("fig12")
-        || want("fig14") || want("fig15")
+    if want("fig8a")
+        || want("fig8b")
+        || want("fig9a")
+        || want("fig11")
+        || want("fig12")
+        || want("fig14")
+        || want("fig15")
     {
         let g = grid::run_emr_grid(scale);
         if want("fig8a") {
@@ -197,7 +226,10 @@ fn main() {
             } else {
                 println!("== fig12a: prefetch shift (CXL-B) ==");
                 if let (Some(fit), Some(r)) = (shift.fit, shift.pearson) {
-                    println!("fit slope {:.3} intercept {:.0} pearson {:.3}", fit.slope, fit.intercept, r);
+                    println!(
+                        "fit slope {:.3} intercept {:.0} pearson {:.3}",
+                        fit.slope, fit.intercept, r
+                    );
                 }
                 println!("== fig12b: (workload, L2 slowdown %, coverage decrease pp) ==");
                 for (w, l2, cov) in g.fig12b("EMR-CXL-B").iter().take(20) {

@@ -28,10 +28,7 @@ fn main() {
             .max(1e-9);
         for (i, b) in panel.analysis.periods.iter().enumerate() {
             let bar = "#".repeat(((b.total / max) * 48.0).max(0.0) as usize);
-            println!(
-                "  period {i:>2}  {:>6.1}%  |{bar}",
-                b.total * 100.0
-            );
+            println!("  period {i:>2}  {:>6.1}%  |{bar}", b.total * 100.0);
         }
         let bursty = panel.analysis.bursty_periods(0.10);
         println!(

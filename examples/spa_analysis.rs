@@ -8,7 +8,6 @@
 
 use melody::experiments::{grid, Scale};
 
-
 fn main() {
     let g = grid::run_emr_grid(Scale::Smoke);
 
@@ -50,11 +49,7 @@ fn main() {
     // slowdown from each source.
     println!("\n== fig15: workloads with >=5% slowdown per component (CXL-B) ==");
     for series in g.fig15("EMR-CXL-B") {
-        let above = series
-            .points
-            .iter()
-            .filter(|(x, _)| *x >= 5.0)
-            .count() as f64
+        let above = series.points.iter().filter(|(x, _)| *x >= 5.0).count() as f64
             / series.points.len().max(1) as f64;
         println!("{:6} {:>4.0}%", series.name, above * 100.0);
     }

@@ -70,14 +70,28 @@ fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu> [args]\n\
+        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu> [args] [--jobs N]\n\
          see `src/bin/melody.rs` header or README for details"
     );
     std::process::exit(2);
 }
 
+/// Consumes a global `--jobs N` flag (worker threads for parallel
+/// experiment sections; 1 = serial, default = all cores).
+fn take_jobs_flag(args: &mut Vec<String>) {
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| usage());
+        melody::exec::set_jobs(n);
+        args.drain(i..i + 2);
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    take_jobs_flag(&mut args);
     let Some(cmd) = args.first() else { usage() };
     match cmd.as_str() {
         "devices" => cmd_devices(),
@@ -112,7 +126,12 @@ fn cmd_devices() {
             DeviceSpec::Interleaved { .. } => "interleave",
             DeviceSpec::Split { .. } => "tiered",
         };
-        println!("{:12} {:>12.0} {:>10}", name, spec.nominal_latency_ns(), class);
+        println!(
+            "{:12} {:>12.0} {:>10}",
+            name,
+            spec.nominal_latency_ns(),
+            class
+        );
     }
 }
 
@@ -213,7 +232,9 @@ fn cmd_run(args: &[String]) {
         eprintln!("unknown workload {wname} (try `melody workloads`)");
         std::process::exit(2);
     };
-    let Some(spec) = device_by_name(dname) else { usage() };
+    let Some(spec) = device_by_name(dname) else {
+        usage()
+    };
     let platform = flag(args, "--platform")
         .and_then(|p| platform_by_name(&p))
         .unwrap_or_else(Platform::emr2s);

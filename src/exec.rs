@@ -1,0 +1,150 @@
+//! Deterministic parallel execution of independent experiment cells.
+//!
+//! Every experiment in this crate decomposes into *cells* — (setup ×
+//! workload) pairs, (device × thread-count) sweeps, per-device probes —
+//! that share no mutable state and derive their RNG seeds from the cell
+//! identity alone (see `runner::workload_seed`). That makes the fan-out
+//! trivially deterministic: results are collected back into the exact
+//! order a serial loop would have produced, so parallel output is
+//! byte-identical to serial output regardless of worker count or
+//! scheduling.
+//!
+//! The worker count is a process-wide setting ([`set_jobs`] /
+//! [`jobs`]), wired to `--jobs N` on the `melody` binary and the
+//! `figures` example. `--jobs 1` forces the legacy serial path;
+//! the default uses all available cores.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker count; 0 means "auto" (available parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count. `0` restores the default
+/// (all available cores); `1` forces serial execution.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the value set via [`set_jobs`], or the
+/// machine's available parallelism when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on [`jobs`] worker threads, returning results
+/// in item order — byte-identical to `items.iter().map(f).collect()`.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(jobs(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (used by tests to
+/// avoid the process-wide setting; `workers <= 1` runs the plain serial
+/// loop).
+pub fn parallel_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Work stealing via a shared cursor: each worker claims the next
+    // unclaimed index and records (index, result); the parent merges
+    // them back into item order, so scheduling cannot affect output.
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    let mut slots: Vec<Option<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        done.push((i, f(item)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for h in handles {
+            match h.join() {
+                Ok(done) => {
+                    for (i, r) in done {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        slots
+    });
+    slots
+        .iter_mut()
+        .map(|s| s.take().expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let par = parallel_map_with(workers, &items, |x| x * x);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert_eq!(parallel_map_with(8, &empty, |x| *x), Vec::<u64>::new());
+        assert_eq!(parallel_map_with(8, &[7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn non_copy_results_collect_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map_with(4, &items, |i| format!("cell-{i}"));
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("cell-{i}"));
+        }
+    }
+
+    #[test]
+    fn jobs_defaults_to_available_parallelism() {
+        // Uses the real global, but only reads: the default (0 = auto)
+        // must resolve to at least one worker.
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 3 failed")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        parallel_map_with(4, &items, |i| {
+            if *i == 3 {
+                panic!("cell 3 failed");
+            }
+            *i
+        });
+    }
+}

@@ -39,12 +39,18 @@ pub struct TailAblation {
 impl TailAblation {
     /// Gap for a variant.
     pub fn gap(&self, variant: &str) -> Option<u64> {
-        self.gaps.iter().find(|(v, _)| v == variant).map(|(_, g)| *g)
+        self.gaps
+            .iter()
+            .find(|(v, _)| v == variant)
+            .map(|(_, g)| *g)
     }
 
     /// Renders as a table.
     pub fn render(&self) -> String {
-        let mut t = TableData::new("ablation: CXL-B tail mechanisms", &["Variant", "p99.9-p50 (ns)"]);
+        let mut t = TableData::new(
+            "ablation: CXL-B tail mechanisms",
+            &["Variant", "p99.9-p50 (ns)"],
+        );
         for (v, g) in &self.gaps {
             t.push_row(vec![v.clone(), g.to_string()]);
         }
@@ -60,8 +66,6 @@ pub fn tail_mechanisms(scale: Scale) -> TailAblation {
         accesses: scale.mio_accesses(),
         ..Default::default()
     };
-    let gap = |spec: DeviceSpec| melody_mio::run(&spec, &mio_cfg).tail_gap_ns;
-
     let stock = cxl_b_cfg();
     let mut no_jitter = stock.clone();
     no_jitter.txn_jitter_ns = Dist::zero();
@@ -74,14 +78,17 @@ pub fn tail_mechanisms(scale: Scale) -> TailAblation {
     none.congestion_p = 0.0;
     none.retry_p = 0.0;
 
+    let variants: Vec<(String, DeviceSpec)> = vec![
+        ("stock".into(), DeviceSpec::Cxl(stock)),
+        ("no-jitter".into(), DeviceSpec::Cxl(no_jitter)),
+        ("no-congestion".into(), DeviceSpec::Cxl(no_congestion)),
+        ("no-retry".into(), DeviceSpec::Cxl(no_retry)),
+        ("none".into(), DeviceSpec::Cxl(none)),
+    ];
     TailAblation {
-        gaps: vec![
-            ("stock".into(), gap(DeviceSpec::Cxl(stock))),
-            ("no-jitter".into(), gap(DeviceSpec::Cxl(no_jitter))),
-            ("no-congestion".into(), gap(DeviceSpec::Cxl(no_congestion))),
-            ("no-retry".into(), gap(DeviceSpec::Cxl(no_retry))),
-            ("none".into(), gap(DeviceSpec::Cxl(none))),
-        ],
+        gaps: crate::exec::parallel_map(&variants, |(name, spec)| {
+            (name.clone(), melody_mio::run(spec, &mio_cfg).tail_gap_ns)
+        }),
     }
 }
 
@@ -165,7 +172,12 @@ pub fn prefetchers(scale: Scale) -> PrefetchAblation {
                     ..Default::default()
                 },
             );
-            (n.to_string(), on.slowdown, off.slowdown, on.breakdown.cache())
+            (
+                n.to_string(),
+                on.slowdown,
+                off.slowdown,
+                on.breakdown.cache(),
+            )
         })
         .collect();
     PrefetchAblation { rows }
@@ -266,7 +278,10 @@ mod tests {
         // Each single mechanism removal helps or is neutral; jitter is
         // the dominant light-load contributor for CXL-B.
         let no_jitter = a.gap("no-jitter").expect("no-jitter");
-        assert!(no_jitter < stock, "jitter contributes: {no_jitter} vs {stock}");
+        assert!(
+            no_jitter < stock,
+            "jitter contributes: {no_jitter} vs {stock}"
+        );
     }
 
     #[test]
@@ -300,7 +315,11 @@ mod tests {
         // Matching DIMM counts does not give local DRAM CXL-like tails.
         let rows = dimm_fairness(Scale::Smoke);
         let gap = |l: &str| rows.iter().find(|(n, _)| n == l).expect("row").1;
-        assert!(gap("Local-2ch") < 150, "2-channel local gap {}", gap("Local-2ch"));
+        assert!(
+            gap("Local-2ch") < 150,
+            "2-channel local gap {}",
+            gap("Local-2ch")
+        );
         assert!(
             gap("CXL-B") > 2 * gap("Local-2ch"),
             "CXL-B {} vs Local-2ch {}",

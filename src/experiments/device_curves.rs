@@ -63,14 +63,11 @@ pub fn fig01(scale: Scale) -> CurveSet {
         "CXL+multi-hops".into(),
         presets::cxl_d().with_switch_hop().with_switch_hop(),
     ));
-    let curves = configs
-        .into_iter()
-        .map(|(name, spec)| {
-            let mut s = sweep(&spec, 1.0, scale);
-            s.name = name;
-            s
-        })
-        .collect();
+    let curves = crate::exec::parallel_map(&configs, |(name, spec)| {
+        let mut s = sweep(spec, 1.0, scale);
+        s.name = name.clone();
+        s
+    });
     CurveSet {
         figure: "fig01: CXL latency/bandwidth spectrum".into(),
         curves,
@@ -90,7 +87,7 @@ pub fn fig03a(scale: Scale) -> CurveSet {
     ];
     CurveSet {
         figure: "fig03a: loaded latency vs bandwidth".into(),
-        curves: configs.iter().map(|s| sweep(s, 1.0, scale)).collect(),
+        curves: crate::exec::parallel_map(&configs, |s| sweep(s, 1.0, scale)),
     }
 }
 
@@ -124,23 +121,33 @@ pub fn fig05(scale: Scale) -> Vec<Fig05Panel> {
         presets::cxl_c(),
         presets::cxl_d(),
     ];
+    // Flatten (config × ratio) into one work list: 36 sweeps saturate
+    // the worker pool where 6 per-config tasks would not.
+    let flat: Vec<(&DeviceSpec, (&str, f64))> = configs
+        .iter()
+        .flat_map(|spec| ratios.iter().map(move |&r| (spec, r)))
+        .collect();
+    let sweeps = crate::exec::parallel_map(&flat, |(spec, (label, frac))| {
+        let mut s = sweep(spec, *frac, scale);
+        s.name = label.to_string();
+        s
+    });
     configs
         .iter()
-        .map(|spec| {
-            let mut curves = Vec::new();
-            let mut peaks = Vec::new();
-            for (label, frac) in ratios {
-                let mut s = sweep(spec, frac, scale);
-                s.name = label.to_string();
-                peaks.push((
-                    label.to_string(),
-                    s.points.iter().map(|p| p.0).fold(0.0, f64::max),
-                ));
-                curves.push(s);
-            }
+        .zip(sweeps.chunks_exact(ratios.len()))
+        .map(|(spec, chunk)| {
+            let peaks = chunk
+                .iter()
+                .map(|s| {
+                    (
+                        s.name.clone(),
+                        s.points.iter().map(|p| p.0).fold(0.0, f64::max),
+                    )
+                })
+                .collect();
             Fig05Panel {
                 device: spec.name(),
-                curves,
+                curves: chunk.to_vec(),
                 peaks,
             }
         })
@@ -187,7 +194,10 @@ mod tests {
         // Latency at the saturated end exceeds the idle end.
         let first = local.points.first().expect("points").1;
         let last = local.points.last().expect("points").1;
-        assert!(last > first, "loaded latency should rise: {first} -> {last}");
+        assert!(
+            last > first,
+            "loaded latency should rise: {first} -> {last}"
+        );
     }
 
     #[test]

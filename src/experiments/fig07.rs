@@ -60,11 +60,7 @@ pub fn run(scale: Scale) -> Fig07Data {
         sample_interval_ns: Some(20_000), // fine-grained windows
         ..Default::default()
     };
-    let configs = [
-        presets::local_emr(),
-        presets::numa_emr(),
-        presets::cxl_c(),
-    ];
+    let configs = [presets::local_emr(), presets::numa_emr(), presets::cxl_c()];
     let mut latency_series = Vec::new();
     let mut bandwidth_series = Series::new("CXL-C read BW", Vec::new());
     for spec in &configs {

@@ -40,7 +40,12 @@ pub fn fig08c(scale: Scale) -> Fig08cData {
         ..Default::default()
     };
     let configs = [
-        ("CXL-A", Platform::emr2s(), presets::local_emr(), presets::cxl_a()),
+        (
+            "CXL-A",
+            Platform::emr2s(),
+            presets::local_emr(),
+            presets::cxl_a(),
+        ),
         (
             "SKX8S-410ns",
             Platform::skx8s(),
@@ -98,10 +103,7 @@ pub fn fig08d(scale: Scale) -> Fig08dData {
     let mut slowdowns = Vec::new();
 
     let full = registry::by_name("520.omnetpp").expect("omnetpp");
-    for (label, spec) in [
-        ("Local", presets::local_emr()),
-        ("CXL-A", presets::cxl_a()),
-    ] {
+    for (label, spec) in [("Local", presets::local_emr()), ("CXL-A", presets::cxl_a())] {
         let o = run_pair(&platform, &presets::local_emr(), &spec, &full, &opts);
         cdfs.push(Series::new(
             label,

@@ -82,17 +82,16 @@ pub fn run(scale: Scale) -> Fig09bData {
     let mut bars = Vec::new();
     for suite in [Suite::Redis, Suite::Voltdb] {
         let workloads = ycsb(suite);
-        let backend = if suite == Suite::Redis { "redis" } else { "voltdb" };
+        let backend = if suite == Suite::Redis {
+            "redis"
+        } else {
+            "voltdb"
+        };
         for (dev_label, spec) in &devices {
             let outcomes =
                 run_population(&platform, &presets::local_emr(), spec, &workloads, &opts);
             for o in outcomes {
-                let mix = o
-                    .workload
-                    .rsplit('-')
-                    .next()
-                    .unwrap_or("?")
-                    .to_string();
+                let mix = o.workload.rsplit('-').next().unwrap_or("?").to_string();
                 bars.push(YcsbBar {
                     backend: backend.into(),
                     mix,

@@ -31,7 +31,9 @@ impl Fig16Panel {
                 "fig16: {} per-period breakdown ({} instr/period), % of local cycles",
                 self.workload, self.analysis.period_instructions
             ),
-            &["Period", "DRAM", "L3", "L2", "L1", "Store", "Other", "Total"],
+            &[
+                "Period", "DRAM", "L3", "L2", "L1", "Store", "Other", "Total",
+            ],
         );
         for (i, b) in self.analysis.periods.iter().enumerate() {
             t.push_row(vec![
@@ -89,15 +91,17 @@ mod tests {
     #[test]
     fn gcc_slowdown_concentrates_in_early_phase() {
         let panels = run(Scale::Smoke);
-        let gcc = panels.iter().find(|p| p.workload == "602.gcc").expect("gcc");
+        let gcc = panels
+            .iter()
+            .find(|p| p.workload == "602.gcc")
+            .expect("gcc");
         let periods = &gcc.analysis.periods;
         assert!(periods.len() >= 10, "need periods, got {}", periods.len());
         // 602.gcc: the memory-heavy phase is the first ~64% of
         // instructions; its mean period slowdown should clearly exceed
         // the tail phase's (paper: >30% early vs ~20% overall).
         let cut = periods.len() * 64 / 100;
-        let early: f64 =
-            periods[..cut].iter().map(|b| b.total).sum::<f64>() / cut.max(1) as f64;
+        let early: f64 = periods[..cut].iter().map(|b| b.total).sum::<f64>() / cut.max(1) as f64;
         let late: f64 = periods[cut..].iter().map(|b| b.total).sum::<f64>()
             / (periods.len() - cut).max(1) as f64;
         assert!(
@@ -109,7 +113,10 @@ mod tests {
     #[test]
     fn mcf_exhibits_bursts() {
         let panels = run(Scale::Smoke);
-        let mcf = panels.iter().find(|p| p.workload == "605.mcf").expect("mcf");
+        let mcf = panels
+            .iter()
+            .find(|p| p.workload == "605.mcf")
+            .expect("mcf");
         let mean = mcf.analysis.mean_slowdown();
         let bursty = mcf.analysis.bursty_periods(mean * 1.3);
         assert!(

@@ -9,7 +9,7 @@ use melody_stats::{Cdf, ViolinSummary};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{Series, TableData};
-use crate::runner::{run_population, PairOutcome, RunOptions};
+use crate::runner::{run_pair, PairOutcome, RunOptions};
 use crate::testbed::{emr_cxl_setups, full_latency_spectrum, spr_cxl_setups, Setup};
 
 use super::Scale;
@@ -127,7 +127,9 @@ impl GridData {
     pub fn fig14(&self, label: &str) -> TableData {
         let mut t = TableData::new(
             format!("fig14: slowdown breakdown ({label}), % of baseline cycles"),
-            &["Workload", "DRAM", "L3", "L2", "L1", "Store", "Core", "Other", "Total"],
+            &[
+                "Workload", "DRAM", "L3", "L2", "L1", "Store", "Core", "Other", "Total",
+            ],
         );
         for o in self.setup(label).expect("known setup label") {
             let b = &o.breakdown;
@@ -165,19 +167,32 @@ impl GridData {
 }
 
 /// Runs a grid over the given setups.
+///
+/// The (setup × workload) cells are flattened into one work list and
+/// fanned out over the configured worker pool ([`crate::exec::jobs`]),
+/// so all cores stay busy even when there are fewer setups than cores.
+/// Each cell's RNG seed derives from its identity alone, so the output
+/// is identical to the serial nested loop for any worker count.
 pub fn run_grid(setups: &[Setup], scale: Scale) -> GridData {
     let workloads = scale.select_workloads();
     let opts = RunOptions {
         mem_refs: scale.mem_refs(),
         ..Default::default()
     };
+    let flat: Vec<(&Setup, &melody_workloads::WorkloadSpec)> = setups
+        .iter()
+        .flat_map(|s| workloads.iter().map(move |w| (s, w)))
+        .collect();
+    let outcomes = crate::exec::parallel_map(&flat, |(s, w)| {
+        run_pair(&s.platform, &s.local, &s.target, w, &opts)
+    });
+    let mut rest = outcomes.as_slice();
     let cells = setups
         .iter()
         .map(|s| {
-            (
-                s.label.clone(),
-                run_population(&s.platform, &s.local, &s.target, &workloads, &opts),
-            )
+            let (chunk, tail) = rest.split_at(workloads.len());
+            rest = tail;
+            (s.label.clone(), chunk.to_vec())
         })
         .collect();
     GridData { cells }
@@ -250,7 +265,10 @@ mod tests {
             b_max > numa_max * 1.5,
             "CXL-B tail {b_max}% vs NUMA {numa_max}%"
         );
-        assert!(b_max > 100.0, "bandwidth-bound tail should exceed 2x: {b_max}%");
+        assert!(
+            b_max > 100.0,
+            "bandwidth-bound tail should exceed 2x: {b_max}%"
+        );
     }
 
     #[test]

@@ -48,8 +48,12 @@ pub fn run(scale: Scale) -> PlacementData {
     let cxl = presets::cxl_b();
 
     // Step 1: measure and locate bursts (the paper's Spa + Pin step).
-    let local_run = run_workload(&platform, &presets::local_emr(), &w, &opts);
-    let cxl_run = run_workload(&platform, &cxl, &w, &opts);
+    // The baseline and CXL runs are independent; run them side by side.
+    let specs = [presets::local_emr(), cxl.clone()];
+    let mut runs =
+        crate::exec::parallel_map(&specs, |spec| run_workload(&platform, spec, &w, &opts));
+    let cxl_run = runs.pop().expect("two runs");
+    let local_run = runs.pop().expect("two runs");
     let baseline_slowdown = cxl_run.slowdown_vs(&local_run);
     let period = (local_run.counters.instructions / 40).max(1);
     let analysis = analyze(&local_run.samples, &cxl_run.samples, period);

@@ -5,7 +5,9 @@
 
 use melody_cpu::Platform;
 use melody_mem::presets;
-use melody_spa::predict::{evaluate, predict_slowdown, DeviceProfile, Measurement, PredictionQuality};
+use melody_spa::predict::{
+    evaluate, predict_slowdown, DeviceProfile, Measurement, PredictionQuality,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::report::TableData;
@@ -13,13 +15,17 @@ use crate::runner::{run_pair, RunOptions};
 
 use super::Scale;
 
+/// One predicted target: `(target label, per-workload (name, predicted,
+/// actual), quality)`.
+pub type TargetPrediction = (String, Vec<(String, f64, f64)>, PredictionQuality);
+
 /// Per-target prediction results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PredictData {
     /// Device the measurements were taken on.
     pub measured_on: String,
-    /// `(target label, per-workload (name, predicted, actual), quality)`.
-    pub targets: Vec<(String, Vec<(String, f64, f64)>, PredictionQuality)>,
+    /// Predictions per target device.
+    pub targets: Vec<TargetPrediction>,
 }
 
 impl PredictData {
@@ -69,31 +75,41 @@ pub fn run(scale: Scale) -> PredictData {
     let local_profile = profile_of("Local");
     let measured_profile = profile_of("CXL-A");
 
-    // Measure every workload once on CXL-A (and its local baseline).
-    let measured: Vec<_> = workloads
-        .iter()
-        .map(|w| {
-            run_pair(
-                &platform,
-                &presets::local_emr(),
-                &presets::cxl_a(),
-                w,
-                &opts,
-            )
-        })
-        .collect();
+    // Measure every workload once on CXL-A (and its local baseline),
+    // fanned out over the worker pool.
+    let measured = crate::runner::run_population_par(
+        &platform,
+        &presets::local_emr(),
+        &presets::cxl_a(),
+        &workloads,
+        &opts,
+    );
 
-    let mut targets = Vec::new();
-    for (label, spec) in [
+    // Ground-truth runs for every (target × workload) cell, flattened
+    // into one parallel work list (serial order: targets outer).
+    let target_specs = [
         ("NUMA", presets::numa_emr()),
         ("CXL-B", presets::cxl_b()),
         ("CXL-D", presets::cxl_d()),
-    ] {
+    ];
+    let flat: Vec<(&melody_mem::DeviceSpec, &melody_workloads::WorkloadSpec)> = target_specs
+        .iter()
+        .flat_map(|(_, spec)| workloads.iter().map(move |w| (spec, w)))
+        .collect();
+    let truths = crate::exec::parallel_map(&flat, |(spec, w)| {
+        run_pair(&platform, &presets::local_emr(), spec, w, &opts).slowdown
+    });
+
+    let mut targets = Vec::new();
+    for ((label, _), truth_chunk) in target_specs
+        .iter()
+        .zip(truths.chunks_exact(workloads.len()))
+    {
         let target_profile = profile_of(label);
         let mut rows = Vec::new();
         let mut predicted = Vec::new();
         let mut actual = Vec::new();
-        for (w, m) in workloads.iter().zip(&measured) {
+        for ((w, m), &truth) in workloads.iter().zip(&measured).zip(truth_chunk) {
             let demand_gbps = m.local.device_stats.bandwidth_gbps();
             let meas = Measurement {
                 local: &m.local.counters,
@@ -103,7 +119,6 @@ pub fn run(scale: Scale) -> PredictData {
                 demand_gbps,
             };
             let p = predict_slowdown(&meas, target_profile);
-            let truth = run_pair(&platform, &presets::local_emr(), &spec, w, &opts).slowdown;
             rows.push((w.name.clone(), p, truth));
             predicted.push(p);
             actual.push(truth);

@@ -71,52 +71,69 @@ fn measure(spec: &DeviceSpec, scale: Scale, outstanding: usize) -> (f64, f64) {
     (lat, bw)
 }
 
-/// Regenerates Table 1.
+/// Regenerates Table 1. The nine rows are independent probe pairs, so
+/// they fan out over the worker pool ([`crate::exec::jobs`]).
 pub fn run(scale: Scale) -> Table1Data {
-    let mut rows = Vec::new();
-    // Server rows: local DRAM and cross-socket NUMA.
-    for (name, local, remote, paper) in [
-        ("SPR2S", presets::local_spr(), presets::numa_spr(), 114.0),
-        ("EMR2S", presets::local_emr(), presets::numa_emr(), 111.0),
+    // Server rows (local DRAM + cross-socket NUMA, 768 outstanding),
+    // then CXL device rows (local attach + one NUMA hop, 256).
+    let mut cells: Vec<(String, DeviceSpec, DeviceSpec, f64, usize)> = vec![
         (
-            "EMR2S'",
+            "SPR2S".into(),
+            presets::local_spr(),
+            presets::numa_spr(),
+            114.0,
+            768,
+        ),
+        (
+            "EMR2S".into(),
+            presets::local_emr(),
+            presets::numa_emr(),
+            111.0,
+            768,
+        ),
+        (
+            "EMR2S'".into(),
             presets::local_emr_prime(),
             presets::numa_emr_prime(),
             117.0,
+            768,
         ),
-        ("SKX2S", presets::local_skx2s(), presets::skx_140(), 90.0),
-        ("SKX8S", presets::local_skx8s(), presets::skx8s_410(), 81.0),
-    ] {
-        let (llat, lbw) = measure(&local, scale, 768);
-        let (rlat, rbw) = measure(&remote, scale, 768);
-        rows.push(Table1Row {
-            name: name.into(),
-            local_lat_ns: llat,
-            local_bw_gbps: lbw,
-            remote_lat_ns: Some(rlat),
-            remote_bw_gbps: Some(rbw),
-            paper_lat_ns: paper,
-        });
-    }
-    // CXL device rows: local attach and behind one NUMA hop.
+        (
+            "SKX2S".into(),
+            presets::local_skx2s(),
+            presets::skx_140(),
+            90.0,
+            768,
+        ),
+        (
+            "SKX8S".into(),
+            presets::local_skx8s(),
+            presets::skx8s_410(),
+            81.0,
+            768,
+        ),
+    ];
     for (spec, paper) in [
         (presets::cxl_a(), 214.0),
         (presets::cxl_b(), 271.0),
         (presets::cxl_c(), 394.0),
         (presets::cxl_d(), 239.0),
     ] {
-        let (llat, lbw) = measure(&spec, scale, 256);
         let remote = spec.clone().with_numa_hop();
-        let (rlat, rbw) = measure(&remote, scale, 256);
-        rows.push(Table1Row {
-            name: spec.name(),
+        cells.push((spec.name(), spec, remote, paper, 256));
+    }
+    let rows = crate::exec::parallel_map(&cells, |(name, local, remote, paper, outstanding)| {
+        let (llat, lbw) = measure(local, scale, *outstanding);
+        let (rlat, rbw) = measure(remote, scale, *outstanding);
+        Table1Row {
+            name: name.clone(),
             local_lat_ns: llat,
             local_bw_gbps: lbw,
             remote_lat_ns: Some(rlat),
             remote_bw_gbps: Some(rbw),
-            paper_lat_ns: paper,
-        });
-    }
+            paper_lat_ns: *paper,
+        }
+    });
     Table1Data { rows }
 }
 

@@ -38,21 +38,24 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod experiments;
 pub mod report;
 mod runner;
 mod testbed;
 
-pub use runner::{run_pair, run_population, run_workload, PairOutcome, RunOptions};
-pub use testbed::{
-    emr_cxl_setups, full_latency_spectrum, spr_cxl_setups, Setup,
+pub use runner::{
+    run_pair, run_population, run_population_par, run_workload, PairOutcome, RunOptions,
 };
+pub use testbed::{emr_cxl_setups, full_latency_spectrum, spr_cxl_setups, Setup};
 
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
     pub use crate::experiments::Scale;
     pub use crate::report::{Series, TableData};
-    pub use crate::runner::{run_pair, run_population, run_workload, PairOutcome, RunOptions};
+    pub use crate::runner::{
+        run_pair, run_population, run_population_par, run_workload, PairOutcome, RunOptions,
+    };
     pub use crate::testbed::{emr_cxl_setups, full_latency_spectrum, Setup};
     pub use melody_cpu::{Core, CoreConfig, CounterSet, Platform, RunResult, Slot};
     pub use melody_mem::{presets, probe, DeviceSpec, MemoryDevice};

@@ -147,6 +147,25 @@ pub fn run_population(
         .collect()
 }
 
+/// [`run_population`] fanned out over the configured worker pool
+/// ([`crate::exec::jobs`]).
+///
+/// Each (workload, device-pair) cell derives its RNG seed from the cell
+/// identity alone (`workload_seed`), and cells share no mutable state,
+/// so the result is byte-identical to [`run_population`] — same values,
+/// same order — for any worker count.
+pub fn run_population_par(
+    platform: &Platform,
+    local_spec: &DeviceSpec,
+    target_spec: &DeviceSpec,
+    workloads: &[WorkloadSpec],
+    opts: &RunOptions,
+) -> Vec<PairOutcome> {
+    crate::exec::parallel_map(workloads, |w| {
+        run_pair(platform, local_spec, target_spec, w, opts)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,7 +189,11 @@ mod tests {
             &w,
             &opts(),
         );
-        assert!(p.slowdown > 0.2, "mcf on CXL-B should slow down: {}", p.slowdown);
+        assert!(
+            p.slowdown > 0.2,
+            "mcf on CXL-B should slow down: {}",
+            p.slowdown
+        );
         // Breakdown total equals measured slowdown by construction.
         assert!((p.breakdown.total - p.slowdown).abs() < 1e-9);
         // Identical instruction streams.

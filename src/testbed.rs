@@ -41,10 +41,30 @@ impl Setup {
 pub fn emr_cxl_setups() -> Vec<Setup> {
     let p = Platform::emr2s();
     vec![
-        Setup::new("EMR-NUMA", p.clone(), presets::local_emr(), presets::numa_emr()),
-        Setup::new("EMR-CXL-A", p.clone(), presets::local_emr(), presets::cxl_a()),
-        Setup::new("EMR-CXL-B", p.clone(), presets::local_emr(), presets::cxl_b()),
-        Setup::new("EMR-CXL-C", p.clone(), presets::local_emr(), presets::cxl_c()),
+        Setup::new(
+            "EMR-NUMA",
+            p.clone(),
+            presets::local_emr(),
+            presets::numa_emr(),
+        ),
+        Setup::new(
+            "EMR-CXL-A",
+            p.clone(),
+            presets::local_emr(),
+            presets::cxl_a(),
+        ),
+        Setup::new(
+            "EMR-CXL-B",
+            p.clone(),
+            presets::local_emr(),
+            presets::cxl_b(),
+        ),
+        Setup::new(
+            "EMR-CXL-C",
+            p.clone(),
+            presets::local_emr(),
+            presets::cxl_c(),
+        ),
         Setup::new("EMR-CXL-D", p, presets::local_emr(), presets::cxl_d()),
     ]
 }
@@ -53,7 +73,12 @@ pub fn emr_cxl_setups() -> Vec<Setup> {
 pub fn spr_cxl_setups() -> Vec<Setup> {
     let p = Platform::spr2s();
     vec![
-        Setup::new("SPR-CXL-A", p.clone(), presets::local_spr(), presets::cxl_a()),
+        Setup::new(
+            "SPR-CXL-A",
+            p.clone(),
+            presets::local_spr(),
+            presets::cxl_a(),
+        ),
         Setup::new("SPR-CXL-B", p, presets::local_spr(), presets::cxl_b()),
     ]
 }
@@ -67,17 +92,57 @@ pub fn full_latency_spectrum() -> Vec<Setup> {
     let spr = Platform::spr2s();
     let emr = Platform::emr2s();
     vec![
-        Setup::new("SKX-140ns", skx.clone(), presets::local_skx2s(), presets::skx_140()),
+        Setup::new(
+            "SKX-140ns",
+            skx.clone(),
+            presets::local_skx2s(),
+            presets::skx_140(),
+        ),
         Setup::new("SKX-190ns", skx, presets::local_skx2s(), presets::skx_190()),
-        Setup::new("SPR-NUMA", spr.clone(), presets::local_spr(), presets::numa_spr()),
-        Setup::new("SPR-CXL-A", spr.clone(), presets::local_spr(), presets::cxl_a()),
+        Setup::new(
+            "SPR-NUMA",
+            spr.clone(),
+            presets::local_spr(),
+            presets::numa_spr(),
+        ),
+        Setup::new(
+            "SPR-CXL-A",
+            spr.clone(),
+            presets::local_spr(),
+            presets::cxl_a(),
+        ),
         Setup::new("SPR-CXL-B", spr, presets::local_spr(), presets::cxl_b()),
-        Setup::new("EMR-NUMA", emr.clone(), presets::local_emr(), presets::numa_emr()),
-        Setup::new("EMR-CXL-A", emr.clone(), presets::local_emr(), presets::cxl_a()),
-        Setup::new("EMR-CXL-B", emr.clone(), presets::local_emr(), presets::cxl_b()),
-        Setup::new("EMR-CXL-D", emr.clone(), presets::local_emr(), presets::cxl_d()),
+        Setup::new(
+            "EMR-NUMA",
+            emr.clone(),
+            presets::local_emr(),
+            presets::numa_emr(),
+        ),
+        Setup::new(
+            "EMR-CXL-A",
+            emr.clone(),
+            presets::local_emr(),
+            presets::cxl_a(),
+        ),
+        Setup::new(
+            "EMR-CXL-B",
+            emr.clone(),
+            presets::local_emr(),
+            presets::cxl_b(),
+        ),
+        Setup::new(
+            "EMR-CXL-D",
+            emr.clone(),
+            presets::local_emr(),
+            presets::cxl_d(),
+        ),
         Setup::new("EMR-CXL-C", emr, presets::local_emr(), presets::cxl_c()),
-        Setup::new("SKX-410ns", skx8, presets::local_skx8s(), presets::skx8s_410()),
+        Setup::new(
+            "SKX-410ns",
+            skx8,
+            presets::local_skx8s(),
+            presets::skx8s_410(),
+        ),
     ]
 }
 

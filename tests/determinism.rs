@@ -36,6 +36,40 @@ fn full_stack_run_is_deterministic() {
 }
 
 #[test]
+fn parallel_population_is_byte_identical_to_serial() {
+    // The parallel experiment engine's contract: run_population_par
+    // produces the same values in the same order as the serial
+    // run_population, for any worker count. Compare full serialized
+    // outcomes (counters, histograms, samples — everything) across
+    // several workloads and two device pairs.
+    let workloads: Vec<_> = ["bfs-web", "605.mcf", "520.omnetpp"]
+        .iter()
+        .map(|n| registry::by_name(n).unwrap_or_else(|| panic!("workload {n}")))
+        .collect();
+    let opts = RunOptions {
+        mem_refs: 4_000,
+        sample_interval_ns: Some(10_000),
+        ..Default::default()
+    };
+    let platform = Platform::emr2s();
+    for target in [presets::cxl_a(), presets::cxl_c()] {
+        let serial = run_population(&platform, &presets::local_emr(), &target, &workloads, &opts);
+        for jobs in [1, 2, 5] {
+            melody::exec::set_jobs(jobs);
+            let par =
+                run_population_par(&platform, &presets::local_emr(), &target, &workloads, &opts);
+            melody::exec::set_jobs(0);
+            assert_eq!(
+                serde_json::to_string(&serial).expect("serialize serial"),
+                serde_json::to_string(&par).expect("serialize parallel"),
+                "parallel ({jobs} jobs) vs serial mismatch on {}",
+                target.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seed_changes_stochastic_outcomes() {
     let w = registry::by_name("bfs-web").expect("bfs-web");
     let mk = |seed| RunOptions {

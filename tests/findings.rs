@@ -19,7 +19,11 @@ fn finding1_cxl_tail_latencies() {
             .gap
     };
     assert!(gap("Local", 8) < 110, "local gap {}", gap("Local", 8));
-    assert!(gap("Local+NUMA", 8) < 130, "numa gap {}", gap("Local+NUMA", 8));
+    assert!(
+        gap("Local+NUMA", 8) < 130,
+        "numa gap {}",
+        gap("Local+NUMA", 8)
+    );
     assert!(gap("CXL-B", 8) > 2 * gap("Local", 8));
     assert!(gap("CXL-C", 8) > 2 * gap("Local", 8));
     assert!(gap("CXL-D", 8) < gap("CXL-B", 8));
@@ -31,7 +35,11 @@ fn finding1_cxl_tail_latencies() {
         .find(|c| c.config == "CXL-B" && c.threads == 1)
         .expect("cell");
     assert!(b.p50 < 150, "prefetched median {}", b.p50);
-    assert!(b.p999 > 100, "prefetching should not kill the tail: {}", b.p999);
+    assert!(
+        b.p999 > 100,
+        "prefetching should not kill the tail: {}",
+        b.p999
+    );
 }
 
 /// Finding #1(c/e): concurrent reads/writes worsen CXL tails; the
@@ -57,7 +65,11 @@ fn finding1_duplex_and_noise() {
             .gap
     };
     assert!(gap("CXL-A", 7) > gap("CXL-A", 0));
-    assert!(gap("Local", 7) < 250, "local stable under noise: {}", gap("Local", 7));
+    assert!(
+        gap("Local", 7) < 250,
+        "local stable under noise: {}",
+        gap("Local", 7)
+    );
 }
 
 /// Finding #2: slowdown ordering across devices; many workloads tolerate
@@ -164,13 +176,13 @@ fn finding4_prefetcher_shift() {
         .iter()
         .filter(|o| o.local.counters.l2pf_issued > 1_000)
         .filter(|o| {
-            melody_spa::prefetch::coverage_decrease_pp(
-                &o.local.counters,
-                &o.target.counters,
-            ) > 1.0
+            melody_spa::prefetch::coverage_decrease_pp(&o.local.counters, &o.target.counters) > 1.0
         })
         .count();
-    assert!(coverage_drops >= 2, "expected L2PF coverage drops, saw {coverage_drops}");
+    assert!(
+        coverage_drops >= 2,
+        "expected L2PF coverage drops, saw {coverage_drops}"
+    );
 }
 
 /// Finding #4 (validation): with prefetchers disabled, cache-level
@@ -220,7 +232,10 @@ fn finding4_prefetchers_off_no_cache_slowdown() {
 fn finding5_temporal_variation() {
     use melody::experiments::fig16;
     let panels = fig16::run(Scale::Smoke);
-    let gcc = panels.iter().find(|p| p.workload == "602.gcc").expect("gcc");
+    let gcc = panels
+        .iter()
+        .find(|p| p.workload == "602.gcc")
+        .expect("gcc");
     // gcc has clearly distinguishable heavy and light regions.
     let totals: Vec<f64> = gcc.analysis.periods.iter().map(|b| b.total).collect();
     let max = totals.iter().cloned().fold(f64::MIN, f64::max);

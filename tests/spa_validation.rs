@@ -7,10 +7,17 @@ use melody::prelude::*;
 use melody_spa::period;
 
 fn some_workloads() -> Vec<WorkloadSpec> {
-    ["605.mcf", "519.lbm", "bfs-web", "redis.ycsb-A", "541.leela", "503.bwaves"]
-        .iter()
-        .map(|n| registry::by_name(n).expect("registry"))
-        .collect()
+    [
+        "605.mcf",
+        "519.lbm",
+        "bfs-web",
+        "redis.ycsb-A",
+        "541.leela",
+        "503.bwaves",
+    ]
+    .iter()
+    .map(|n| registry::by_name(n).expect("registry"))
+    .collect()
 }
 
 /// The Figure 10 counter containment invariants hold on every run, for

@@ -8,11 +8,11 @@ use proptest::prelude::*;
 
 fn any_phase() -> impl Strategy<Value = Phase> {
     (
-        1.0f64..200.0,   // uops_per_mem
-        0.0f64..0.9,     // dependence
-        20u64..4_000,    // working set in MiB
-        0.0f64..0.95,    // seq_frac
-        0.0f64..0.5,     // store_frac
+        1.0f64..200.0, // uops_per_mem
+        0.0f64..0.9,   // dependence
+        20u64..4_000,  // working set in MiB
+        0.0f64..0.95,  // seq_frac
+        0.0f64..0.5,   // store_frac
         prop_oneof![
             Just(Pattern::Sequential),
             Just(Pattern::Random),

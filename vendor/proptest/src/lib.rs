@@ -1,0 +1,365 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of proptest the workspace uses: the
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! [`Just`], `prop_oneof!`, `collection::vec`, and the [`proptest!`]
+//! test macro with `prop_assert!`/`prop_assert_eq!` and
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! with the generated inputs visible in the assertion message. Input
+//! generation is fully deterministic — each `(test name, case index)`
+//! pair maps to a fixed RNG seed — so failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Deterministic source of randomness for strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for one test case. The seed mixes the test name
+    /// (FNV-1a) with the case index so every test draws an independent
+    /// but reproducible stream.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)),
+        }
+    }
+
+    fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        self.rng.gen_range(range)
+    }
+
+    fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        self.rng.gen_range(range)
+    }
+}
+
+/// A generator of test-case values.
+///
+/// Object-safe: `Box<dyn Strategy<Value = T>>` works, which is what
+/// `prop_oneof!` builds.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Creates a choice over `arms`; each is picked with equal weight.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let i = rng.u64_in(0..self.arms.len() as u64) as usize;
+        self.arms[i].pick(rng)
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous collections (helper for
+/// `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.u64_in(self.start as u64..self.end as u64) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                // Shift to unsigned space to sample, then shift back.
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.u64_in(0..span) as i64) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        rng.f64_in(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn pick(&self, rng: &mut TestRng) -> f32 {
+        rng.f64_in(self.start as f64..self.end as f64) as f32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.pick(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of values from `elem` with a length drawn
+    /// from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().pick(rng);
+            (0..n).map(|_| self.elem.pick(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 48 keeps the suite quick while
+        // still exercising each property broadly.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a test that draws its arguments from the strategies for
+/// `cases` deterministic rounds. An optional leading
+/// `#![proptest_config(expr)]` sets the configuration for every test in
+/// the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::pick(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds for the current case (panics on failure;
+/// this stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_produce_in_bounds() {
+        let mut rng = crate::TestRng::for_case("unit", 0);
+        for _ in 0..1000 {
+            let (a, b, c) = (1u32..5, 0.0f64..1.0, 3usize..4).pick(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+            assert_eq!(c, 3);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|x| x)];
+        let mut rng = crate::TestRng::for_case("arms", 0);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[s.pick(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true, true]);
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let s = crate::collection::vec(0u64..10, 2..6);
+        let mut rng = crate::TestRng::for_case("lens", 0);
+        for _ in 0..200 {
+            let v = s.pick(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let s = crate::collection::vec(0u64..1000, 1..50);
+        let a = s.pick(&mut crate::TestRng::for_case("repro", 7));
+        let b = s.pick(&mut crate::TestRng::for_case("repro", 7));
+        let c = s.pick(&mut crate::TestRng::for_case("repro", 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: arguments arrive within their ranges.
+        #[test]
+        fn macro_generates_in_range(x in 0u64..100, y in -5i64..5, f in 0.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert_eq!(x, x);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the exact subset of `rand` 0.8's API that the workspace
+//! uses: [`rngs::SmallRng`] (xoshiro256++, the same algorithm the real
+//! crate uses on 64-bit targets), the [`Rng`] extension trait with
+//! `gen` / `gen_range`, and [`SeedableRng::seed_from_u64`] with the
+//! standard SplitMix64 seed expansion. Streams are deterministic and
+//! stable across runs, which is all the simulator requires.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Core RNG interface: a source of uniformly distributed `u64` words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion
+    /// (the same scheme `rand_core` uses, so seeds stay meaningful).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the uniform "standard" distribution.
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1), matching rand's Standard.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire's unbiased multiply-shift rejection method.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let t = span.wrapping_neg() % span;
+                    while lo < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                self.start + ((m >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u64, u32, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::sample_standard(rng);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the standard uniform distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++, the
+    /// algorithm `rand`'s `SmallRng` uses on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64 expansion (rand_core's default seed_from_u64).
+            const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+            let mut next = || {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            // All-zero state would lock the generator; SplitMix64 never
+            // produces it from any seed, but guard anyway.
+            let s = if s == [0; 4] { [PHI, 0, 0, 0] } else { s };
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4, "{same} collisions");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = r.gen_range(0u64..7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+        for _ in 0..1_000 {
+            let v = r.gen_range(-2.5f64..3.5);
+            assert!((-2.5..3.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_is_unbiased() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
