@@ -52,6 +52,15 @@ pub struct CounterSet {
     /// L2 prefetches dropped for lack of in-flight slots (timeliness
     /// pressure indicator).
     pub l2pf_dropped: u64,
+    /// Machine-check exceptions raised by consuming poisoned (UE) lines
+    /// from a faulted device. Zero — and omitted from serialized output —
+    /// unless a fault regime injects uncorrectable errors.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub machine_checks: u64,
+}
+
+fn is_zero(n: &u64) -> bool {
+    *n == 0
 }
 
 impl CounterSet {
@@ -79,6 +88,7 @@ impl CounterSet {
             demand_l3_miss: self.demand_l3_miss.saturating_sub(other.demand_l3_miss),
             l2pf_issued: self.l2pf_issued.saturating_sub(other.l2pf_issued),
             l2pf_dropped: self.l2pf_dropped.saturating_sub(other.l2pf_dropped),
+            machine_checks: self.machine_checks.saturating_sub(other.machine_checks),
         }
     }
 

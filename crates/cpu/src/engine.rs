@@ -72,6 +72,12 @@ impl CoreConfig {
     }
 }
 
+/// Machine-check recovery time after consuming a poisoned line: the
+/// firmware/OS handler logs the error, flushes the pipeline and resumes
+/// the thread. Real MCE handling costs on the order of tens of
+/// microseconds; 10 µs is the conservative end.
+const MCE_RECOVERY_PS: u64 = 10_000_000;
+
 /// Timing constants hoisted out of the per-slot hot path.
 ///
 /// `Platform` owns a `String` name, so cloning it inside `do_load` /
@@ -610,6 +616,15 @@ impl Core {
         let lat_ps = a.completion.saturating_sub(self.t_ps);
         self.record_demand_latency(lat_ps);
         self.win_read_bytes += 64;
+        if a.poisoned {
+            // Consuming a poisoned (uncorrectable-error) line raises a
+            // machine check: the handler flushes the pipeline and
+            // re-arms the core, a fixed recovery cost charged as pure
+            // retirement stall (no load-bound attribution — the core is
+            // in the MCE handler, not waiting on memory).
+            self.counters.machine_checks += 1;
+            self.stall_cycles(MCE_RECOVERY_PS);
+        }
         if dependent {
             self.dep_load_hist.record(lat_ps / 1_000);
             self.load_stall(lat_ps, Depth::Mem);
@@ -849,6 +864,27 @@ mod tests {
         let cpi = r.counters.cycles as f64 / r.counters.instructions as f64;
         assert!(cpi < 10.0, "cached chase CPI {cpi}");
         assert!(r.counters.demand_l3_miss < 300);
+    }
+
+    #[test]
+    fn poisoned_lines_raise_machine_checks_and_stall() {
+        let mut fc = melody_mem::FaultConfig::poison();
+        fc.poison.as_mut().unwrap().ue_p = 2e-3;
+        let clean = emr_core(presets::cxl_b()).run(chase(2_000));
+        let faulted = emr_core(presets::cxl_b().with_faults(fc)).run(chase(2_000));
+        let c = &faulted.counters;
+        assert!(c.machine_checks > 0, "UEs expected at 2e-3 over 2k misses");
+        assert_eq!(c.machine_checks, faulted.device_stats.ras.uncorrectable);
+        assert!(c.invariants_hold());
+        // Each MCE costs ~10 µs of pure retirement stall, dwarfing the
+        // per-miss latency: the faulted run must be visibly slower.
+        assert!(
+            c.cycles > clean.counters.cycles,
+            "MCE recovery should cost cycles: {} vs {}",
+            c.cycles,
+            clean.counters.cycles
+        );
+        assert_eq!(clean.counters.machine_checks, 0);
     }
 
     #[test]

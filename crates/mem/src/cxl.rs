@@ -26,6 +26,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::device::{AccessBreakdown, DeviceStats, MemoryDevice};
 use crate::dram::{DramBackend, DramTiming};
+use crate::faults::{FaultConfig, FaultSchedule};
 use crate::request::MemRequest;
 
 /// Thermal-throttling model: when the device has been running above a
@@ -89,9 +90,68 @@ pub struct CxlConfig {
     pub channels: usize,
     /// Optional thermal throttling.
     pub thermal: Option<ThermalConfig>,
+    /// Optional fault-injection regime (see [`crate::faults`]). Absent in
+    /// every Table-1 preset; attach one with
+    /// [`crate::DeviceSpec::with_faults`]. Skipped when absent so existing
+    /// serialized specs stay byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultConfig>,
 }
 
 impl CxlConfig {
+    /// Validates the configuration: probabilities in `[0, 1]`, positive
+    /// bandwidths and pool sizes, well-formed delay distributions, and a
+    /// valid fault regime if one is attached. [`CxlDevice::new`] rejects
+    /// invalid configs with a clear panic instead of silently sampling
+    /// nonsense.
+    pub fn validate(&self) -> Result<(), String> {
+        fn prob(name: &str, p: f64) -> Result<(), String> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0, 1]"));
+            }
+            Ok(())
+        }
+        prob("congestion_p", self.congestion_p)?;
+        prob("retry_p", self.retry_p)?;
+        prob("load_onset", self.load_onset)?;
+        if self.fixed_ns < 0.0 {
+            return Err(format!("fixed_ns = {} is negative", self.fixed_ns));
+        }
+        if self.read_link_gbps <= 0.0 || self.write_link_gbps <= 0.0 {
+            return Err(format!(
+                "link bandwidth must be positive ({} / {} GB/s)",
+                self.read_link_gbps, self.write_link_gbps
+            ));
+        }
+        if self.sched_slots == 0 {
+            return Err("sched_slots must be at least 1".into());
+        }
+        if self.channels == 0 {
+            return Err("channels must be at least 1".into());
+        }
+        for (name, dist) in [
+            ("sched_service_ns", &self.sched_service_ns),
+            ("txn_jitter_ns", &self.txn_jitter_ns),
+            ("congestion_window_ns", &self.congestion_window_ns),
+            ("retry_penalty_ns", &self.retry_penalty_ns),
+        ] {
+            dist.validate().map_err(|e| format!("{name}: {e}"))?;
+        }
+        if let Some(th) = &self.thermal {
+            prob("thermal.util_threshold", th.util_threshold)?;
+            if th.period_ns <= 0.0 || th.duration_ns <= 0.0 {
+                return Err(format!(
+                    "thermal period/duration must be positive ({} / {} ns)",
+                    th.period_ns, th.duration_ns
+                ));
+            }
+        }
+        if let Some(fc) = &self.faults {
+            fc.validate()?;
+        }
+        Ok(())
+    }
+
     /// Sets `fixed_ns` so the device's idle (row-miss pointer-chase)
     /// latency lands on `target_idle_ns`.
     ///
@@ -147,6 +207,12 @@ pub struct CxlDevice {
     write_link: ServerPool,
     /// EWMA of the write fraction of recent traffic (shared-path model).
     write_frac_ewma: f64,
+    /// Fault state machine; present only when a non-inert regime is
+    /// configured, so fault-free devices draw no extra random numbers.
+    faults: Option<FaultSchedule>,
+    /// Current link-width multiplier (1.0 full width; degraded during
+    /// retraining windows).
+    link_width: f64,
     throttle_until: SimTime,
     next_throttle_check: SimTime,
     // Utilization estimator: EWMA of request inter-arrival time.
@@ -158,7 +224,26 @@ pub struct CxlDevice {
 
 impl CxlDevice {
     /// Instantiates the device with a deterministic RNG seed.
-    pub fn new(cfg: CxlConfig, seed: u64) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CxlConfig::validate`].
+    pub fn new(mut cfg: CxlConfig, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid CxlConfig `{}`: {e}", cfg.name);
+        }
+        // A fault regime's thermal profile activates the device's dormant
+        // thermal path unless the config already sets one explicitly.
+        if cfg.thermal.is_none() {
+            cfg.thermal = cfg.faults.as_ref().and_then(|f| f.thermal.clone());
+        }
+        // Inert regimes build no schedule: they must consume no RNG draws
+        // and leave output byte-identical to a fault-free device.
+        let faults = cfg
+            .faults
+            .clone()
+            .filter(|f| !f.is_inert())
+            .map(|f| FaultSchedule::new(f, seed));
         let dram = DramBackend::new(cfg.timing, cfg.channels);
         let sched = ServerPool::new(cfg.sched_slots.max(1));
         // One server per link direction; service time of one 64 B payload
@@ -173,6 +258,8 @@ impl CxlDevice {
             read_link,
             write_link,
             write_frac_ewma: 0.0,
+            faults,
+            link_width: 1.0,
             throttle_until: 0,
             next_throttle_check: 0,
             ia_ewma_ps: 1e9, // start effectively idle
@@ -206,7 +293,9 @@ impl CxlDevice {
         } else {
             self.cfg.write_link_gbps
         };
-        (64.0 / gbps * 1_000.0) as SimTime
+        // Retraining windows degrade the effective width (x8→x4 halves
+        // the flit rate); `link_width` is 1.0 outside them.
+        (64.0 / (gbps * self.link_width) * 1_000.0) as SimTime
     }
 
     /// Serializes a 64 B payload on the appropriate link direction.
@@ -238,7 +327,7 @@ impl CxlDevice {
             } else {
                 fw.max(0.05)
             };
-            let gbps_eff = self.cfg.read_link_gbps * share / overhead;
+            let gbps_eff = self.cfg.read_link_gbps * share / overhead * self.link_width;
             let service = (64.0 / gbps_eff * 1_000.0) as SimTime;
             let pool = if is_read {
                 &mut self.read_link
@@ -255,6 +344,17 @@ impl MemoryDevice for CxlDevice {
         let is_read = req.kind.is_read();
         self.update_load(req.issue);
         let util = self.utilization();
+
+        // Fault layer first: it decides this request's link width and any
+        // correlated-fault delay before the request touches the pools.
+        let mut fault_defer_ps: SimTime = 0;
+        let mut poisoned = false;
+        if let Some(sched) = self.faults.as_mut() {
+            let fx = sched.observe(req.issue, &mut self.stats.ras);
+            fault_defer_ps = fx.defer_ps;
+            poisoned = fx.poisoned;
+            self.link_width = fx.width_factor;
+        }
 
         let mut spike_ps: SimTime = 0;
         let half_fixed = (self.cfg.fixed_ns * 500.0) as SimTime;
@@ -276,7 +376,7 @@ impl MemoryDevice for CxlDevice {
         // the final completion rather than shifting the request's position
         // in the resource pools — shifting it would head-of-line-block
         // every later request and wrongly destroy device throughput.
-        let mut defer_ps: SimTime = 0;
+        let mut defer_ps: SimTime = fault_defer_ps;
 
         // --- Transaction layer: flow-control back-pressure. Above the
         // device's load onset, a request may get caught in a credit-
@@ -293,9 +393,15 @@ impl MemoryDevice for CxlDevice {
         // --- Base transaction-layer jitter (present even at light load).
         defer_ps += (self.cfg.txn_jitter_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
 
-        // --- Link-layer retry: CRC error forces a replay.
+        // --- Link-layer retry: CRC error forces a replay. Baseline
+        // replays are correctable errors; they are only *accounted* when a
+        // fault regime is active, so fault-free stats stay byte-identical
+        // to the pre-RAS format.
         if self.rng.chance(self.cfg.retry_p) {
             defer_ps += (self.cfg.retry_penalty_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+            if self.faults.is_some() {
+                self.stats.ras.correctable += 1;
+            }
         }
         spike_ps += defer_ps;
 
@@ -308,7 +414,9 @@ impl MemoryDevice for CxlDevice {
                 }
             }
             if t < self.throttle_until {
-                spike_ps += self.throttle_until - t;
+                let stall = self.throttle_until - t;
+                spike_ps += stall;
+                self.stats.ras.throttle_ps += stall;
                 t = self.throttle_until;
             }
         }
@@ -339,6 +447,7 @@ impl MemoryDevice for CxlDevice {
             fabric_ps: half_fixed * 2 + sched_service,
             spike_ps,
             row_hit: d.row_hit,
+            poisoned,
         };
         self.stats.record(req, completion);
         out
@@ -390,6 +499,7 @@ mod tests {
             timing: DramTiming::ddr4(),
             channels: 2,
             thermal: None,
+            faults: None,
         }
         .calibrate_to_idle(214.0)
     }
@@ -560,6 +670,112 @@ mod tests {
             }
         }
         assert!(throttled > 0, "thermal windows should hit some requests");
+    }
+
+    #[test]
+    #[should_panic(expected = "retry_p")]
+    fn invalid_retry_probability_rejected() {
+        let mut cfg = quiet_config();
+        cfg.retry_p = 2.0;
+        let _ = CxlDevice::new(cfg, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative constant delay")]
+    fn negative_penalty_distribution_rejected() {
+        let mut cfg = quiet_config();
+        cfg.retry_penalty_ns = Dist::Constant(-5.0);
+        let _ = CxlDevice::new(cfg, 1);
+    }
+
+    #[test]
+    fn inert_fault_config_is_byte_identical_to_none() {
+        let mut faulted = quiet_config();
+        faulted.faults = Some(crate::faults::FaultConfig::none());
+        let mut a = CxlDevice::new(quiet_config(), 42);
+        let mut b = CxlDevice::new(faulted, 42);
+        for i in 0..5_000u64 {
+            let req = MemRequest::new(i * 313 * 64, RequestKind::DemandRead, i * 1_700);
+            assert_eq!(a.access(&req), b.access(&req), "request {i}");
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().ras.is_zero());
+    }
+
+    #[test]
+    fn crc_storm_regime_counts_correctable_errors() {
+        let mut cfg = quiet_config();
+        cfg.faults = Some(crate::faults::FaultConfig::crc_storm());
+        let mut dev = CxlDevice::new(cfg, 9);
+        for i in 0..50_000u64 {
+            dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 2_000));
+        }
+        let ras = dev.stats().ras;
+        assert!(ras.correctable > 50, "storm replays: {ras:?}");
+        assert_eq!(ras.uncorrectable, 0);
+    }
+
+    #[test]
+    fn retrain_windows_cut_saturated_bandwidth() {
+        let run = |faults: Option<crate::faults::FaultConfig>| {
+            let mut cfg = quiet_config();
+            cfg.faults = faults;
+            let mut dev = CxlDevice::new(cfg, 21);
+            let n = 40_000u64;
+            let mut last = 0;
+            for i in 0..n {
+                let a = dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 100));
+                last = a.completion.max(last);
+            }
+            (n as f64 * 64.0 / last as f64 * 1_000.0, dev.stats().ras)
+        };
+        let (clean_gbps, _) = run(None);
+        let mut severe = crate::faults::FaultConfig::link_retrain();
+        // The 40k requests issue over ~4 µs of simulated time, so use
+        // windows on that scale: retrain roughly every 400 ns for
+        // 1.2 µs, keeping the link degraded most of the run.
+        severe.retrain.as_mut().unwrap().interval_ns = 400.0;
+        severe.retrain.as_mut().unwrap().duration_ns = 1_200.0;
+        let (faulted_gbps, ras) = run(Some(severe));
+        assert!(ras.retrains > 0, "retrain windows must open");
+        assert!(
+            faulted_gbps < clean_gbps * 0.9,
+            "width degradation should cost bandwidth: {faulted_gbps:.1} vs {clean_gbps:.1}"
+        );
+    }
+
+    #[test]
+    fn poison_regime_marks_accesses_and_counts_ue() {
+        let mut cfg = quiet_config();
+        let mut fc = crate::faults::FaultConfig::poison();
+        fc.poison.as_mut().unwrap().ue_p = 1e-3;
+        cfg.faults = Some(fc);
+        let mut dev = CxlDevice::new(cfg, 13);
+        let mut poisoned = 0u64;
+        for i in 0..20_000u64 {
+            let a = dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 2_000));
+            if a.poisoned {
+                poisoned += 1;
+            }
+        }
+        assert!(poisoned > 0, "UEs expected at 1e-3 over 20k");
+        assert_eq!(dev.stats().ras.uncorrectable, poisoned);
+    }
+
+    #[test]
+    fn fault_thermal_profile_activates_dormant_path() {
+        let mut cfg = quiet_config();
+        cfg.faults = Some(crate::faults::FaultConfig::thermal_stress());
+        let mut dev = CxlDevice::new(cfg, 17);
+        // Saturating read traffic keeps utilization above the threshold.
+        for i in 0..50_000u64 {
+            dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 2_200));
+        }
+        assert!(
+            dev.stats().ras.throttle_ns() > 0,
+            "thermal throttling should accumulate: {:?}",
+            dev.stats().ras
+        );
     }
 
     #[test]

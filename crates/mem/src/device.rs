@@ -3,7 +3,12 @@
 use melody_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::RasCounters;
 use crate::request::MemRequest;
+
+fn is_false(b: &bool) -> bool {
+    !*b
+}
 
 /// Per-request timing breakdown returned by a device.
 ///
@@ -27,6 +32,12 @@ pub struct AccessBreakdown {
     pub spike_ps: SimTime,
     /// Whether the access hit an open DRAM row.
     pub row_hit: bool,
+    /// Whether the access consumed a poisoned line (uncorrectable error).
+    /// The CPU engine turns this into an MCE-style recovery stall.
+    /// Skipped when clean so fault-free serializations stay byte-identical
+    /// to the pre-fault-layer format.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub poisoned: bool,
 }
 
 impl AccessBreakdown {
@@ -49,6 +60,11 @@ pub struct DeviceStats {
     pub first_issue: SimTime,
     /// Latest completion produced.
     pub last_completion: SimTime,
+    /// RAS event counters (CRC replays, UEs, retrains, throttle time).
+    /// Skipped when all-zero so fault-free serializations stay
+    /// byte-identical to the pre-fault-layer format.
+    #[serde(default, skip_serializing_if = "RasCounters::is_zero")]
+    pub ras: RasCounters,
 }
 
 impl DeviceStats {

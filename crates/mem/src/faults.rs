@@ -1,0 +1,626 @@
+//! Deterministic, seeded fault injection for CXL devices.
+//!
+//! The paper explains CXL's latency instability (§3.2 "Reasoning") by
+//! failure mechanisms that are *correlated in time* — link-layer CRC
+//! replay storms, link retraining, refresh interference, thermal
+//! management — while the base device model fires its `retry_p` as an
+//! independent per-request coin flip. This module supplies the correlated
+//! regimes as an opt-in layer:
+//!
+//! - **CRC-retry storms** ([`CrcStormConfig`]): a two-state Markov chain
+//!   switches the link between a clean state and a storm state in which
+//!   replays are frequent, producing the bursty multi-µs spike clusters
+//!   real links show when marginal.
+//! - **Link retraining windows** ([`RetrainConfig`]): the link
+//!   periodically drops into recovery and comes back at degraded width
+//!   (x8→x4 halves flit bandwidth) until retraining completes.
+//! - **Refresh storms** ([`RefreshStormConfig`]): windows in which every
+//!   request pays an extra controller-side penalty, modelling pathological
+//!   refresh scheduling on immature controllers.
+//! - **Poisoned-line UEs** ([`PoisonConfig`]): rare uncorrectable errors;
+//!   the device charges a containment delay and flags the access so the
+//!   CPU engine can take an MCE-style recovery stall.
+//! - **Thermal runaway**: [`FaultConfig::thermal`] activates the dormant
+//!   [`ThermalConfig`] path of the device (all Table-1 presets ship with
+//!   thermal off).
+//!
+//! Every event increments the per-device [`RasCounters`] surfaced through
+//! `DeviceStats`. Determinism contract: the schedule draws from its *own*
+//! RNG stream (derived from the device seed), and draws **only** for
+//! components that are present — a `FaultConfig::default()` (all `None`)
+//! consumes zero random numbers, so output is byte-identical to a device
+//! built without a fault layer at all.
+
+use melody_sim::{Dist, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::cxl::ThermalConfig;
+
+/// Per-device reliability/availability/serviceability counters.
+///
+/// Embedded in `DeviceStats`; wrapper devices (NUMA hop, interleave,
+/// split) merge their children's counters when reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RasCounters {
+    /// Correctable errors: CRC replays (baseline `retry_p` and storm).
+    pub correctable: u64,
+    /// Uncorrectable errors: poisoned-line consumptions.
+    pub uncorrectable: u64,
+    /// Link retraining windows entered.
+    pub retrains: u64,
+    /// Refresh-storm windows entered.
+    pub refresh_storms: u64,
+    /// Total time spent thermally throttled, in ps.
+    pub throttle_ps: u64,
+}
+
+impl RasCounters {
+    /// Accumulates another device's counters into this one.
+    pub fn merge(&mut self, other: &RasCounters) {
+        self.correctable += other.correctable;
+        self.uncorrectable += other.uncorrectable;
+        self.retrains += other.retrains;
+        self.refresh_storms += other.refresh_storms;
+        self.throttle_ps += other.throttle_ps;
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == RasCounters::default()
+    }
+
+    /// Throttled time in nanoseconds.
+    pub fn throttle_ns(&self) -> u64 {
+        self.throttle_ps / 1_000
+    }
+}
+
+/// Bursty CRC-retry storms: a Markov on/off process replaces the iid
+/// `retry_p` picture. While the storm is on, each request replays with
+/// `retry_p` and pays `penalty_ns`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrcStormConfig {
+    /// Per-request probability of entering a storm while clean.
+    pub entry_p: f64,
+    /// Per-request probability of leaving the storm while in one.
+    pub exit_p: f64,
+    /// Per-request replay probability while the storm is on.
+    pub retry_p: f64,
+    /// Replay penalty, ns.
+    pub penalty_ns: Dist,
+}
+
+/// Periodic link retraining: the link drops to a degraded width for a
+/// recovery window, then restores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainConfig {
+    /// Mean gap between retraining events, ns (exponentially distributed).
+    pub interval_ns: f64,
+    /// Length of a retraining window, ns.
+    pub duration_ns: f64,
+    /// Link-width multiplier during the window (0.5 = x8→x4).
+    pub width_factor: f64,
+}
+
+/// Refresh storms: windows during which every request pays an extra
+/// controller-side penalty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefreshStormConfig {
+    /// Mean gap between storm windows, ns (exponentially distributed).
+    pub interval_ns: f64,
+    /// Length of a storm window, ns.
+    pub duration_ns: f64,
+    /// Per-request penalty while the storm is on, ns.
+    pub penalty_ns: Dist,
+}
+
+/// Poisoned-line uncorrectable errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoisonConfig {
+    /// Per-request probability of consuming a poisoned line.
+    pub ue_p: f64,
+    /// Controller-side containment delay charged to the access, ns. The
+    /// CPU engine adds its own machine-check recovery stall on top.
+    pub mce_penalty_ns: f64,
+}
+
+/// A fault-injection regime: any combination of the correlated fault
+/// mechanisms. `None` components are fully inert (no RNG draws, no state).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Bursty CRC-retry storms.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub crc_storm: Option<CrcStormConfig>,
+    /// Link retraining windows.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retrain: Option<RetrainConfig>,
+    /// Refresh storms.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub refresh_storm: Option<RefreshStormConfig>,
+    /// Poisoned-line UEs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub poison: Option<PoisonConfig>,
+    /// Thermal-runaway profile; activates the device's dormant
+    /// [`ThermalConfig`] path when the device config itself has none.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub thermal: Option<ThermalConfig>,
+}
+
+/// Names accepted by [`FaultConfig::by_name`] / `--faults <regime>`.
+pub const REGIMES: &[&str] = &[
+    "none",
+    "crc-storm",
+    "retrain",
+    "refresh-storm",
+    "poison",
+    "thermal",
+    "harsh",
+];
+
+impl FaultConfig {
+    /// No fault components at all (identical to the baseline device).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether every component is absent.
+    pub fn is_inert(&self) -> bool {
+        self.crc_storm.is_none()
+            && self.retrain.is_none()
+            && self.refresh_storm.is_none()
+            && self.poison.is_none()
+            && self.thermal.is_none()
+    }
+
+    /// Marginal-link regime: storms of frequent CRC replays. Entry/exit
+    /// probabilities give geometric clean runs of ~2000 requests and
+    /// storms of ~50 requests with 35% replay inside — the bursty spike
+    /// clusters of §3.2 rather than iid singletons.
+    pub fn crc_storm() -> Self {
+        Self {
+            crc_storm: Some(CrcStormConfig {
+                entry_p: 5e-4,
+                exit_p: 0.02,
+                retry_p: 0.35,
+                penalty_ns: Dist::Uniform {
+                    lo: 1_500.0,
+                    hi: 4_000.0,
+                },
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// Link-retraining regime: recurring recovery windows at half link
+    /// width (x8→x4).
+    ///
+    /// Real devices retrain every few ms; the interval here is scaled to
+    /// the simulator's µs-scale measurement windows (a sweep point spans
+    /// tens of µs of simulated time) so a curve sees several windows.
+    pub fn link_retrain() -> Self {
+        Self {
+            retrain: Some(RetrainConfig {
+                interval_ns: 30_000.0,
+                duration_ns: 8_000.0,
+                width_factor: 0.5,
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// Refresh-storm regime: windows in which each request pays an extra
+    /// tRFC-scale penalty. Like [`Self::link_retrain`], the cadence is
+    /// scaled to the simulator's µs-scale measurement windows.
+    pub fn refresh_storm() -> Self {
+        Self {
+            refresh_storm: Some(RefreshStormConfig {
+                interval_ns: 40_000.0,
+                duration_ns: 12_000.0,
+                penalty_ns: Dist::Uniform {
+                    lo: 100.0,
+                    hi: 350.0,
+                },
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// Poisoned-line regime: rare UEs with a 30 µs containment delay.
+    /// `ue_p` is per-request, so even a 10k-request smoke point sees a
+    /// handful of poisoned lines.
+    pub fn poison() -> Self {
+        Self {
+            poison: Some(PoisonConfig {
+                ue_p: 4e-4,
+                mce_penalty_ns: 30_000.0,
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// Thermal-runaway regime: the device throttles periodically once
+    /// sustained utilization exceeds 55% (the "future PCIe 6.0 devices
+    /// will throttle" ablation the base model leaves dormant).
+    pub fn thermal_stress() -> Self {
+        Self {
+            // The check period must be short enough that even a
+            // smoke-scale sweep point (≈10–30 µs of simulated time at
+            // saturation) crosses at least one utilization check.
+            thermal: Some(ThermalConfig {
+                util_threshold: 0.5,
+                period_ns: 8_000.0,
+                duration_ns: 3_000.0,
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// Every mechanism at once — the worst-plausible device.
+    pub fn harsh() -> Self {
+        Self {
+            crc_storm: Self::crc_storm().crc_storm,
+            retrain: Self::link_retrain().retrain,
+            refresh_storm: Self::refresh_storm().refresh_storm,
+            poison: Self::poison().poison,
+            thermal: Self::thermal_stress().thermal,
+        }
+    }
+
+    /// Looks up a named regime (see [`REGIMES`]).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(Self::none()),
+            "crc-storm" => Some(Self::crc_storm()),
+            "retrain" => Some(Self::link_retrain()),
+            "refresh-storm" => Some(Self::refresh_storm()),
+            "poison" => Some(Self::poison()),
+            "thermal" => Some(Self::thermal_stress()),
+            "harsh" => Some(Self::harsh()),
+            _ => None,
+        }
+    }
+
+    /// Validates all present components: probabilities in `[0, 1]`,
+    /// positive windows, well-formed penalty distributions.
+    pub fn validate(&self) -> Result<(), String> {
+        fn prob(name: &str, p: f64) -> Result<(), String> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0, 1]"));
+            }
+            Ok(())
+        }
+        if let Some(c) = &self.crc_storm {
+            prob("crc_storm.entry_p", c.entry_p)?;
+            prob("crc_storm.exit_p", c.exit_p)?;
+            prob("crc_storm.retry_p", c.retry_p)?;
+            c.penalty_ns
+                .validate()
+                .map_err(|e| format!("crc_storm.penalty_ns: {e}"))?;
+        }
+        if let Some(r) = &self.retrain {
+            if r.interval_ns <= 0.0 || r.duration_ns <= 0.0 {
+                return Err(format!(
+                    "retrain interval/duration must be positive ({} / {} ns)",
+                    r.interval_ns, r.duration_ns
+                ));
+            }
+            if !(r.width_factor > 0.0 && r.width_factor <= 1.0) {
+                return Err(format!(
+                    "retrain.width_factor = {} outside (0, 1]",
+                    r.width_factor
+                ));
+            }
+        }
+        if let Some(r) = &self.refresh_storm {
+            if r.interval_ns <= 0.0 || r.duration_ns <= 0.0 {
+                return Err(format!(
+                    "refresh_storm interval/duration must be positive ({} / {} ns)",
+                    r.interval_ns, r.duration_ns
+                ));
+            }
+            r.penalty_ns
+                .validate()
+                .map_err(|e| format!("refresh_storm.penalty_ns: {e}"))?;
+        }
+        if let Some(p) = &self.poison {
+            prob("poison.ue_p", p.ue_p)?;
+            if p.mce_penalty_ns < 0.0 {
+                return Err(format!(
+                    "poison.mce_penalty_ns = {} is negative",
+                    p.mce_penalty_ns
+                ));
+            }
+        }
+        if let Some(t) = &self.thermal {
+            prob("thermal.util_threshold", t.util_threshold)?;
+            if t.period_ns <= 0.0 || t.duration_ns <= 0.0 {
+                return Err(format!(
+                    "thermal period/duration must be positive ({} / {} ns)",
+                    t.period_ns, t.duration_ns
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-request effects of the fault layer on one access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEffects {
+    /// Extra latency-only delay added to the access, ps.
+    pub defer_ps: SimTime,
+    /// Current link-width multiplier (1.0 = full width).
+    pub width_factor: f64,
+    /// Whether the access consumed a poisoned line.
+    pub poisoned: bool,
+}
+
+impl FaultEffects {
+    fn clean() -> Self {
+        Self {
+            defer_ps: 0,
+            width_factor: 1.0,
+            poisoned: false,
+        }
+    }
+}
+
+/// Runtime fault state machine owned by a device. Built from a
+/// [`FaultConfig`] and the device seed; fully deterministic.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    cfg: FaultConfig,
+    rng: SimRng,
+    storm_on: bool,
+    next_retrain: SimTime,
+    retrain_until: SimTime,
+    next_refresh: SimTime,
+    refresh_until: SimTime,
+}
+
+/// Salt xored into the device seed so the fault stream never aliases the
+/// device's own RNG stream.
+const FAULT_STREAM_SALT: u64 = 0xFA17_5EED_0CE1_1A5A;
+
+impl FaultSchedule {
+    /// Builds the schedule. The first retrain/refresh windows are drawn
+    /// here, so two devices with the same seed and config see identical
+    /// fault timelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`FaultConfig::validate`].
+    pub fn new(cfg: FaultConfig, device_seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid FaultConfig: {e}");
+        }
+        let mut rng = SimRng::seed_from(device_seed ^ FAULT_STREAM_SALT);
+        let next_retrain = cfg
+            .retrain
+            .as_ref()
+            .map(|r| {
+                (Dist::Exp {
+                    mean: r.interval_ns,
+                }
+                .sample(&mut rng)
+                    * 1_000.0) as SimTime
+            })
+            .unwrap_or(SimTime::MAX);
+        let next_refresh = cfg
+            .refresh_storm
+            .as_ref()
+            .map(|r| {
+                (Dist::Exp {
+                    mean: r.interval_ns,
+                }
+                .sample(&mut rng)
+                    * 1_000.0) as SimTime
+            })
+            .unwrap_or(SimTime::MAX);
+        Self {
+            cfg,
+            rng,
+            storm_on: false,
+            next_retrain,
+            retrain_until: 0,
+            next_refresh,
+            refresh_until: 0,
+        }
+    }
+
+    /// The configured regime.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Advances the fault state machine to one request arriving at `t`
+    /// and returns the effects on that request, crediting `ras`.
+    pub fn observe(&mut self, t: SimTime, ras: &mut RasCounters) -> FaultEffects {
+        let mut fx = FaultEffects::clean();
+
+        if let Some(c) = &self.cfg.crc_storm {
+            if self.storm_on {
+                if self.rng.chance(c.exit_p) {
+                    self.storm_on = false;
+                }
+            } else if self.rng.chance(c.entry_p) {
+                self.storm_on = true;
+            }
+            if self.storm_on && self.rng.chance(c.retry_p) {
+                fx.defer_ps += (c.penalty_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+                ras.correctable += 1;
+            }
+        }
+
+        if let Some(r) = &self.cfg.retrain {
+            if t >= self.next_retrain {
+                self.retrain_until = t + (r.duration_ns * 1_000.0) as SimTime;
+                let gap = Dist::Exp {
+                    mean: r.interval_ns,
+                }
+                .sample(&mut self.rng);
+                self.next_retrain = self.retrain_until + (gap * 1_000.0) as SimTime;
+                ras.retrains += 1;
+            }
+            if t < self.retrain_until {
+                fx.width_factor = r.width_factor;
+            }
+        }
+
+        if let Some(r) = &self.cfg.refresh_storm {
+            if t >= self.next_refresh {
+                self.refresh_until = t + (r.duration_ns * 1_000.0) as SimTime;
+                let gap = Dist::Exp {
+                    mean: r.interval_ns,
+                }
+                .sample(&mut self.rng);
+                self.next_refresh = self.refresh_until + (gap * 1_000.0) as SimTime;
+                ras.refresh_storms += 1;
+            }
+            if t < self.refresh_until {
+                fx.defer_ps += (r.penalty_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+            }
+        }
+
+        if let Some(p) = &self.cfg.poison {
+            if self.rng.chance(p.ue_p) {
+                fx.poisoned = true;
+                fx.defer_ps += (p.mce_penalty_ns * 1_000.0) as SimTime;
+                ras.uncorrectable += 1;
+            }
+        }
+
+        fx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_resolve_by_name() {
+        for name in REGIMES {
+            let fc = FaultConfig::by_name(name).expect("known regime");
+            assert!(fc.validate().is_ok(), "{name} must validate");
+        }
+        assert!(FaultConfig::by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn inert_config_draws_nothing_and_does_nothing() {
+        let mut s = FaultSchedule::new(FaultConfig::none(), 7);
+        let mut ras = RasCounters::default();
+        for t in 0..1_000u64 {
+            let fx = s.observe(t * 1_000, &mut ras);
+            assert_eq!(fx, FaultEffects::clean());
+        }
+        assert!(ras.is_zero());
+        // The stream was never consumed: a fresh schedule's RNG is
+        // byte-identical.
+        let mut fresh = SimRng::seed_from(7 ^ FAULT_STREAM_SALT);
+        assert_eq!(s.rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn crc_storms_are_bursty() {
+        let mut s = FaultSchedule::new(FaultConfig::crc_storm(), 11);
+        let mut ras = RasCounters::default();
+        let mut hits = Vec::new();
+        for t in 0..200_000u64 {
+            let fx = s.observe(t * 1_000, &mut ras);
+            if fx.defer_ps > 0 {
+                hits.push(t);
+            }
+        }
+        assert!(ras.correctable > 100, "storms should replay: {ras:?}");
+        // Burstiness: the *median* gap between consecutive replays must
+        // sit far below the iid expectation for the same overall rate
+        // (the mean gap is 1/rate for any process, so it can't tell
+        // storms from a Poisson stream; the median collapses when most
+        // gaps are within-storm).
+        let rate = hits.len() as f64 / 200_000.0;
+        let iid_gap = 1.0 / rate;
+        let mut gaps: Vec<u64> = hits.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        let median_gap = gaps[gaps.len() / 2] as f64;
+        assert!(
+            median_gap < iid_gap * 0.3,
+            "median gap {median_gap:.1} vs iid {iid_gap:.1}: not bursty"
+        );
+    }
+
+    #[test]
+    fn retrain_windows_degrade_width_and_count() {
+        let mut s = FaultSchedule::new(FaultConfig::link_retrain(), 3);
+        let mut ras = RasCounters::default();
+        let mut degraded = 0u64;
+        // 1 request per 100 ns over 100 ms ≈ 50 retrains expected.
+        for i in 0..1_000_000u64 {
+            let fx = s.observe(i * 100_000, &mut ras);
+            if fx.width_factor < 1.0 {
+                degraded += 1;
+            }
+        }
+        assert!(ras.retrains > 10, "retrains {}", ras.retrains);
+        assert!(degraded > 1_000, "degraded requests {degraded}");
+    }
+
+    #[test]
+    fn poison_counts_uncorrectable() {
+        let mut s = FaultSchedule::new(FaultConfig::poison(), 5);
+        let mut ras = RasCounters::default();
+        let mut poisoned = 0u64;
+        for i in 0..200_000u64 {
+            if s.observe(i * 1_000, &mut ras).poisoned {
+                poisoned += 1;
+            }
+        }
+        assert_eq!(poisoned, ras.uncorrectable);
+        assert!(poisoned > 0, "ue_p 5e-5 over 200k requests");
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let run = || {
+            let mut s = FaultSchedule::new(FaultConfig::harsh(), 99);
+            let mut ras = RasCounters::default();
+            let mut total = 0u64;
+            for i in 0..50_000u64 {
+                total += s.observe(i * 2_000, &mut ras).defer_ps;
+            }
+            (total, ras)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities() {
+        let mut fc = FaultConfig::poison();
+        fc.poison.as_mut().unwrap().ue_p = 1.5;
+        assert!(fc.validate().is_err());
+        let mut fc = FaultConfig::crc_storm();
+        fc.crc_storm.as_mut().unwrap().entry_p = -0.1;
+        assert!(fc.validate().is_err());
+        let mut fc = FaultConfig::link_retrain();
+        fc.retrain.as_mut().unwrap().width_factor = 0.0;
+        assert!(fc.validate().is_err());
+    }
+
+    #[test]
+    fn ras_counters_merge() {
+        let mut a = RasCounters {
+            correctable: 1,
+            uncorrectable: 2,
+            retrains: 3,
+            refresh_storms: 4,
+            throttle_ps: 5_000,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.correctable, 2);
+        assert_eq!(a.throttle_ns(), 10);
+        assert!(!a.is_zero());
+        assert!(RasCounters::default().is_zero());
+    }
+}

@@ -97,6 +97,7 @@ impl MemoryDevice for ImcDevice {
             fabric_ps: half_fixed * 2,
             spike_ps: d.refresh_ps,
             row_hit: d.row_hit,
+            poisoned: false,
         };
         self.stats.record(req, completion);
         out

@@ -71,6 +71,7 @@ impl MemoryDevice for InterleavedDevice {
             total.writes += s.writes;
             total.total_read_latency_ps += s.total_read_latency_ps;
             total.last_completion = total.last_completion.max(s.last_completion);
+            total.ras.merge(&s.ras);
             if s.requests() > 0 {
                 first = first.min(s.first_issue);
             }

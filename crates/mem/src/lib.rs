@@ -43,6 +43,7 @@ mod cpmu;
 mod cxl;
 mod device;
 mod dram;
+pub mod faults;
 mod imc;
 mod interleave;
 mod numa;
@@ -56,6 +57,7 @@ pub use cpmu::{CpmuDevice, CpmuReport};
 pub use cxl::{CxlConfig, CxlDevice, ThermalConfig};
 pub use device::{AccessBreakdown, DeviceStats, MemoryDevice};
 pub use dram::{DramBackend, DramTiming};
+pub use faults::{FaultConfig, FaultSchedule, RasCounters};
 pub use imc::{ImcConfig, ImcDevice};
 pub use interleave::InterleavedDevice;
 pub use numa::{NumaHopConfig, NumaHopDevice};

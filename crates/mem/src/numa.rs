@@ -173,6 +173,7 @@ impl MemoryDevice for NumaHopDevice {
             fabric_ps: inner.fabric_ps + half_extra * 2 + service,
             spike_ps: inner.spike_ps + spike_ps,
             row_hit: inner.row_hit,
+            poisoned: inner.poisoned,
         };
         self.stats.record(req, completion);
         out
@@ -187,7 +188,11 @@ impl MemoryDevice for NumaHopDevice {
     }
 
     fn stats(&self) -> DeviceStats {
-        self.stats
+        // The hop keeps its own traffic counters, but RAS events happen
+        // in the device behind it.
+        let mut s = self.stats;
+        s.ras = self.inner.stats().ras;
+        s
     }
 }
 

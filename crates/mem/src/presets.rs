@@ -13,7 +13,7 @@
 
 use melody_sim::Dist;
 
-use crate::cxl::CxlConfig;
+use crate::cxl::{CxlConfig, ThermalConfig};
 use crate::dram::DramTiming;
 use crate::imc::ImcConfig;
 use crate::numa::NumaHopConfig;
@@ -128,6 +128,7 @@ pub fn cxl_a() -> DeviceSpec {
             timing: DramTiming::ddr4(),
             channels: 2,
             thermal: None,
+            faults: None,
         }
         .calibrate_to_idle(214.0),
     )
@@ -177,6 +178,7 @@ pub fn cxl_b() -> DeviceSpec {
             timing: DramTiming::ddr5(),
             channels: 1,
             thermal: None,
+            faults: None,
         }
         .calibrate_to_idle(271.0),
     )
@@ -227,6 +229,7 @@ pub fn cxl_c() -> DeviceSpec {
             timing: DramTiming::ddr4(),
             channels: 2,
             thermal: None,
+            faults: None,
         }
         .calibrate_to_idle(394.0),
     )
@@ -277,6 +280,7 @@ pub fn cxl_d() -> DeviceSpec {
             timing: DramTiming::ddr5(),
             channels: 2,
             thermal: None,
+            faults: None,
         }
         .calibrate_to_idle(239.0),
     )
@@ -285,6 +289,54 @@ pub fn cxl_d() -> DeviceSpec {
 /// All four CXL device presets, in paper order.
 pub fn all_cxl() -> Vec<DeviceSpec> {
     vec![cxl_a(), cxl_b(), cxl_c(), cxl_d()]
+}
+
+/// Calibrated thermal profile for CXL-C. The FPGA controller runs hot:
+/// throttling engages from 50% sustained utilization with long stall
+/// windows (its passive heatsink recovers slowly), which is why the §3.2
+/// thermal-stress ablation hits this device hardest.
+pub fn thermal_c() -> ThermalConfig {
+    ThermalConfig {
+        util_threshold: 0.50,
+        period_ns: 40_000.0,
+        duration_ns: 10_000.0,
+    }
+}
+
+/// Calibrated thermal profile for CXL-D. The ×16 ASIC moves twice the
+/// data per flit window, so sustained saturation heats it despite the
+/// better process: throttling from 65% utilization with short windows.
+pub fn thermal_d() -> ThermalConfig {
+    ThermalConfig {
+        util_threshold: 0.65,
+        period_ns: 60_000.0,
+        duration_ns: 4_000.0,
+    }
+}
+
+/// CXL-C with its calibrated thermal profile active (the paper stress-
+/// tested at 70 °C without tails; this models the marginal-cooling case).
+pub fn cxl_c_thermal() -> DeviceSpec {
+    match cxl_c() {
+        DeviceSpec::Cxl(mut cfg) => {
+            cfg.name = "CXL-C/therm".into();
+            cfg.thermal = Some(thermal_c());
+            DeviceSpec::Cxl(cfg)
+        }
+        other => other,
+    }
+}
+
+/// CXL-D with its calibrated thermal profile active.
+pub fn cxl_d_thermal() -> DeviceSpec {
+    match cxl_d() {
+        DeviceSpec::Cxl(mut cfg) => {
+            cfg.name = "CXL-D/therm".into();
+            cfg.thermal = Some(thermal_d());
+            DeviceSpec::Cxl(cfg)
+        }
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +364,18 @@ mod tests {
                 spec.name()
             );
         }
+    }
+
+    #[test]
+    fn thermal_presets_build_and_validate() {
+        for spec in [cxl_c_thermal(), cxl_d_thermal()] {
+            let dev = spec.build(1);
+            assert!(dev.nominal_latency_ns() > 200.0);
+        }
+        // Thermal variants keep the calibrated idle latency of the base
+        // device (throttling only bites under sustained load).
+        assert!((cxl_c_thermal().nominal_latency_ns() - 394.0).abs() < 1.0);
+        assert!((cxl_d_thermal().nominal_latency_ns() - 239.0).abs() < 1.0);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cxl::{CxlConfig, CxlDevice};
 use crate::device::MemoryDevice;
+use crate::faults::FaultConfig;
 use crate::imc::{ImcConfig, ImcDevice};
 use crate::interleave::InterleavedDevice;
 use crate::numa::{NumaHopConfig, NumaHopDevice};
@@ -170,6 +171,42 @@ impl DeviceSpec {
         }
     }
 
+    /// Attaches a fault-injection regime (see [`crate::faults`]) to every
+    /// CXL device in this spec tree. Non-CXL components (local DRAM, the
+    /// hop itself) are unchanged — faults model expander-side mechanisms.
+    /// Applying an inert regime ([`FaultConfig::none`]) leaves device
+    /// behaviour byte-identical to the unfaulted spec.
+    pub fn with_faults(self, faults: FaultConfig) -> DeviceSpec {
+        match self {
+            DeviceSpec::Cxl(mut cfg) => {
+                cfg.faults = Some(faults);
+                DeviceSpec::Cxl(cfg)
+            }
+            DeviceSpec::Imc(cfg) => DeviceSpec::Imc(cfg),
+            DeviceSpec::Hopped { hop, label, inner } => DeviceSpec::Hopped {
+                hop,
+                label,
+                inner: Box::new(inner.with_faults(faults)),
+            },
+            DeviceSpec::Interleaved { granularity, parts } => DeviceSpec::Interleaved {
+                granularity,
+                parts: parts
+                    .into_iter()
+                    .map(|p| p.with_faults(faults.clone()))
+                    .collect(),
+            },
+            DeviceSpec::Split {
+                boundary,
+                fast,
+                slow,
+            } => DeviceSpec::Split {
+                boundary,
+                fast: Box::new(fast.with_faults(faults.clone())),
+                slow: Box::new(slow.with_faults(faults)),
+            },
+        }
+    }
+
     /// Places the first `boundary` bytes of this device's address space
     /// on `fast` local memory instead (the §5.7 placement-tuning
     /// deployment).
@@ -219,6 +256,32 @@ mod tests {
         let json = serde_json::to_string(&spec).expect("serialise");
         let back: DeviceSpec = serde_json::from_str(&json).expect("deserialise");
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn with_faults_reaches_nested_cxl_configs() {
+        let spec = presets::cxl_a()
+            .with_numa_hop()
+            .with_faults(FaultConfig::poison());
+        match &spec {
+            DeviceSpec::Hopped { inner, .. } => match inner.as_ref() {
+                DeviceSpec::Cxl(cfg) => assert!(cfg.faults.is_some()),
+                other => panic!("expected Cxl inner, got {other:?}"),
+            },
+            other => panic!("expected Hopped, got {other:?}"),
+        }
+        // Faulted specs still build and serialise.
+        let json = serde_json::to_string(&spec).expect("serialise");
+        let back: DeviceSpec = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(spec, back);
+        let _ = spec.build(3);
+    }
+
+    #[test]
+    fn unfaulted_spec_serialisation_has_no_fault_field() {
+        // skip_serializing_if keeps pre-fault-layer JSON byte-identical.
+        let json = serde_json::to_string(&presets::cxl_b()).expect("serialise");
+        assert!(!json.contains("faults"), "{json}");
     }
 
     #[test]

@@ -62,6 +62,8 @@ impl MemoryDevice for SplitDevice {
     fn stats(&self) -> DeviceStats {
         let f = self.fast.stats();
         let s = self.slow.stats();
+        let mut ras = f.ras;
+        ras.merge(&s.ras);
         DeviceStats {
             reads: f.reads + s.reads,
             writes: f.writes + s.writes,
@@ -74,6 +76,7 @@ impl MemoryDevice for SplitDevice {
                 f.first_issue.min(s.first_issue)
             },
             last_completion: f.last_completion.max(s.last_completion),
+            ras,
         }
     }
 }

@@ -101,6 +101,55 @@ impl Dist {
         v.max(0.0)
     }
 
+    /// Checks that the distribution describes a sensible non-negative
+    /// delay: rejects negative constants and bounds, inverted uniform
+    /// ranges, negative tail parameters, inverted Pareto truncation, and
+    /// negative mixture weights. Degenerate-but-harmless cases that
+    /// [`Dist::sample`] already collapses to zero (e.g. `Exp` with zero
+    /// mean) are allowed.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Dist::Constant(v) if *v < 0.0 => Err(format!("negative constant delay {v}")),
+            Dist::Constant(_) => Ok(()),
+            Dist::Uniform { lo, hi } => {
+                if *lo < 0.0 {
+                    Err(format!("uniform lower bound {lo} is negative"))
+                } else if hi < lo {
+                    Err(format!("uniform range inverted: [{lo}, {hi})"))
+                } else {
+                    Ok(())
+                }
+            }
+            Dist::Exp { mean } => {
+                if *mean < 0.0 {
+                    Err(format!("negative exponential mean {mean}"))
+                } else {
+                    Ok(())
+                }
+            }
+            Dist::BoundedPareto { scale, shape, cap } => {
+                if *scale < 0.0 || *shape < 0.0 {
+                    Err(format!(
+                        "negative Pareto parameter (scale {scale}, shape {shape})"
+                    ))
+                } else if cap < scale {
+                    Err(format!("Pareto cap {cap} below scale {scale}"))
+                } else {
+                    Ok(())
+                }
+            }
+            Dist::Mixture(parts) => {
+                for (w, d) in parts {
+                    if *w < 0.0 {
+                        return Err(format!("negative mixture weight {w}"));
+                    }
+                    d.validate()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Analytic mean of the distribution (mixture means are weighted; the
     /// bounded Pareto mean ignores truncation and is therefore an upper
     /// bound when `cap` is finite and binding).
@@ -215,6 +264,38 @@ mod tests {
             0.0
         );
         assert_eq!(Dist::zero().sample(&mut r), 0.0);
+    }
+
+    #[test]
+    fn validate_accepts_presets_and_rejects_nonsense() {
+        for good in [
+            Dist::zero(),
+            Dist::Constant(3.0),
+            Dist::Uniform { lo: 1.0, hi: 2.0 },
+            Dist::Exp { mean: 0.0 },
+            Dist::BoundedPareto {
+                scale: 50.0,
+                shape: 1.2,
+                cap: 1_000.0,
+            },
+            Dist::Mixture(vec![(0.9, Dist::zero()), (0.1, Dist::Constant(5.0))]),
+        ] {
+            assert!(good.validate().is_ok(), "{good:?}");
+        }
+        for bad in [
+            Dist::Constant(-1.0),
+            Dist::Uniform { lo: -1.0, hi: 2.0 },
+            Dist::Uniform { lo: 5.0, hi: 2.0 },
+            Dist::Exp { mean: -3.0 },
+            Dist::BoundedPareto {
+                scale: 100.0,
+                shape: 1.0,
+                cap: 50.0,
+            },
+            Dist::Mixture(vec![(-0.5, Dist::zero())]),
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! foreground thread plus the aggregate achieved bandwidth — one point of
 //! a latency–bandwidth curve.
 
-use melody_mem::{DeviceSpec, MemRequest, RequestKind};
+use melody_mem::{DeviceSpec, DeviceStats, MemRequest, RequestKind};
 use melody_sim::{EventQueue, SimRng, SimTime};
 use melody_stats::LatencyHistogram;
 
@@ -22,6 +22,9 @@ pub struct LoadedPoint {
     pub latency: LatencyHistogram,
     /// Aggregate achieved bandwidth, GB/s (all threads).
     pub bandwidth_gbps: f64,
+    /// Device-side statistics of the run, including RAS event counters
+    /// when a fault regime is active.
+    pub stats: DeviceStats,
 }
 
 impl LoadedPoint {
@@ -130,6 +133,7 @@ pub fn loaded_latency(spec: &DeviceSpec, cfg: &MlcConfig) -> LoadedPoint {
         delay_cycles: cfg.delay_cycles,
         latency: hist,
         bandwidth_gbps: stats.bandwidth_gbps(),
+        stats,
     }
 }
 

@@ -8,13 +8,21 @@
 //! melody mlc <device> [--rw R] [--delay CYCLES] [--requests N]
 //! melody run <workload> <device> [--refs N] [--platform NAME]
 //! melody cpmu <device> [--accesses N] # white-box component attribution
+//! melody degraded [--scale S] [--journal PATH] [--resume] [--limit N] [--json]
 //! ```
 //!
 //! Devices: local, numa, cxl-a, cxl-b, cxl-c, cxl-d, cxl-a+numa, ...,
 //! cxl-d-x2. Platforms: spr2s, emr2s, emr2s-prime, skx2s, skx8s.
+//!
+//! `probe`, `mio`, `mlc` and `run` accept `--faults <regime>` to attach a
+//! deterministic fault-injection regime (none, crc-storm, retrain,
+//! refresh-storm, poison, thermal, harsh) to the device. `degraded`
+//! sweeps every regime across the four CXL devices, checkpointing each
+//! finished cell to `--journal` so a killed sweep restarted with
+//! `--resume` skips finished cells and emits byte-identical output.
 
 use melody::prelude::*;
-use melody_mem::CpmuDevice;
+use melody_mem::{CpmuDevice, FaultConfig};
 use melody_workloads::mlc::{loaded_latency, MlcConfig};
 use melody_workloads::Suite;
 
@@ -68,9 +76,30 @@ fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Attaches the `--faults <regime>` fault-injection regime to a device
+/// spec, if requested. An inert regime (`none`) leaves the spec
+/// untouched so output stays byte-identical to a fault-free build.
+fn apply_faults(spec: DeviceSpec, args: &[String]) -> DeviceSpec {
+    let Some(name) = flag(args, "--faults") else {
+        return spec;
+    };
+    let Some(fc) = FaultConfig::by_name(&name) else {
+        eprintln!(
+            "unknown fault regime `{name}` (known: {})",
+            melody_mem::faults::REGIMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    if fc.is_inert() {
+        spec
+    } else {
+        spec.with_faults(fc)
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu> [args] [--jobs N]\n\
+        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|degraded> [args] [--jobs N]\n\
          see `src/bin/melody.rs` header or README for details"
     );
     std::process::exit(2);
@@ -101,6 +130,7 @@ fn main() {
         "mlc" => cmd_mlc(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "cpmu" => cmd_cpmu(&args[1..]),
+        "degraded" => cmd_degraded(&args[1..]),
         _ => usage(),
     }
 }
@@ -164,6 +194,7 @@ fn cmd_probe(args: &[String]) {
     let Some(spec) = args.first().and_then(|n| device_by_name(n)) else {
         usage()
     };
+    let spec = apply_faults(spec, args);
     let mut dev = spec.build(1);
     let idle = probe::idle_latency_ns(dev.as_mut(), 5_000);
     let mut dev2 = spec.build(1);
@@ -175,12 +206,32 @@ fn cmd_probe(args: &[String]) {
         spec.nominal_latency_ns(),
         bw
     );
+    print_ras(&{
+        let mut ras = dev.stats().ras;
+        ras.merge(&dev2.stats().ras);
+        ras
+    });
+}
+
+/// Prints a one-line RAS summary when any fault events occurred.
+fn print_ras(ras: &melody_mem::RasCounters) {
+    if !ras.is_zero() {
+        println!(
+            "  ras: corr {} uncorr {} retrains {} refresh {} throttle {:.1} us",
+            ras.correctable,
+            ras.uncorrectable,
+            ras.retrains,
+            ras.refresh_storms,
+            ras.throttle_ns() as f64 / 1_000.0
+        );
+    }
 }
 
 fn cmd_mio(args: &[String]) {
     let Some(spec) = args.first().and_then(|n| device_by_name(n)) else {
         usage()
     };
+    let spec = apply_faults(spec, args);
     let cfg = melody_mio::MioConfig {
         chase_threads: flag_u64(args, "--threads", 1) as usize,
         noise_threads: flag_u64(args, "--noise", 0) as usize,
@@ -203,6 +254,7 @@ fn cmd_mlc(args: &[String]) {
     let Some(spec) = args.first().and_then(|n| device_by_name(n)) else {
         usage()
     };
+    let spec = apply_faults(spec, args);
     let read_frac = flag(args, "--rw")
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(1.0);
@@ -222,6 +274,7 @@ fn cmd_mlc(args: &[String]) {
         cfg.delay_cycles,
         read_frac * 100.0
     );
+    print_ras(&p.stats.ras);
 }
 
 fn cmd_run(args: &[String]) {
@@ -235,6 +288,7 @@ fn cmd_run(args: &[String]) {
     let Some(spec) = device_by_name(dname) else {
         usage()
     };
+    let spec = apply_faults(spec, args);
     let platform = flag(args, "--platform")
         .and_then(|p| platform_by_name(&p))
         .unwrap_or_else(Platform::emr2s);
@@ -267,6 +321,10 @@ fn cmd_run(args: &[String]) {
         pair.local.demand_lat_hist.percentile(99.9),
         pair.target.demand_lat_hist.percentile(99.9)
     );
+    print_ras(&pair.target.device_stats.ras);
+    if pair.target.counters.machine_checks > 0 {
+        println!("  machine checks: {}", pair.target.counters.machine_checks);
+    }
 }
 
 fn cmd_cpmu(args: &[String]) {
@@ -298,4 +356,56 @@ fn cmd_cpmu(args: &[String]) {
         r.spike.percentile(99.9),
         r.dominant_tail_component()
     );
+}
+
+fn cmd_degraded(args: &[String]) {
+    use melody::experiments::degraded;
+    use melody::journal::Journal;
+
+    let scale = match flag(args, "--scale").as_deref() {
+        None | Some("smoke") => Scale::Smoke,
+        Some("quick") => Scale::Quick,
+        Some("full") => Scale::Full,
+        Some(other) => {
+            eprintln!("unknown scale `{other}` (smoke|quick|full)");
+            std::process::exit(2);
+        }
+    };
+    let resume = args.iter().any(|a| a == "--resume");
+    let mut journal = match flag(args, "--journal") {
+        Some(path) => {
+            if !resume {
+                // A fresh (non---resume) sweep starts from a clean
+                // journal; stale entries would silently skip cells.
+                let _ = std::fs::remove_file(&path);
+            }
+            Journal::open(&path).unwrap_or_else(|e| {
+                eprintln!("cannot open journal {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => {
+            if resume {
+                eprintln!("--resume requires --journal PATH");
+                std::process::exit(2);
+            }
+            Journal::in_memory()
+        }
+    };
+    let limit = flag(args, "--limit").and_then(|v| v.parse::<usize>().ok());
+    let report = degraded::run_with(
+        scale,
+        &degraded::standard_cells(),
+        &mut journal,
+        limit,
+        &melody::exec::CellPolicy::default(),
+    );
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", melody::report::to_json(&report));
+    } else {
+        print!("{}", report.render());
+    }
+    if !report.errors.is_empty() {
+        std::process::exit(1);
+    }
 }

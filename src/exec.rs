@@ -9,12 +9,29 @@
 //! byte-identical to serial output regardless of worker count or
 //! scheduling.
 //!
+//! Two fan-out flavours are provided:
+//!
+//! - [`parallel_map`] — infallible mapping. A panicking cell still
+//!   propagates (after *every* other cell has completed, so one poisoned
+//!   cell cannot discard finished work or its side effects).
+//! - [`run_cells`] — resilient mapping for long sweeps: each cell runs
+//!   under `catch_unwind`, failures come back as structured
+//!   [`CellError`]s instead of unwinding, panicked cells are retried
+//!   under a bounded deterministic backoff, and an optional per-cell
+//!   watchdog deadline flags hung cells.
+//!
 //! The worker count is a process-wide setting ([`set_jobs`] /
 //! [`jobs`]), wired to `--jobs N` on the `melody` binary and the
 //! `figures` example. `--jobs 1` forces the legacy serial path;
 //! the default uses all available cores.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
 
 /// Process-wide worker count; 0 means "auto" (available parallelism).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -50,6 +67,13 @@ where
 /// [`parallel_map`] with an explicit worker count (used by tests to
 /// avoid the process-wide setting; `workers <= 1` runs the plain serial
 /// loop).
+///
+/// Panic semantics: every cell is attempted even if an earlier cell
+/// panics — each call to `f` runs under `catch_unwind`, all workers are
+/// joined, and only then is the panic of the *lowest-indexed* failed
+/// cell re-raised. A panic therefore cannot discard other cells'
+/// finished work (journal appends, logged output) and the surfaced
+/// failure is deterministic regardless of worker scheduling.
 pub fn parallel_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -66,7 +90,7 @@ where
     let cursor = AtomicUsize::new(0);
     let f = &f;
     let cursor = &cursor;
-    let mut slots: Vec<Option<R>> = std::thread::scope(|scope| {
+    let mut slots: Vec<Option<Result<R, CellPanic>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
@@ -74,34 +98,253 @@ where
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        done.push((i, f(item)));
+                        done.push((i, catch_unwind(AssertUnwindSafe(|| f(item)))));
                     }
                     done
                 })
             })
             .collect();
-        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<R, CellPanic>>> = (0..items.len()).map(|_| None).collect();
         for h in handles {
-            match h.join() {
-                Ok(done) => {
-                    for (i, r) in done {
-                        slots[i] = Some(r);
-                    }
-                }
-                Err(panic) => std::panic::resume_unwind(panic),
+            // Workers never unwind (each cell is caught), so join errors
+            // would indicate a bug in this module itself.
+            for (i, r) in h.join().expect("exec worker must not panic") {
+                slots[i] = Some(r);
             }
         }
         slots
     });
+    // All cells have run; re-raise the first failure in *item* order.
+    if let Some(panic) = slots.iter_mut().find_map(|s| match s {
+        Some(Err(_)) => match s.take() {
+            Some(Err(p)) => Some(p),
+            _ => unreachable!(),
+        },
+        _ => None,
+    }) {
+        std::panic::resume_unwind(panic);
+    }
     slots
-        .iter_mut()
-        .map(|s| s.take().expect("every index claimed exactly once"))
+        .into_iter()
+        .map(|s| match s.expect("every index claimed exactly once") {
+            Ok(r) => r,
+            Err(_) => unreachable!("failures re-raised above"),
+        })
         .collect()
+}
+
+/// A caught panic payload in transit between threads.
+type CellPanic = Box<dyn Any + Send + 'static>;
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(p: &CellPanic) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Why a cell failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellErrorKind {
+    /// The cell's closure panicked on every permitted attempt.
+    Panicked,
+    /// The cell exceeded its watchdog deadline (not retried: a hung cell
+    /// is assumed to hang again).
+    DeadlineExceeded,
+}
+
+/// A structured record of one failed experiment cell, serialisable into
+/// sweep reports so partial results remain interpretable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellError {
+    /// Index of the cell in the sweep's item order.
+    pub index: usize,
+    /// Human-readable cell identity (e.g. `"CXL-C|crc-storm"`).
+    pub label: String,
+    /// Failure classification.
+    pub kind: CellErrorKind,
+    /// Panic message (or deadline description).
+    pub message: String,
+    /// Number of attempts consumed.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {} ({}): {:?} after {} attempt(s): {}",
+            self.index, self.label, self.kind, self.attempts, self.message
+        )
+    }
+}
+
+/// Failure policy for [`run_cells`].
+#[derive(Debug, Clone)]
+pub struct CellPolicy {
+    /// Maximum attempts per cell (≥ 1). Deterministic cells panic the
+    /// same way every time, so the default is a single attempt; sweeps
+    /// with known-transient failures can allow more.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based): `backoff * k`. The schedule
+    /// is a deterministic function of the attempt number — no jitter —
+    /// so retry timing never varies between runs.
+    pub backoff: Duration,
+    /// Per-attempt watchdog deadline. `None` disables the watchdog and
+    /// runs the cell inline on the worker; `Some(d)` runs each attempt
+    /// on a helper thread and abandons it after `d`. An abandoned
+    /// attempt's thread is *detached from the result path* but still
+    /// joined when the sweep's scope exits, so a truly wedged cell
+    /// delays only the final return, never other cells' results.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for CellPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff: Duration::from_millis(25),
+            deadline: None,
+        }
+    }
+}
+
+impl CellPolicy {
+    /// A policy permitting `n` attempts per cell.
+    pub fn with_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// A policy with a per-attempt watchdog deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// Resilient fan-out: maps `f` over `items` on [`jobs`] workers, but a
+/// failing cell yields `Err(CellError)` in its slot instead of killing
+/// the sweep — every other cell still completes, and results come back
+/// in item order (byte-identical across worker counts, like
+/// [`parallel_map`]).
+///
+/// `label` names each cell for error reports.
+pub fn run_cells<T, R, F, L>(
+    items: &[T],
+    policy: &CellPolicy,
+    label: L,
+    f: F,
+) -> Vec<Result<R, CellError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(usize, &T) -> String + Sync,
+{
+    let workers = jobs().min(items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let (cursor, f, label, policy) = (&cursor, &f, &label, policy);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        done.push((i, run_one_cell(scope, policy, i, item, label, f)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<Result<R, CellError>>> = (0..items.len()).map(|_| None).collect();
+        for h in handles {
+            for (i, r) in h.join().expect("exec worker must not panic") {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index claimed exactly once"))
+            .collect()
+    })
+}
+
+/// Runs one cell under the policy: bounded attempts, deterministic
+/// backoff, optional watchdog.
+fn run_one_cell<'scope, T, R, F, L>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    policy: &CellPolicy,
+    index: usize,
+    item: &'scope T,
+    label: &L,
+    f: &'scope F,
+) -> Result<R, CellError>
+where
+    T: Sync,
+    R: Send + 'scope,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(usize, &T) -> String,
+{
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last_panic = String::new();
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            std::thread::sleep(policy.backoff * (attempt - 1));
+        }
+        let outcome: Result<Result<R, CellPanic>, ()> = match policy.deadline {
+            None => Ok(catch_unwind(AssertUnwindSafe(|| f(item)))),
+            Some(deadline) => {
+                // Watchdog: run the attempt on a helper thread and wait
+                // with a timeout. On timeout the helper keeps running
+                // (its send lands in a dropped channel) and is joined
+                // only at scope exit.
+                let (tx, rx) = mpsc::channel();
+                scope.spawn(move || {
+                    let r = catch_unwind(AssertUnwindSafe(|| f(item)));
+                    let _ = tx.send(r);
+                });
+                rx.recv_timeout(deadline).map_err(|_| ())
+            }
+        };
+        match outcome {
+            Ok(Ok(r)) => return Ok(r),
+            Ok(Err(p)) => {
+                last_panic = panic_message(&p);
+                // Panics may be transient (e.g. resource pressure):
+                // retry within budget.
+            }
+            Err(()) => {
+                // A hung cell is assumed to hang again: no retry.
+                return Err(CellError {
+                    index,
+                    label: label(index, item),
+                    kind: CellErrorKind::DeadlineExceeded,
+                    message: format!("no result within {:?}", policy.deadline.unwrap()),
+                    attempts: attempt,
+                });
+            }
+        }
+    }
+    Err(CellError {
+        index,
+        label: label(index, item),
+        kind: CellErrorKind::Panicked,
+        message: last_panic,
+        attempts: max_attempts,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn preserves_item_order() {
@@ -146,5 +389,113 @@ mod tests {
             }
             *i
         });
+    }
+
+    #[test]
+    fn panic_does_not_discard_other_cells() {
+        // Every cell must run even though cell 2 panics, and the
+        // surfaced panic must be the lowest-indexed failure regardless
+        // of scheduling.
+        let ran = AtomicU32::new(0);
+        let items: Vec<usize> = (0..16).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_with(4, &items, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if *i == 2 || *i == 9 {
+                    panic!("cell {i} failed");
+                }
+                *i
+            })
+        }));
+        let p = caught.expect_err("must propagate");
+        assert_eq!(panic_message(&p), "cell 2 failed");
+        assert_eq!(ran.load(Ordering::Relaxed), 16, "all cells must run");
+    }
+
+    #[test]
+    fn run_cells_isolates_panics() {
+        let items: Vec<usize> = (0..12).collect();
+        let out = run_cells(
+            &items,
+            &CellPolicy::default(),
+            |i, _| format!("cell-{i}"),
+            |i| {
+                if *i == 5 {
+                    panic!("boom in 5");
+                }
+                i * 10
+            },
+        );
+        assert_eq!(out.len(), 12);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let e = r.as_ref().expect_err("cell 5 fails");
+                assert_eq!(e.kind, CellErrorKind::Panicked);
+                assert_eq!(e.label, "cell-5");
+                assert_eq!(e.message, "boom in 5");
+                assert_eq!(e.attempts, 1);
+            } else {
+                assert_eq!(*r.as_ref().expect("others succeed"), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn run_cells_retries_transient_failures() {
+        // Fails twice, succeeds on the third attempt.
+        let tries = AtomicU32::new(0);
+        let policy = CellPolicy {
+            backoff: Duration::from_millis(1),
+            ..CellPolicy::default()
+        }
+        .with_attempts(3);
+        let out = run_cells(
+            &[0u32],
+            &policy,
+            |_, _| "flaky".into(),
+            |_| {
+                if tries.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                7u32
+            },
+        );
+        assert_eq!(out[0].as_ref().copied().expect("third attempt lands"), 7);
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn run_cells_deadline_flags_hung_cells() {
+        let policy = CellPolicy::default().with_deadline(Duration::from_millis(30));
+        let out = run_cells(
+            &[0u32, 1],
+            &policy,
+            |i, _| format!("c{i}"),
+            |i| {
+                if *i == 0 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                *i
+            },
+        );
+        let e = out[0].as_ref().expect_err("cell 0 must time out");
+        assert_eq!(e.kind, CellErrorKind::DeadlineExceeded);
+        assert_eq!(e.attempts, 1, "timeouts are not retried");
+        assert_eq!(*out[1].as_ref().expect("cell 1 fine"), 1);
+    }
+
+    #[test]
+    fn cell_error_serializes() {
+        let e = CellError {
+            index: 3,
+            label: "CXL-C|harsh".into(),
+            kind: CellErrorKind::Panicked,
+            message: "invalid config".into(),
+            attempts: 2,
+        };
+        let json = serde_json::to_string(&e).expect("serialize");
+        let back: CellError = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(e, back);
+        assert!(e.to_string().contains("CXL-C|harsh"));
     }
 }

@@ -7,6 +7,7 @@
 //! `EXPERIMENTS.md`.
 
 pub mod ablation;
+pub mod degraded;
 pub mod device_curves;
 pub mod fig07;
 pub mod fig08cd;

@@ -1,0 +1,205 @@
+//! Append-only checkpoint journal for resumable sweeps.
+//!
+//! Long experiment sweeps record each finished cell here as one JSON
+//! line `{"key": ..., "json": ...}`; a killed sweep restarted with
+//! `--resume` loads the journal, skips every journaled cell, and
+//! produces byte-identical final output (cell payloads round-trip
+//! through JSON exactly: Rust's shortest-roundtrip float formatting
+//! guarantees `parse(format(x)) == x`).
+//!
+//! Robustness properties:
+//!
+//! - **Torn tail tolerated**: a process killed mid-append leaves a
+//!   truncated final line, which is dropped on load (that cell simply
+//!   re-runs). Corruption anywhere *else* is an error — it means the
+//!   file is not a journal this code wrote.
+//! - **Order-free**: entries are keyed, so concurrent workers may append
+//!   in any order; resume semantics never depend on file position.
+//! - **Last write wins**: re-recording a key replaces the loaded value,
+//!   matching what a re-run of that cell would produce.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One journal line: a cell key plus its serialized payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JournalLine {
+    /// Cell identity (e.g. `"CXL-C|crc-storm|Smoke"`).
+    key: String,
+    /// The cell's result, JSON-encoded by the experiment driver.
+    json: String,
+}
+
+/// A keyed, append-only store of completed cell results.
+///
+/// With a backing path, every [`record`](Journal::record) appends and
+/// flushes one line so progress survives a kill at any point. Without
+/// one (in-memory mode) the journal only canonicalises results through
+/// the same JSON round-trip, keeping journaled and journal-free runs
+/// byte-identical.
+#[derive(Debug)]
+pub struct Journal {
+    path: Option<PathBuf>,
+    entries: BTreeMap<String, String>,
+}
+
+impl Journal {
+    /// An in-memory journal (no persistence; same round-trip semantics).
+    pub fn in_memory() -> Self {
+        Self {
+            path: None,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Opens (creating if absent) a journal file and loads its entries.
+    ///
+    /// A truncated final line — the signature of a mid-append kill — is
+    /// dropped silently. Unparseable content before the final line is an
+    /// [`io::ErrorKind::InvalidData`] error.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut entries = BTreeMap::new();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let lines: Vec<&str> = text.lines().collect();
+                for (i, line) in lines.iter().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match serde_json::from_str::<JournalLine>(line) {
+                        Ok(l) => {
+                            entries.insert(l.key, l.json);
+                        }
+                        Err(e) if i + 1 == lines.len() => {
+                            // Torn tail from a kill mid-append: the cell
+                            // re-runs. Deliberately not an error.
+                            let _ = e;
+                        }
+                        Err(e) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("journal {} line {}: {e:?}", path.display(), i + 1),
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Self {
+            path: Some(path),
+            entries,
+        })
+    }
+
+    /// The payload recorded for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Number of journaled cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a finished cell: stores it in memory and (when backed by
+    /// a file) appends + flushes one line.
+    pub fn record(&mut self, key: &str, json: &str) -> io::Result<()> {
+        if let Some(path) = &self.path {
+            let line = serde_json::to_string(&JournalLine {
+                key: key.to_string(),
+                json: json.to_string(),
+            })
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            f.write_all(line.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.flush()?;
+        }
+        self.entries.insert(key.to_string(), json.to_string());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("melody-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrips_entries_across_reopen() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path).expect("open fresh");
+            assert!(j.is_empty());
+            j.record("a|x", "{\"v\":1}").expect("record");
+            j.record("b|y", "{\"v\":2.5}").expect("record");
+        }
+        let j = Journal::open(&path).expect("reopen");
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get("a|x"), Some("{\"v\":1}"));
+        assert_eq!(j.get("b|y"), Some("{\"v\":2.5}"));
+        assert_eq!(j.get("missing"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path).expect("open");
+            j.record("done", "{}").expect("record");
+        }
+        // Simulate a kill mid-append: a truncated second line.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("append");
+            f.write_all(b"{\"key\":\"half").expect("write");
+        }
+        let j = Journal::open(&path).expect("open tolerates torn tail");
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.get("done"), Some("{}"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "not json at all\n{\"key\":\"k\",\"json\":\"{}\"}\n").expect("write");
+        let err = Journal::open(&path).expect_err("corruption before tail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rerecord_replaces() {
+        let mut j = Journal::in_memory();
+        j.record("k", "1").expect("record");
+        j.record("k", "2").expect("record");
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.get("k"), Some("2"));
+    }
+}

@@ -40,21 +40,26 @@
 
 pub mod exec;
 pub mod experiments;
+pub mod journal;
 pub mod report;
 mod runner;
 mod testbed;
 
 pub use runner::{
-    run_pair, run_population, run_population_par, run_workload, PairOutcome, RunOptions,
+    run_pair, run_population, run_population_par, run_population_resilient, run_workload,
+    PairOutcome, RunOptions,
 };
 pub use testbed::{emr_cxl_setups, full_latency_spectrum, spr_cxl_setups, Setup};
 
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
+    pub use crate::exec::{CellError, CellErrorKind, CellPolicy};
     pub use crate::experiments::Scale;
+    pub use crate::journal::Journal;
     pub use crate::report::{Series, TableData};
     pub use crate::runner::{
-        run_pair, run_population, run_population_par, run_workload, PairOutcome, RunOptions,
+        run_pair, run_population, run_population_par, run_population_resilient, run_workload,
+        PairOutcome, RunOptions,
     };
     pub use crate::testbed::{emr_cxl_setups, full_latency_spectrum, Setup};
     pub use melody_cpu::{Core, CoreConfig, CounterSet, Platform, RunResult, Slot};

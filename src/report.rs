@@ -107,6 +107,32 @@ pub fn pct(frac: f64) -> String {
     format!("{:.1}%", frac * 100.0)
 }
 
+/// Builds a RAS-event table from `(device, regime, counters)` rows —
+/// the report-side surface of the fault-injection layer's accounting.
+pub fn ras_table(
+    title: impl Into<String>,
+    rows: &[(String, String, melody_mem::RasCounters)],
+) -> TableData {
+    let mut t = TableData::new(
+        title,
+        &[
+            "device", "regime", "corr", "uncorr", "retrain", "refresh", "thr(us)",
+        ],
+    );
+    for (device, regime, ras) in rows {
+        t.push_row(vec![
+            device.clone(),
+            regime.clone(),
+            ras.correctable.to_string(),
+            ras.uncorrectable.to_string(),
+            ras.retrains.to_string(),
+            ras.refresh_storms.to_string(),
+            format!("{:.1}", ras.throttle_ns() as f64 / 1_000.0),
+        ]);
+    }
+    t
+}
+
 /// Serialises any experiment payload to pretty JSON.
 pub fn to_json<T: Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))

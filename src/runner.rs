@@ -166,6 +166,36 @@ pub fn run_population_par(
     })
 }
 
+/// [`run_population_par`] with per-cell panic isolation: a workload that
+/// panics (bad spec, invalid device config) becomes a structured
+/// [`crate::exec::CellError`] instead of killing the sweep, and every
+/// other workload still completes. Successful outcomes keep workload
+/// order; errors carry the failed workload's name as the cell label.
+pub fn run_population_resilient(
+    platform: &Platform,
+    local_spec: &DeviceSpec,
+    target_spec: &DeviceSpec,
+    workloads: &[WorkloadSpec],
+    opts: &RunOptions,
+    policy: &crate::exec::CellPolicy,
+) -> (Vec<PairOutcome>, Vec<crate::exec::CellError>) {
+    let results = crate::exec::run_cells(
+        workloads,
+        policy,
+        |_, w| w.name.clone(),
+        |w| run_pair(platform, local_spec, target_spec, w, opts),
+    );
+    let mut outcomes = Vec::new();
+    let mut errors = Vec::new();
+    for r in results {
+        match r {
+            Ok(o) => outcomes.push(o),
+            Err(e) => errors.push(e),
+        }
+    }
+    (outcomes, errors)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,6 +70,72 @@ fn parallel_population_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn inert_fault_config_is_byte_identical_to_baseline_across_jobs() {
+    // The fault layer's zero-cost contract: a device carrying an
+    // all-zero (inert) FaultConfig attaches no schedule, draws nothing
+    // from any RNG stream, and serializes byte-identically to the
+    // pre-fault baseline — at any worker count.
+    let workloads: Vec<_> = ["bfs-web", "605.mcf"]
+        .iter()
+        .map(|n| registry::by_name(n).unwrap_or_else(|| panic!("workload {n}")))
+        .collect();
+    let opts = RunOptions {
+        mem_refs: 4_000,
+        ..Default::default()
+    };
+    let platform = Platform::emr2s();
+    let baseline = presets::cxl_c();
+    let inert = presets::cxl_c().with_faults(melody_mem::FaultConfig::none());
+    let reference = serde_json::to_string(&run_population(
+        &platform,
+        &presets::local_emr(),
+        &baseline,
+        &workloads,
+        &opts,
+    ))
+    .expect("serialize baseline");
+    for jobs in [1, 4] {
+        melody::exec::set_jobs(jobs);
+        let got = run_population_par(&platform, &presets::local_emr(), &inert, &workloads, &opts);
+        melody::exec::set_jobs(0);
+        assert_eq!(
+            reference,
+            serde_json::to_string(&got).expect("serialize inert"),
+            "inert faults must be invisible at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn fault_regime_is_byte_identical_across_worker_counts() {
+    // Fixed seed + fixed fault regime → one fault timeline, regardless
+    // of how the sweep is fanned out.
+    let workloads: Vec<_> = ["bfs-web", "605.mcf", "519.lbm"]
+        .iter()
+        .map(|n| registry::by_name(n).unwrap_or_else(|| panic!("workload {n}")))
+        .collect();
+    let opts = RunOptions {
+        mem_refs: 4_000,
+        ..Default::default()
+    };
+    let platform = Platform::emr2s();
+    let target = presets::cxl_c().with_faults(melody_mem::FaultConfig::harsh());
+    let mut outputs = Vec::new();
+    for jobs in [1, 4] {
+        melody::exec::set_jobs(jobs);
+        let got = run_population_par(&platform, &presets::local_emr(), &target, &workloads, &opts);
+        melody::exec::set_jobs(0);
+        // The regime must actually fire, or this test guards nothing.
+        assert!(
+            got.iter().any(|o| !o.target.device_stats.ras.is_zero()),
+            "harsh regime must produce RAS events"
+        );
+        outputs.push(serde_json::to_string(&got).expect("serialize"));
+    }
+    assert_eq!(outputs[0], outputs[1], "1 job vs 4 jobs under faults");
+}
+
+#[test]
 fn different_seed_changes_stochastic_outcomes() {
     let w = registry::by_name("bfs-web").expect("bfs-web");
     let mk = |seed| RunOptions {

@@ -103,6 +103,18 @@ pub fn __field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result
     }
 }
 
+/// Like [`__field`], but a missing key yields `T::default()` — backs
+/// `#[serde(default)]` fields in the derive macro.
+pub fn __field_default<T: Deserialize + Default>(
+    fields: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => Ok(T::default()),
+    }
+}
+
 // ---- Serialize impls for primitives and common containers ----
 
 macro_rules! ser_unsigned {

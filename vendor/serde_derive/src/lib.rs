@@ -8,13 +8,30 @@
 //! conventions: structs become objects keyed by field name; unit
 //! variants become their name as a string; payload variants become
 //! single-key objects `{"Variant": payload}`.
+//!
+//! A small subset of serde's field attributes is honoured:
+//! `#[serde(default)]` (missing key deserializes to `Default::default()`)
+//! and `#[serde(skip_serializing_if = "path")]` (field omitted from the
+//! serialized object when `path(&field)` is true). Any other `serde(...)`
+//! argument is a compile error rather than a silent no-op.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Shape {
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+/// A named struct (or struct-variant) field plus the honoured subset of
+/// its `#[serde(...)]` attributes.
+#[derive(Debug, Default)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing key -> `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit when `path(&f)`.
+    skip_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -27,17 +44,17 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, true)
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, false)
 }
@@ -134,33 +151,121 @@ fn skip_generics(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
 }
 
 /// Parses `name: Type, ...` named-field lists (attributes and `pub`
-/// allowed per field). Returns the field names in declaration order.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// allowed per field). Returns the fields in declaration order, with
+/// the honoured `#[serde(...)]` arguments attached.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let mut field = take_field_attrs(&tokens, &mut i)?;
         if i >= tokens.len() {
             break;
         }
-        let name = expect_ident(&tokens, &mut i)?;
+        field.name = expect_ident(&tokens, &mut i)?;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             other => {
                 return Err(format!(
-                    "expected `:` after field `{name}`, found {other:?}"
+                    "expected `:` after field `{}`, found {other:?}",
+                    field.name
                 ))
             }
         }
         skip_type(&tokens, &mut i);
-        fields.push(name);
+        fields.push(field);
         // skip_type stops at the top-level comma (or end of stream).
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
     }
     Ok(fields)
+}
+
+/// Like [`skip_attrs_and_vis`], but extracts the supported arguments
+/// from any `#[serde(...)]` attributes encountered on the way.
+fn take_field_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<Field, String> {
+    let mut field = Field::default();
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        parse_serde_attr(g.stream(), &mut field)?;
+                        *i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return Ok(field),
+        }
+    }
+}
+
+/// Interprets one attribute body (the tokens inside `#[...]`). Non-serde
+/// attributes (doc comments, `derive`, ...) are ignored; inside
+/// `serde(...)` only `default` and `skip_serializing_if = "path"` are
+/// understood, and anything else is rejected so unsupported serde
+/// behaviour cannot be silently dropped.
+fn parse_serde_attr(body: TokenStream, field: &mut Field) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let args = match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+        }
+        _ => return Ok(()),
+    };
+    let args: Vec<TokenTree> = args.into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                field.default = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                j += 1;
+                if !matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    return Err("expected `=` after `skip_serializing_if`".into());
+                }
+                j += 1;
+                match args.get(j) {
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        let path = s.trim_matches('"');
+                        if path.len() == s.len() {
+                            return Err(format!(
+                                "expected string literal after `skip_serializing_if =`, found `{s}`"
+                            ));
+                        }
+                        field.skip_if = Some(path.to_string());
+                        j += 1;
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected string literal after `skip_serializing_if =`, found {other:?}"
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unsupported serde attribute argument `{other}` (only `default` and `skip_serializing_if` are implemented)"
+                ))
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Advances past one type expression: consumes until a comma at
@@ -239,18 +344,31 @@ fn count_tuple_elems(body: TokenStream) -> usize {
 
 // ---- code generation ----
 
+/// Emits the statement serializing one named field into `__pairs`.
+/// `recv` is the access prefix: `"self."` in a struct impl, empty for
+/// destructured struct-variant bindings (already references).
+fn ser_field(f: &Field, recv: &str) -> String {
+    let name = &f.name;
+    let push = format!(
+        "__pairs.push((::std::string::String::from({name:?}), \
+         ::serde::Serialize::serialize(&{recv}{name})));"
+    );
+    match &f.skip_if {
+        Some(path) => format!("if !{path}(&{recv}{name}) {{ {push} }}"),
+        None => push,
+    }
+}
+
 fn gen_serialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::Struct(fields) => {
-            let pairs: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize(&self.{f}))"
-                    )
-                })
-                .collect();
-            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+            let stmts: Vec<String> = fields.iter().map(|f| ser_field(f, "self.")).collect();
+            format!(
+                "{{ let mut __pairs: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::with_capacity({}); {} ::serde::Value::Object(__pairs) }}",
+                fields.len(),
+                stmts.join(" ")
+            )
         }
         Shape::Enum(variants) => {
             let arms: Vec<String> = variants
@@ -277,18 +395,15 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let binds = fields.join(", ");
-                            let pairs: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize({f}))"
-                                    )
-                                })
-                                .collect();
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let stmts: Vec<String> =
+                                fields.iter().map(|f| ser_field(f, "")).collect();
                             format!(
-                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(::std::string::String::from({vname:?}), ::serde::Value::Object(vec![{}]))]),",
-                                pairs.join(", ")
+                                "{name}::{vname} {{ {} }} => {{ let mut __pairs: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::with_capacity({}); {} ::serde::Value::Object(vec![(::std::string::String::from({vname:?}), ::serde::Value::Object(__pairs))]) }},",
+                                binds.join(", "),
+                                fields.len(),
+                                stmts.join(" ")
                             )
                         }
                     }
@@ -304,13 +419,21 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
     )
 }
 
+/// Emits the initializer deserializing one named field: plain lookup,
+/// or `Default::default()` fallback for `#[serde(default)]` fields.
+fn de_field(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!("{name}: ::serde::__field_default(__fields, {name:?})?")
+    } else {
+        format!("{name}: ::serde::__field(__fields, {name:?})?")
+    }
+}
+
 fn gen_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::Struct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__field(__fields, {f:?})?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(de_field).collect();
             format!(
                 "let __fields = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
                      concat!(\"expected object for \", {name:?})))?;\n\
@@ -350,10 +473,7 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                             ))
                         }
                         VariantKind::Struct(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| format!("{f}: ::serde::__field(__fields, {f:?})?"))
-                                .collect();
+                            let inits: Vec<String> = fields.iter().map(de_field).collect();
                             Some(format!(
                                 "{vname:?} => {{\n\
                                      let __fields = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object payload\"))?;\n\
