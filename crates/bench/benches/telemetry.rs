@@ -1,0 +1,49 @@
+//! Telemetry-overhead benchmarks: the `run_pair` hot-path kernel with
+//! the instrumentation layer off, at metrics granularity, and at full
+//! trace granularity. The `off` case is the number the disabled-path
+//! "<1% overhead" budget is judged against; `metrics` and `trace` show
+//! what enabling each tier costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use melody::prelude::*;
+use melody_bench::bench_opts;
+use melody_telemetry::{reset, set_mode, Mode};
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    let w = registry::by_name("605.mcf").expect("mcf");
+    let platform = Platform::emr2s();
+    let opts = bench_opts();
+
+    let kernel = |w: &WorkloadSpec| {
+        run_pair(
+            &platform,
+            &presets::local_emr(),
+            &presets::cxl_b(),
+            w,
+            &opts,
+        )
+    };
+
+    g.bench_function("off", |b| {
+        set_mode(Mode::Off);
+        b.iter(|| kernel(&w))
+    });
+    g.bench_function("metrics", |b| {
+        set_mode(Mode::Metrics);
+        b.iter(|| kernel(&w));
+        set_mode(Mode::Off);
+        reset();
+    });
+    g.bench_function("trace", |b| {
+        set_mode(Mode::Trace);
+        b.iter(|| kernel(&w));
+        set_mode(Mode::Off);
+        reset();
+    });
+    g.finish();
+}
+
+criterion_group!(telemetry, bench_telemetry_overhead);
+criterion_main!(telemetry);

@@ -624,10 +624,33 @@ impl Core {
             // in the MCE handler, not waiting on memory).
             self.counters.machine_checks += 1;
             self.stall_cycles(MCE_RECOVERY_PS);
+            if melody_telemetry::metrics_on() {
+                melody_telemetry::count("cpu.machine_checks", 1);
+                melody_telemetry::emit(
+                    melody_telemetry::EventKind::MceRecovery,
+                    self.t_ps,
+                    MCE_RECOVERY_PS,
+                    MCE_RECOVERY_PS,
+                    0,
+                );
+            }
+        }
+        if melody_telemetry::metrics_on() {
+            melody_telemetry::count("cpu.demand_l3_miss", 1);
+            melody_telemetry::record_ns("cpu.demand_lat_ns", lat_ps / 1_000);
         }
         if dependent {
             self.dep_load_hist.record(lat_ps / 1_000);
             self.load_stall(lat_ps, Depth::Mem);
+            if melody_telemetry::trace_on() {
+                melody_telemetry::emit(
+                    melody_telemetry::EventKind::LoadStall,
+                    self.t_ps,
+                    lat_ps,
+                    lat_ps,
+                    lat_ps,
+                );
+            }
             self.fill_l1(line, false);
             self.fill_l2(line, false);
         } else {
@@ -637,6 +660,19 @@ impl Core {
 
     /// Inserts an independent miss into the LFB, stalling if it is full.
     fn lfb_insert(&mut self, line: u64, ready_ps: u64, depth: Depth, is_prefetch: bool) {
+        if melody_telemetry::metrics_on() {
+            melody_telemetry::record_ns("cpu.lfb_occupancy", self.lfb_used() as u64);
+            if self.lfb_used() >= self.hot.lfb_entries {
+                melody_telemetry::count("cpu.lfb_full", 1);
+                melody_telemetry::emit(
+                    melody_telemetry::EventKind::LfbFull,
+                    self.t_ps,
+                    0,
+                    self.lfb_used() as u64,
+                    0,
+                );
+            }
+        }
         while self.lfb_used() >= self.hot.lfb_entries {
             // Stall until the earliest in-flight entry completes.
             let earliest = self

@@ -56,4 +56,4 @@ pub use cache::Cache;
 pub use counters::{CounterSample, CounterSet};
 pub use engine::{Core, CoreConfig, RunResult, Slot};
 pub use platform::Platform;
-pub use prefetch::{PrefetchRequest, StreamPrefetcher, StridePrefetcher};
+pub use prefetch::{PrefetchRequest, StreamPrefetcher, StridePrefetcher, MAX_PREFETCH_DEGREE};

@@ -388,6 +388,10 @@ impl MemoryDevice for CxlDevice {
         if excess > 0.0 && self.rng.chance(self.cfg.congestion_p * excess) {
             let w = (self.cfg.congestion_window_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
             defer_ps += w;
+            if melody_telemetry::metrics_on() {
+                melody_telemetry::count("mem.congestion", 1);
+                melody_telemetry::emit(melody_telemetry::EventKind::Congestion, req.issue, w, w, 0);
+            }
         }
 
         // --- Base transaction-layer jitter (present even at light load).
@@ -398,9 +402,20 @@ impl MemoryDevice for CxlDevice {
         // fault regime is active, so fault-free stats stay byte-identical
         // to the pre-RAS format.
         if self.rng.chance(self.cfg.retry_p) {
-            defer_ps += (self.cfg.retry_penalty_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+            let penalty = (self.cfg.retry_penalty_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+            defer_ps += penalty;
             if self.faults.is_some() {
                 self.stats.ras.correctable += 1;
+            }
+            if melody_telemetry::metrics_on() {
+                melody_telemetry::count("mem.link_retry", 1);
+                melody_telemetry::emit(
+                    melody_telemetry::EventKind::LinkRetry,
+                    req.issue,
+                    penalty,
+                    penalty,
+                    0,
+                );
             }
         }
         spike_ps += defer_ps;
@@ -417,6 +432,16 @@ impl MemoryDevice for CxlDevice {
                 let stall = self.throttle_until - t;
                 spike_ps += stall;
                 self.stats.ras.throttle_ps += stall;
+                if melody_telemetry::metrics_on() {
+                    melody_telemetry::count("mem.thermal_throttle", 1);
+                    melody_telemetry::emit(
+                        melody_telemetry::EventKind::ThermalThrottle,
+                        t,
+                        stall,
+                        stall,
+                        0,
+                    );
+                }
                 t = self.throttle_until;
             }
         }
@@ -450,6 +475,9 @@ impl MemoryDevice for CxlDevice {
             poisoned,
         };
         self.stats.record(req, completion);
+        if melody_telemetry::metrics_on() {
+            crate::telemetry_hooks::record_access("cxl", req, &out, Some(util));
+        }
         out
     }
 

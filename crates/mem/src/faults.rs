@@ -447,8 +447,19 @@ impl FaultSchedule {
                 self.storm_on = true;
             }
             if self.storm_on && self.rng.chance(c.retry_p) {
-                fx.defer_ps += (c.penalty_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+                let penalty = (c.penalty_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
+                fx.defer_ps += penalty;
                 ras.correctable += 1;
+                if melody_telemetry::metrics_on() {
+                    melody_telemetry::count("fault.crc_replay", 1);
+                    melody_telemetry::emit(
+                        melody_telemetry::EventKind::LinkRetry,
+                        t,
+                        penalty,
+                        penalty,
+                        0,
+                    );
+                }
             }
         }
 
@@ -461,6 +472,16 @@ impl FaultSchedule {
                 .sample(&mut self.rng);
                 self.next_retrain = self.retrain_until + (gap * 1_000.0) as SimTime;
                 ras.retrains += 1;
+                if melody_telemetry::metrics_on() {
+                    melody_telemetry::count("fault.retrain", 1);
+                    melody_telemetry::emit(
+                        melody_telemetry::EventKind::Retrain,
+                        t,
+                        self.retrain_until - t,
+                        self.retrain_until - t,
+                        0,
+                    );
+                }
             }
             if t < self.retrain_until {
                 fx.width_factor = r.width_factor;
@@ -476,6 +497,16 @@ impl FaultSchedule {
                 .sample(&mut self.rng);
                 self.next_refresh = self.refresh_until + (gap * 1_000.0) as SimTime;
                 ras.refresh_storms += 1;
+                if melody_telemetry::metrics_on() {
+                    melody_telemetry::count("fault.refresh_storm", 1);
+                    melody_telemetry::emit(
+                        melody_telemetry::EventKind::RefreshStorm,
+                        t,
+                        self.refresh_until - t,
+                        self.refresh_until - t,
+                        0,
+                    );
+                }
             }
             if t < self.refresh_until {
                 fx.defer_ps += (r.penalty_ns.sample(&mut self.rng) * 1_000.0) as SimTime;
@@ -487,6 +518,10 @@ impl FaultSchedule {
                 fx.poisoned = true;
                 fx.defer_ps += (p.mce_penalty_ns * 1_000.0) as SimTime;
                 ras.uncorrectable += 1;
+                if melody_telemetry::metrics_on() {
+                    melody_telemetry::count("fault.poison_ue", 1);
+                    melody_telemetry::emit(melody_telemetry::EventKind::PoisonUe, t, 0, 0, 0);
+                }
             }
         }
 

@@ -100,6 +100,9 @@ impl MemoryDevice for ImcDevice {
             poisoned: false,
         };
         self.stats.record(req, completion);
+        if melody_telemetry::metrics_on() {
+            crate::telemetry_hooks::record_access("ddr", req, &out, None);
+        }
         out
     }
 

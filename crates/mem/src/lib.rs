@@ -52,6 +52,7 @@ pub mod probe;
 mod request;
 mod spec;
 mod split;
+mod telemetry_hooks;
 
 pub use cpmu::{CpmuDevice, CpmuReport};
 pub use cxl::{CxlConfig, CxlDevice, ThermalConfig};

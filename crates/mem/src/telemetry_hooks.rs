@@ -1,0 +1,82 @@
+//! Shared telemetry recording for memory-device access completions.
+//!
+//! Both device models call [`record_access`] once per finished request
+//! (gated by the caller on `metrics_on()`), which fans the breakdown out
+//! into the metrics registry and — in trace mode — one typed trace event
+//! per access.
+
+use melody_telemetry as tel;
+
+use crate::device::AccessBreakdown;
+use crate::request::{MemRequest, RequestKind};
+
+/// Per-class metric names, resolved once so the hot path never formats.
+struct Names {
+    lat: &'static str,
+    queue: &'static str,
+    reads: &'static str,
+    writes: &'static str,
+    row_hit: &'static str,
+    row_miss: &'static str,
+    util: &'static str,
+}
+
+static CXL: Names = Names {
+    lat: "cxl.lat_ns",
+    queue: "cxl.queue_ns",
+    reads: "cxl.reads",
+    writes: "cxl.writes",
+    row_hit: "cxl.row_hit",
+    row_miss: "cxl.row_miss",
+    util: "cxl.util",
+};
+
+static DDR: Names = Names {
+    lat: "ddr.lat_ns",
+    queue: "ddr.queue_ns",
+    reads: "ddr.reads",
+    writes: "ddr.writes",
+    row_hit: "ddr.row_hit",
+    row_miss: "ddr.row_miss",
+    util: "ddr.util",
+};
+
+/// Records one completed access into metrics (and trace, when enabled).
+///
+/// `class` is `"cxl"` for expander devices, anything else for
+/// iMC-attached DRAM; `util` is the device's load estimate at issue time
+/// when it keeps one.
+pub(crate) fn record_access(
+    class: &'static str,
+    req: &MemRequest,
+    out: &AccessBreakdown,
+    util: Option<f64>,
+) {
+    let n = if class == "cxl" { &CXL } else { &DDR };
+    let total_ps = out.completion.saturating_sub(req.issue);
+    tel::record_ns(n.lat, total_ps / 1_000);
+    tel::record_ns(n.queue, out.queue_ps / 1_000);
+    tel::count(
+        if req.kind.is_read() {
+            n.reads
+        } else {
+            n.writes
+        },
+        1,
+    );
+    tel::count(if out.row_hit { n.row_hit } else { n.row_miss }, 1);
+    if let Some(u) = util {
+        tel::gauge(n.util, req.issue, u);
+    }
+    if tel::trace_on() {
+        let kind = match req.kind {
+            RequestKind::DemandRead => tel::EventKind::DemandRead,
+            RequestKind::PrefetchRead => tel::EventKind::PrefetchRead,
+            RequestKind::Rfo | RequestKind::WriteBack => tel::EventKind::Write,
+        };
+        tel::emit(kind, req.issue, total_ps, out.queue_ps, out.row_hit as u64);
+        if out.poisoned {
+            tel::emit(tel::EventKind::PoisonUe, out.completion, 0, 0, 0);
+        }
+    }
+}

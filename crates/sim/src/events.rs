@@ -99,6 +99,9 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });
+        if melody_telemetry::metrics_on() {
+            melody_telemetry::record_ns("sim.eventq.depth", self.heap.len() as u64);
+        }
     }
 
     /// Removes and returns the earliest event.

@@ -65,6 +65,10 @@ impl ServerPool {
         self.free_at.push(Reverse(done));
         self.busy_accum += service as u128;
         self.last_observed = self.last_observed.max(done);
+        if melody_telemetry::metrics_on() {
+            melody_telemetry::count("sim.pool.submits", 1);
+            melody_telemetry::record_ns("sim.pool.wait_ns", (start - arrival) / 1_000);
+        }
         (start, done)
     }
 

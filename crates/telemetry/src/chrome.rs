@@ -1,0 +1,124 @@
+//! Chrome `trace_event` JSON exporter (Perfetto / `chrome://tracing`).
+//!
+//! The export is built by hand rather than through a serializer so the
+//! byte stream is a pure function of the events: timestamps are printed
+//! as exact decimal microseconds derived from integer picoseconds
+//! (`ps / 1_000_000` + a six-digit fraction), with no float formatting
+//! involved anywhere. Same events in, same bytes out — which is what the
+//! CI trace-determinism gate `cmp`s across `--jobs` settings.
+
+use crate::event::TraceEvent;
+
+/// Formats integer picoseconds as exact decimal microseconds.
+fn ps_to_us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// Renders events as one Chrome `trace_event` JSON document.
+///
+/// Each event is attributed to `pid` 0 and the `tid` it was collected
+/// under (0 = main thread, `1..` = experiment cells in sweep order).
+/// `dropped` — events lost to ring-buffer overflow — is recorded in
+/// `otherData` so a truncated trace is self-describing.
+pub fn chrome_trace(events: &[(u32, TraceEvent)], dropped: u64) -> String {
+    // ~120 bytes per rendered event.
+    let mut out = String::with_capacity(events.len() * 120 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":");
+    out.push_str(&dropped.to_string());
+    out.push_str("},\"traceEvents\":[");
+    for (i, (tid, e)) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (an, bn) = e.kind.arg_names();
+        out.push_str("\n{\"name\":\"");
+        out.push_str(e.kind.name());
+        out.push_str("\",\"cat\":\"");
+        out.push_str(e.kind.cat());
+        if e.dur_ps == 0 {
+            // Instant event, thread scope.
+            out.push_str("\",\"ph\":\"i\",\"s\":\"t");
+        } else {
+            out.push_str("\",\"ph\":\"X");
+        }
+        out.push_str("\",\"ts\":");
+        out.push_str(&ps_to_us(e.ts_ps));
+        if e.dur_ps > 0 {
+            out.push_str(",\"dur\":");
+            out.push_str(&ps_to_us(e.dur_ps));
+        }
+        out.push_str(",\"pid\":0,\"tid\":");
+        out.push_str(&tid.to_string());
+        out.push_str(",\"args\":{\"");
+        out.push_str(an);
+        out.push_str("\":");
+        out.push_str(&e.a.to_string());
+        out.push_str(",\"");
+        out.push_str(bn);
+        out.push_str("\":");
+        out.push_str(&e.b.to_string());
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn ps_to_us_is_exact() {
+        assert_eq!(ps_to_us(0), "0.000000");
+        assert_eq!(ps_to_us(1), "0.000001");
+        assert_eq!(ps_to_us(1_234_567), "1.234567");
+        assert_eq!(ps_to_us(250_000), "0.250000");
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_shape() {
+        let events = vec![
+            (
+                0u32,
+                TraceEvent {
+                    ts_ps: 1_500_000,
+                    dur_ps: 250_000,
+                    kind: EventKind::DemandRead,
+                    a: 40_000,
+                    b: 1,
+                },
+            ),
+            (
+                1u32,
+                TraceEvent {
+                    ts_ps: 2_000_000,
+                    dur_ps: 0,
+                    kind: EventKind::PoisonUe,
+                    a: 0,
+                    b: 0,
+                },
+            ),
+        ];
+        let s = chrome_trace(&events, 3);
+        let v: serde::Value = serde_json::from_str(&s).expect("valid JSON");
+        fn get<'a>(v: &'a serde::Value, key: &str) -> &'a serde::Value {
+            v.as_object()
+                .expect("object")
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key {key}"))
+        }
+        let tev = get(&v, "traceEvents").as_array().expect("array");
+        assert_eq!(tev.len(), 2);
+        assert_eq!(get(&tev[0], "name").as_str(), Some("demand_read"));
+        assert_eq!(get(&tev[0], "ph").as_str(), Some("X"));
+        assert_eq!(get(&tev[1], "ph").as_str(), Some("i"));
+        assert_eq!(get(&tev[1], "tid"), &serde::Value::U64(1));
+        assert_eq!(
+            get(get(&v, "otherData"), "dropped_events"),
+            &serde::Value::U64(3)
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Typed trace events and the fixed-capacity ring buffer that holds them.
+
+/// What happened. Every variant maps to one Chrome `trace_event` name and
+/// category; the meaning of the two payload words is listed per variant.
+///
+/// All timestamps attached to these events are **simulated time** in
+/// picoseconds, never wall-clock, so a trace is a pure function of the
+/// seed and configuration — identical across `--jobs` settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A demand read completed on a memory device. `a` = queueing ps,
+    /// `b` = 1 on a DRAM row-buffer hit.
+    DemandRead,
+    /// A prefetch read completed on a memory device. `a` = queueing ps,
+    /// `b` = 1 on a row-buffer hit.
+    PrefetchRead,
+    /// A store (read-for-ownership / writeback) completed. `a` = queueing
+    /// ps, `b` = 1 on a row-buffer hit.
+    Write,
+    /// A CXL link CRC replay delayed a transaction. `a` = replay ps.
+    LinkRetry,
+    /// The device entered a loaded-congestion spike window. `a` = extra ps
+    /// added to this transaction.
+    Congestion,
+    /// Thermal throttling stalled a transaction. `a` = stall ps.
+    ThermalThrottle,
+    /// A link retraining window deferred a transaction. `a` = defer ps.
+    Retrain,
+    /// A refresh storm deferred a transaction. `a` = defer ps.
+    RefreshStorm,
+    /// A poisoned line reached the requester (uncorrectable). `a` = 0.
+    PoisonUe,
+    /// The core took a machine check and re-fetched. `a` = recovery ps.
+    MceRecovery,
+    /// A demand load stalled the core to memory depth. `a` = stall ps,
+    /// `b` = load-to-use ps.
+    LoadStall,
+    /// The line-fill buffer was full; MLP window blocked. `a` = occupancy.
+    LfbFull,
+    /// One experiment cell started (`a` = cell index) — emitted by the
+    /// harness so per-cell tracks are self-describing.
+    CellStart,
+}
+
+impl EventKind {
+    /// Chrome trace event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::DemandRead => "demand_read",
+            EventKind::PrefetchRead => "prefetch_read",
+            EventKind::Write => "write",
+            EventKind::LinkRetry => "link_retry",
+            EventKind::Congestion => "congestion",
+            EventKind::ThermalThrottle => "thermal_throttle",
+            EventKind::Retrain => "retrain",
+            EventKind::RefreshStorm => "refresh_storm",
+            EventKind::PoisonUe => "poison_ue",
+            EventKind::MceRecovery => "mce_recovery",
+            EventKind::LoadStall => "load_stall",
+            EventKind::LfbFull => "lfb_full",
+            EventKind::CellStart => "cell_start",
+        }
+    }
+
+    /// Chrome trace event category (Perfetto groups tracks by these).
+    pub fn cat(self) -> &'static str {
+        match self {
+            EventKind::DemandRead | EventKind::PrefetchRead | EventKind::Write => "mem",
+            EventKind::LinkRetry
+            | EventKind::Congestion
+            | EventKind::ThermalThrottle
+            | EventKind::Retrain
+            | EventKind::RefreshStorm
+            | EventKind::PoisonUe => "fault",
+            EventKind::MceRecovery | EventKind::LoadStall | EventKind::LfbFull => "cpu",
+            EventKind::CellStart => "harness",
+        }
+    }
+
+    /// Names for the `a`/`b` payload words in exported JSON `args`.
+    pub fn arg_names(self) -> (&'static str, &'static str) {
+        match self {
+            EventKind::DemandRead | EventKind::PrefetchRead | EventKind::Write => {
+                ("queue_ps", "row_hit")
+            }
+            EventKind::LinkRetry => ("replay_ps", "b"),
+            EventKind::Congestion => ("spike_ps", "b"),
+            EventKind::ThermalThrottle => ("stall_ps", "b"),
+            EventKind::Retrain | EventKind::RefreshStorm => ("defer_ps", "b"),
+            EventKind::PoisonUe => ("a", "b"),
+            EventKind::MceRecovery => ("recovery_ps", "b"),
+            EventKind::LoadStall => ("stall_ps", "load_to_use_ps"),
+            EventKind::LfbFull => ("occupancy", "b"),
+            EventKind::CellStart => ("cell_index", "b"),
+        }
+    }
+}
+
+/// One trace event: a point or interval in simulated time.
+///
+/// `dur_ps == 0` exports as a Chrome *instant* event, anything else as a
+/// *complete* (`ph: "X"`) slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event start, simulated picoseconds.
+    pub ts_ps: u64,
+    /// Event duration, simulated picoseconds (0 = instant).
+    pub dur_ps: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word; meaning per [`EventKind::arg_names`].
+    pub a: u64,
+    /// Second payload word; meaning per [`EventKind::arg_names`].
+    pub b: u64,
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s with drop-oldest
+/// overflow semantics.
+///
+/// Each worker (and each experiment cell) owns one of these, so pushes
+/// are lock-free; buffers are merged into the global sink in a
+/// deterministic order afterwards. When full, the **oldest** event is
+/// overwritten — the tail of a run is what explains its final state —
+/// and the number of dropped events is accounted so exports can say so.
+#[derive(Debug, Clone)]
+pub struct TraceBuf {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest retained event once the buffer has wrapped.
+    start: usize,
+    dropped: u64,
+}
+
+impl TraceBuf {
+    /// An empty buffer holding at most `cap` events (`cap >= 1`).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest when full.
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.start] = e;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events lost to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.buf.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ps: ts,
+            dur_ps: 0,
+            kind: EventKind::DemandRead,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = TraceBuf::with_capacity(3);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.iter().map(|e| e.ts_ps).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest events dropped, order kept");
+    }
+
+    #[test]
+    fn ring_under_capacity_keeps_all() {
+        let mut r = TraceBuf::with_capacity(8);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let ts: Vec<u64> = r.iter().map(|e| e.ts_ps).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Metrics registry: named counters, log-scaled latency histograms, and
+//! sim-time cadence-sampled gauge series.
+//!
+//! Everything here merges commutatively and associatively — counters add,
+//! histograms add bucket-wise ([`LatencyHistogram::merge`]), gauge
+//! windows are keyed by their sim-time window index — so per-cell
+//! registries can be combined in any grouping and, merged in cell order,
+//! produce byte-identical serialized output at any `--jobs` setting.
+
+use std::collections::BTreeMap;
+
+use melody_stats::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate of gauge samples that fell into one cadence window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaugeWindow {
+    /// Sum of sampled values (mean = `sum / n`).
+    pub sum: f64,
+    /// Number of samples in the window.
+    pub n: u64,
+    /// Largest sampled value in the window.
+    pub max: f64,
+}
+
+/// A gauge sampled on a sim-time cadence: samples are bucketed into
+/// windows of `cadence_ps` simulated picoseconds, keyed by window index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSeries {
+    /// Window width, simulated picoseconds.
+    pub cadence_ps: u64,
+    /// Per-window aggregates, keyed by `ts_ps / cadence_ps`.
+    pub windows: BTreeMap<u64, GaugeWindow>,
+}
+
+impl GaugeSeries {
+    fn new(cadence_ps: u64) -> Self {
+        Self {
+            cadence_ps: cadence_ps.max(1),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Folds a sample at sim-time `ts_ps` into its window.
+    pub fn sample(&mut self, ts_ps: u64, value: f64) {
+        let w = self
+            .windows
+            .entry(ts_ps / self.cadence_ps)
+            .or_insert(GaugeWindow {
+                sum: 0.0,
+                n: 0,
+                max: f64::NEG_INFINITY,
+            });
+        w.sum += value;
+        w.n += 1;
+        if value > w.max {
+            w.max = value;
+        }
+    }
+
+    /// Merges another series window-by-window.
+    pub fn merge(&mut self, other: &GaugeSeries) {
+        for (&k, ow) in &other.windows {
+            match self.windows.get_mut(&k) {
+                Some(w) => {
+                    w.sum += ow.sum;
+                    w.n += ow.n;
+                    if ow.max > w.max {
+                        w.max = ow.max;
+                    }
+                }
+                None => {
+                    self.windows.insert(k, *ow);
+                }
+            }
+        }
+    }
+
+    /// Mean of all samples across all windows.
+    pub fn mean(&self) -> f64 {
+        let (sum, n) = self
+            .windows
+            .values()
+            .fold((0.0, 0u64), |(s, n), w| (s + w.sum, n + w.n));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Largest sample seen in any window.
+    pub fn max(&self) -> f64 {
+        self.windows
+            .values()
+            .map(|w| w.max)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// A named bundle of counters, latency histograms, and gauge series.
+///
+/// Keys are `&'static str` at every call site (no per-event allocation);
+/// they become owned strings only here, once per distinct metric. All
+/// maps are [`BTreeMap`]s so iteration — and therefore serialization and
+/// rendering — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    /// Monotonic event counters, e.g. `mem.row_hit`.
+    pub counters: BTreeMap<String, u64>,
+    /// Log-bucketed value histograms (ns by convention), e.g. `mem.lat_ns`.
+    pub hists: BTreeMap<String, LatencyHistogram>,
+    /// Cadence-sampled gauges, e.g. `mem.util`.
+    pub series: BTreeMap<String, GaugeSeries>,
+}
+
+impl MetricsRegistry {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty() && self.series.is_empty()
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        match self.hists.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = LatencyHistogram::new();
+                h.record(value);
+                self.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Samples gauge `name` at sim-time `ts_ps` with window `cadence_ps`.
+    pub fn gauge(&mut self, name: &'static str, cadence_ps: u64, ts_ps: u64, value: f64) {
+        match self.series.get_mut(name) {
+            Some(s) => s.sample(ts_ps, value),
+            None => {
+                let mut s = GaugeSeries::new(cadence_ps);
+                s.sample(ts_ps, value);
+                self.series.insert(name.to_string(), s);
+            }
+        }
+    }
+
+    /// Merges another registry into this one (commutative + associative).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &n) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += n;
+        }
+        for (k, h) in &other.hists {
+            match self.hists.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.hists.insert(k.clone(), h.clone());
+                }
+            }
+        }
+        for (k, s) in &other.series {
+            match self.series.get_mut(k) {
+                Some(mine) => mine.merge(s),
+                None => {
+                    self.series.insert(k.clone(), s.clone());
+                }
+            }
+        }
+    }
+
+    /// Renders a fixed-width text summary (deterministic ordering).
+    pub fn render(&self) -> String {
+        let mut out = String::from("== telemetry metrics ==\n");
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<28} {v}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms (p50 / p99 / p99.9 / max, n):\n");
+            for (k, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {k:<28} {} / {} / {} / {}  (n={})\n",
+                    h.percentile(50.0),
+                    h.percentile(99.0),
+                    h.percentile(99.9),
+                    h.max(),
+                    h.count()
+                ));
+            }
+        }
+        if !self.series.is_empty() {
+            out.push_str("gauges (mean / max over windows):\n");
+            for (k, s) in &self.series {
+                out.push_str(&format!(
+                    "  {k:<28} {:.4} / {:.4}  (windows={}, cadence={}ns)\n",
+                    s.mean(),
+                    s.max(),
+                    s.windows.len(),
+                    s.cadence_ps / 1_000
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_windows_key_by_cadence() {
+        let mut s = GaugeSeries::new(1_000);
+        s.sample(0, 1.0);
+        s.sample(999, 3.0);
+        s.sample(1_000, 5.0);
+        assert_eq!(s.windows.len(), 2);
+        assert_eq!(s.windows[&0].n, 2);
+        assert_eq!(s.windows[&0].sum, 4.0);
+        assert_eq!(s.windows[&0].max, 3.0);
+        assert_eq!(s.windows[&1].n, 1);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn registry_merge_is_commutative() {
+        let mut a = MetricsRegistry::default();
+        a.count("x", 2);
+        a.record("h", 100);
+        a.gauge("g", 1_000, 10, 1.0);
+        let mut b = MetricsRegistry::default();
+        b.count("x", 3);
+        b.count("y", 1);
+        b.record("h", 5_000);
+        b.gauge("g", 1_000, 2_500, 4.0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(
+            serde_json::to_string(&ab).unwrap(),
+            serde_json::to_string(&ba).unwrap()
+        );
+        assert_eq!(ab.counters["x"], 5);
+    }
+}

@@ -1,0 +1,151 @@
+//! Wall-clock profiling spans with per-phase attribution.
+//!
+//! Spans measure *host* time (where a cell's wall-clock goes), never
+//! simulated time, and are therefore kept strictly out of the trace
+//! export and `--json` payloads: the harness prints the aggregated
+//! profile to stderr so stdout stays deterministic.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Aggregated timing of one named phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the phase was entered.
+    pub count: u64,
+    /// Wall nanoseconds inside the phase, children included.
+    pub total_ns: u64,
+    /// Wall nanoseconds inside the phase, children excluded.
+    pub self_ns: u64,
+}
+
+/// Per-phase wall-clock attribution, merged across cells and workers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Stats keyed by phase name.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Profile {
+    /// True when no span has completed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    fn add(&mut self, name: &'static str, total_ns: u64, self_ns: u64) {
+        let s = self.spans.entry(name.to_string()).or_default();
+        s.count += 1;
+        s.total_ns += total_ns;
+        s.self_ns += self_ns;
+    }
+
+    /// Merges another profile (commutative + associative).
+    pub fn merge(&mut self, other: &Profile) {
+        for (k, o) in &other.spans {
+            let s = self.spans.entry(k.clone()).or_default();
+            s.count += o.count;
+            s.total_ns += o.total_ns;
+            s.self_ns += o.self_ns;
+        }
+    }
+
+    /// Renders a per-stage breakdown, largest total first.
+    pub fn render(&self) -> String {
+        let mut rows: Vec<(&String, &SpanStat)> = self.spans.iter().collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        let mut out = String::from("== wall-clock profile (total / self, ms) ==\n");
+        for (name, s) in rows {
+            out.push_str(&format!(
+                "  {name:<24} {:>9.3} / {:>9.3}  (n={})\n",
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6,
+                s.count
+            ));
+        }
+        out
+    }
+}
+
+/// One live (entered, not yet exited) span.
+#[derive(Debug)]
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    child_ns: u64,
+}
+
+/// A stack of live spans plus the profile completed spans fold into.
+///
+/// Nesting is attributed exactly: a child's total time is charged to the
+/// parent's `total_ns` but subtracted from its `self_ns`.
+#[derive(Debug, Default)]
+pub struct SpanStack {
+    frames: Vec<Frame>,
+    /// Completed-span aggregate.
+    pub profile: Profile,
+}
+
+impl SpanStack {
+    /// Enters a phase; returns the depth to pass back to [`exit`](Self::exit).
+    pub fn enter(&mut self, name: &'static str) -> usize {
+        self.frames.push(Frame {
+            name,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+        self.frames.len()
+    }
+
+    /// Exits the phase entered at `depth`.
+    ///
+    /// A mismatched depth (a guard outliving a telemetry reset or a cell
+    /// boundary) is ignored rather than corrupting attribution.
+    pub fn exit(&mut self, depth: usize) {
+        if self.frames.len() != depth {
+            return;
+        }
+        let f = self.frames.pop().expect("depth matched, frame exists");
+        let total_ns = f.start.elapsed().as_nanos() as u64;
+        let self_ns = total_ns.saturating_sub(f.child_ns);
+        self.profile.add(f.name, total_ns, self_ns);
+        if let Some(parent) = self.frames.last_mut() {
+            parent.child_ns += total_ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_attribute_self_vs_child() {
+        let mut st = SpanStack::default();
+        let outer = st.enter("outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let inner = st.enter("inner");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        st.exit(inner);
+        st.exit(outer);
+        let o = st.profile.spans["outer"];
+        let i = st.profile.spans["inner"];
+        assert_eq!(o.count, 1);
+        assert_eq!(i.count, 1);
+        assert!(o.total_ns >= i.total_ns, "parent total covers child");
+        assert!(i.self_ns == i.total_ns, "leaf span is all self time");
+        assert!(
+            o.self_ns <= o.total_ns - i.total_ns + 1_000_000,
+            "child time excluded from parent self: {o:?} vs {i:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_exit_is_ignored() {
+        let mut st = SpanStack::default();
+        let d = st.enter("a");
+        st.exit(d + 7); // stale guard
+        assert!(st.profile.is_empty());
+        st.exit(d);
+        assert_eq!(st.profile.spans["a"].count, 1);
+    }
+}

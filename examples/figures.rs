@@ -12,6 +12,10 @@
 //! engine (`--jobs 1` forces the legacy serial path; the default uses
 //! all cores). Output is byte-identical for every worker count.
 //!
+//! `--telemetry metrics|trace` enables the instrumentation layer: a
+//! metrics table is appended to stdout and a per-stage wall-clock
+//! breakdown (where each figure's time went) is printed to stderr.
+//!
 //! IDs: table1, fig1, fig3a, fig3b, fig3c, fig4, fig5, fig6, fig7,
 //! fig8a, fig8b, fig8c, fig8d, fig8e, fig8f, fig9a, fig9a-full, fig9b,
 //! fig11, fig12, fig14, fig15, fig16, placement, ablation, predict, all.
@@ -37,6 +41,17 @@ fn parse_args() -> (Vec<String>, Scale, bool) {
                 }
             }
             "--json" => json = true,
+            "--telemetry" => {
+                let mode = args
+                    .next()
+                    .as_deref()
+                    .and_then(melody_telemetry::Mode::parse)
+                    .unwrap_or_else(|| {
+                        eprintln!("--telemetry expects off|metrics|trace");
+                        std::process::exit(2);
+                    });
+                melody_telemetry::set_mode(mode);
+            }
             "--jobs" => {
                 let n = args
                     .next()
@@ -380,6 +395,21 @@ fn main() {
                 d.tuned_slowdown * 100.0,
                 d.bursty_periods
             );
+        }
+    }
+
+    // With telemetry enabled, append the aggregated metrics to stdout
+    // and the per-stage wall-clock breakdown to stderr (host timings are
+    // nondeterministic, so they never mix into comparable output).
+    if melody_telemetry::metrics_on() {
+        let c = melody_telemetry::collect();
+        let metrics = c.metrics.render();
+        if !metrics.is_empty() {
+            println!("{metrics}");
+        }
+        let profile = c.profile.render();
+        if !profile.is_empty() {
+            eprintln!("{profile}");
         }
     }
 }

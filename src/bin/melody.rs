@@ -9,10 +9,20 @@
 //! melody run <workload> <device> [--refs N] [--platform NAME]
 //! melody cpmu <device> [--accesses N] # white-box component attribution
 //! melody degraded [--scale S] [--journal PATH] [--resume] [--limit N] [--json]
+//! melody trace <device> [--out PATH] [--workloads N] [--refs N]
 //! ```
 //!
 //! Devices: local, numa, cxl-a, cxl-b, cxl-c, cxl-d, cxl-a+numa, ...,
 //! cxl-d-x2. Platforms: spr2s, emr2s, emr2s-prime, skx2s, skx8s.
+//!
+//! Global flags: `--jobs N` (worker threads), `--telemetry
+//! off|metrics|trace` (instrumentation level, default off — see
+//! TELEMETRY.md) and `--cadence-ns N` (gauge sampling window). With
+//! telemetry enabled, every command appends a metrics table to its
+//! report (stdout) and a wall-clock phase profile to stderr. `melody
+//! trace` runs a small deterministic population sweep in trace mode and
+//! exports a Chrome `trace_event` JSON viewable in Perfetto; the export
+//! is byte-identical for a fixed seed at any `--jobs` setting.
 //!
 //! `probe`, `mio`, `mlc` and `run` accept `--faults <regime>` to attach a
 //! deterministic fault-injection regime (none, crc-storm, retrain,
@@ -99,7 +109,8 @@ fn apply_faults(spec: DeviceSpec, args: &[String]) -> DeviceSpec {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|degraded> [args] [--jobs N]\n\
+        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|degraded|trace> [args]\n\
+         \u{20}      [--jobs N] [--telemetry off|metrics|trace] [--cadence-ns N]\n\
          see `src/bin/melody.rs` header or README for details"
     );
     std::process::exit(2);
@@ -118,9 +129,49 @@ fn take_jobs_flag(args: &mut Vec<String>) {
     }
 }
 
+/// Consumes the global telemetry flags: `--telemetry off|metrics|trace`
+/// selects the instrumentation level (default off: the zero-cost path,
+/// byte-identical output), `--cadence-ns N` sets the gauge sampling
+/// window in simulated nanoseconds.
+fn take_telemetry_flags(args: &mut Vec<String>) {
+    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
+        let mode = args
+            .get(i + 1)
+            .and_then(|v| melody_telemetry::Mode::parse(v))
+            .unwrap_or_else(|| usage());
+        melody_telemetry::set_mode(mode);
+        args.drain(i..i + 2);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--cadence-ns") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or_else(|| usage());
+        melody_telemetry::set_cadence_ns(n);
+        args.drain(i..i + 2);
+    }
+}
+
+/// Drains collected telemetry after a command: metrics join the report
+/// on stdout, the wall-clock profile goes to stderr (host time is
+/// nondeterministic, so it must never mix into comparable output).
+fn finish_telemetry() {
+    if !melody_telemetry::metrics_on() {
+        return;
+    }
+    let c = melody_telemetry::collect();
+    if !c.metrics.is_empty() {
+        print!("{}", c.metrics.render());
+    }
+    if !c.profile.is_empty() {
+        eprint!("{}", c.profile.render());
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     take_jobs_flag(&mut args);
+    take_telemetry_flags(&mut args);
     let Some(cmd) = args.first() else { usage() };
     match cmd.as_str() {
         "devices" => cmd_devices(),
@@ -131,8 +182,10 @@ fn main() {
         "run" => cmd_run(&args[1..]),
         "cpmu" => cmd_cpmu(&args[1..]),
         "degraded" => cmd_degraded(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         _ => usage(),
     }
+    finish_telemetry();
 }
 
 fn cmd_devices() {
@@ -401,11 +454,70 @@ fn cmd_degraded(args: &[String]) {
         &melody::exec::CellPolicy::default(),
     );
     if args.iter().any(|a| a == "--json") {
-        println!("{}", melody::report::to_json(&report));
+        if melody_telemetry::metrics_on() {
+            // Fold the metrics registry into the JSON document rather
+            // than breaking it with a trailing table. The profile still
+            // goes to stderr: wall-clock values are nondeterministic.
+            let c = melody_telemetry::collect();
+            println!(
+                "{{\"report\":{},\"telemetry\":{}}}",
+                melody::report::to_json(&report),
+                serde_json::to_string(&c.metrics).expect("metrics serialize")
+            );
+            if !c.profile.is_empty() {
+                eprint!("{}", c.profile.render());
+            }
+        } else {
+            println!("{}", melody::report::to_json(&report));
+        }
     } else {
         print!("{}", report.render());
     }
     if !report.errors.is_empty() {
         std::process::exit(1);
+    }
+}
+
+/// `melody trace <device>`: runs a small deterministic population sweep
+/// in trace mode and exports the collected events as Chrome
+/// `trace_event` JSON (open in Perfetto or `chrome://tracing`).
+///
+/// The sweep goes through the parallel harness, so `--jobs` exercises
+/// the worker pool — and the export is still byte-identical at any
+/// worker count, which CI enforces with `cmp`.
+fn cmd_trace(args: &[String]) {
+    let Some(dname) = args.first() else { usage() };
+    let Some(spec) = device_by_name(dname) else {
+        usage()
+    };
+    let spec = apply_faults(spec, args);
+    melody_telemetry::set_mode(melody_telemetry::Mode::Trace);
+    let out_path = flag(args, "--out").unwrap_or_else(|| format!("trace_{dname}.json"));
+    let n = flag_u64(args, "--workloads", 6) as usize;
+    let workloads: Vec<_> = registry::all().into_iter().take(n).collect();
+    let opts = RunOptions {
+        mem_refs: flag_u64(args, "--refs", 4_000),
+        ..Default::default()
+    };
+    let platform = Platform::emr2s();
+    let local = presets::local_emr();
+    let outcomes = run_population_par(&platform, &local, &spec, &workloads, &opts);
+    let c = melody_telemetry::collect();
+    let trace = c.chrome_trace();
+    if let Err(e) = std::fs::write(&out_path, &trace) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "{}: traced {} cells, {} events ({} dropped) -> {}",
+        spec.name(),
+        outcomes.len(),
+        c.events.len(),
+        c.dropped,
+        out_path
+    );
+    print!("{}", c.metrics.render());
+    if !c.profile.is_empty() {
+        eprint!("{}", c.profile.render());
     }
 }

@@ -31,7 +31,30 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
 
+use melody_telemetry::CellTelemetry;
 use serde::{Deserialize, Serialize};
+
+/// Runs one cell under telemetry capture: the cell's trace events,
+/// metrics and spans are collected into a private buffer (returned
+/// alongside the result) instead of the worker's ambient context.
+/// Captured buffers are handed to [`melody_telemetry::sink_cell`] in
+/// *item order* after the fan-out joins, which is what makes trace
+/// exports byte-identical across worker counts. With telemetry off this
+/// is a plain call to `f`.
+fn cell_capture<R>(index: usize, f: impl FnOnce() -> R) -> (R, CellTelemetry) {
+    melody_telemetry::capture(|| {
+        melody_telemetry::emit(
+            melody_telemetry::EventKind::CellStart,
+            0,
+            0,
+            index as u64,
+            0,
+        );
+        melody_telemetry::count("exec.cells", 1);
+        let _span = melody_telemetry::span("exec.cell");
+        f()
+    })
+}
 
 /// Process-wide worker count; 0 means "auto" (available parallelism).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -82,7 +105,21 @@ where
 {
     let workers = workers.min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        if !melody_telemetry::metrics_on() {
+            return items.iter().map(f).collect();
+        }
+        // Serial path with telemetry: capture each cell and sink it
+        // immediately — the same per-cell ordering the parallel path
+        // reproduces after its join.
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let (r, tel) = cell_capture(i, || f(item));
+                melody_telemetry::sink_cell(tel);
+                r
+            })
+            .collect();
     }
     // Work stealing via a shared cursor: each worker claims the next
     // unclaimed index and records (index, result); the parent merges
@@ -90,7 +127,8 @@ where
     let cursor = AtomicUsize::new(0);
     let f = &f;
     let cursor = &cursor;
-    let mut slots: Vec<Option<Result<R, CellPanic>>> = std::thread::scope(|scope| {
+    type Slot<R> = Option<Result<(R, CellTelemetry), CellPanic>>;
+    let mut slots: Vec<Slot<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
@@ -98,13 +136,16 @@ where
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        done.push((i, catch_unwind(AssertUnwindSafe(|| f(item)))));
+                        done.push((
+                            i,
+                            catch_unwind(AssertUnwindSafe(|| cell_capture(i, || f(item)))),
+                        ));
                     }
                     done
                 })
             })
             .collect();
-        let mut slots: Vec<Option<Result<R, CellPanic>>> = (0..items.len()).map(|_| None).collect();
+        let mut slots: Vec<Slot<R>> = (0..items.len()).map(|_| None).collect();
         for h in handles {
             // Workers never unwind (each cell is caught), so join errors
             // would indicate a bug in this module itself.
@@ -115,6 +156,8 @@ where
         slots
     });
     // All cells have run; re-raise the first failure in *item* order.
+    // (Completed cells' telemetry is dropped with the results here — the
+    // unwind abandons the run's trace anyway.)
     if let Some(panic) = slots.iter_mut().find_map(|s| match s {
         Some(Err(_)) => match s.take() {
             Some(Err(p)) => Some(p),
@@ -127,7 +170,10 @@ where
     slots
         .into_iter()
         .map(|s| match s.expect("every index claimed exactly once") {
-            Ok(r) => r,
+            Ok((r, tel)) => {
+                melody_telemetry::sink_cell(tel);
+                r
+            }
             Err(_) => unreachable!("failures re-raised above"),
         })
         .collect()
@@ -263,7 +309,8 @@ where
                 })
             })
             .collect();
-        let mut slots: Vec<Option<Result<R, CellError>>> = (0..items.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<(R, CellTelemetry), CellError>>> =
+            (0..items.len()).map(|_| None).collect();
         for h in handles {
             for (i, r) in h.join().expect("exec worker must not panic") {
                 slots[i] = Some(r);
@@ -271,7 +318,15 @@ where
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every index claimed exactly once"))
+            .map(|s| match s.expect("every index claimed exactly once") {
+                Ok((r, tel)) => {
+                    // Sinking in item order keeps trace exports identical
+                    // across worker counts.
+                    melody_telemetry::sink_cell(tel);
+                    Ok(r)
+                }
+                Err(e) => Err(e),
+            })
             .collect()
     })
 }
@@ -285,7 +340,7 @@ fn run_one_cell<'scope, T, R, F, L>(
     item: &'scope T,
     label: &L,
     f: &'scope F,
-) -> Result<R, CellError>
+) -> Result<(R, CellTelemetry), CellError>
 where
     T: Sync,
     R: Send + 'scope,
@@ -298,8 +353,18 @@ where
         if attempt > 1 {
             std::thread::sleep(policy.backoff * (attempt - 1));
         }
-        let outcome: Result<Result<R, CellPanic>, ()> = match policy.deadline {
-            None => Ok(catch_unwind(AssertUnwindSafe(|| f(item)))),
+        // Telemetry is captured per attempt; only the successful
+        // attempt's buffer survives, so retries cannot duplicate events.
+        let run = move || {
+            cell_capture(index, || {
+                if attempt > 1 {
+                    melody_telemetry::count("exec.cell_retries", 1);
+                }
+                f(item)
+            })
+        };
+        let outcome: Result<Result<(R, CellTelemetry), CellPanic>, ()> = match policy.deadline {
+            None => Ok(catch_unwind(AssertUnwindSafe(run))),
             Some(deadline) => {
                 // Watchdog: run the attempt on a helper thread and wait
                 // with a timeout. On timeout the helper keeps running
@@ -307,7 +372,7 @@ where
                 // only at scope exit.
                 let (tx, rx) = mpsc::channel();
                 scope.spawn(move || {
-                    let r = catch_unwind(AssertUnwindSafe(|| f(item)));
+                    let r = catch_unwind(AssertUnwindSafe(run));
                     let _ = tx.send(r);
                 });
                 rx.recv_timeout(deadline).map_err(|_| ())

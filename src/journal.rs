@@ -115,6 +115,11 @@ impl Journal {
     /// Records a finished cell: stores it in memory and (when backed by
     /// a file) appends + flushes one line.
     pub fn record(&mut self, key: &str, json: &str) -> io::Result<()> {
+        let _span = melody_telemetry::span("journal.record");
+        if melody_telemetry::metrics_on() {
+            melody_telemetry::count("journal.records", 1);
+            melody_telemetry::record_ns("journal.bytes", json.len() as u64);
+        }
         if let Some(path) = &self.path {
             let line = serde_json::to_string(&JournalLine {
                 key: key.to_string(),

@@ -119,8 +119,14 @@ pub fn run_pair(
     workload: &WorkloadSpec,
     opts: &RunOptions,
 ) -> PairOutcome {
-    let local = run_workload(platform, local_spec, workload, opts);
-    let target = run_workload(platform, target_spec, workload, opts);
+    let local = {
+        let _span = melody_telemetry::span("run_pair.local");
+        run_workload(platform, local_spec, workload, opts)
+    };
+    let target = {
+        let _span = melody_telemetry::span("run_pair.target");
+        run_workload(platform, target_spec, workload, opts)
+    };
     let slowdown = target.slowdown_vs(&local);
     let breakdown = breakdown(&local.counters, &target.counters);
     PairOutcome {
@@ -161,6 +167,7 @@ pub fn run_population_par(
     workloads: &[WorkloadSpec],
     opts: &RunOptions,
 ) -> Vec<PairOutcome> {
+    let _span = melody_telemetry::span("population");
     crate::exec::parallel_map(workloads, |w| {
         run_pair(platform, local_spec, target_spec, w, opts)
     })

@@ -117,6 +117,18 @@ pub fn __field_default<T: Deserialize + Default>(
 
 // ---- Serialize impls for primitives and common containers ----
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! ser_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
@@ -209,6 +221,27 @@ impl<T: Serialize> Serialize for Vec<T> {
 impl<T: Serialize> Serialize for [T] {
     fn serialize(&self) -> Value {
         Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<u64, V> {
+    fn serialize(&self) -> Value {
+        // Integer map keys become decimal strings, as in real serde_json.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize()))
+                .collect(),
+        )
     }
 }
 
@@ -346,6 +379,31 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             .ok_or_else(|| Error::custom("expected array"))?
             .iter()
             .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<u64, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, val)| {
+                let key = k
+                    .parse::<u64>()
+                    .map_err(|_| Error::custom("expected u64 map key"))?;
+                Ok((key, V::deserialize(val)?))
+            })
             .collect()
     }
 }
