@@ -54,6 +54,6 @@ mod prefetch;
 
 pub use cache::Cache;
 pub use counters::{CounterSample, CounterSet};
-pub use engine::{Core, CoreConfig, RunResult, Slot};
+pub use engine::{Core, CoreConfig, LatencyPoint, RunResult, Slot};
 pub use platform::Platform;
 pub use prefetch::{PrefetchRequest, StreamPrefetcher, StridePrefetcher, MAX_PREFETCH_DEGREE};

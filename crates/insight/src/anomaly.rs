@@ -1,0 +1,150 @@
+//! Robust tail-latency anomaly detection over attribution windows.
+//!
+//! The paper's tail analyses (Figure 6, §4) show CXL latency
+//! distributions with long, fault-driven tails. This module flags the
+//! *windows* responsible: a window is anomalous when its p99.9
+//! demand-read latency departs from the run's baseline by more than
+//! `k` robust deviations, where the baseline is the median over all
+//! active windows and the deviation scale is the median absolute
+//! deviation (MAD). Median/MAD — not mean/σ — so a handful of huge
+//! windows cannot inflate the threshold and mask themselves.
+//!
+//! Each flagged window carries its co-occurring fault/congestion event
+//! counts as suspected causes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::timeline::AttributionWindow;
+
+/// One flagged window with its evidence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Anomaly {
+    /// Index of the flagged window in the timeline.
+    pub window: usize,
+    /// The window's p99.9 demand-read latency, ns.
+    pub p999_ns: u64,
+    /// Run baseline (median of active-window p99.9), ns.
+    pub baseline_ns: f64,
+    /// Flagging threshold `baseline + k · MAD`, ns.
+    pub threshold_ns: f64,
+    /// Fault-category events co-occurring in the window, sorted by
+    /// count descending — the suspected causes.
+    pub causes: Vec<(String, u64)>,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Flags windows whose tail latency departs more than `k · MAD` from
+/// the run baseline.
+///
+/// Only *active* windows (at least one completed demand read) enter the
+/// baseline and are eligible for flagging; a quiet window has no tail
+/// to be anomalous about. The MAD is floored at `max(2% of baseline,
+/// 1 ns)` so a perfectly uniform run — MAD exactly zero — does not flag
+/// every window with a 1-ns wobble. Fewer than four active windows
+/// yields no anomalies: there is no meaningful baseline to depart from.
+pub fn detect_anomalies(timeline: &[AttributionWindow], k: f64) -> Vec<Anomaly> {
+    let active: Vec<&AttributionWindow> = timeline.iter().filter(|w| w.reads > 0).collect();
+    if active.len() < 4 {
+        return Vec::new();
+    }
+    let mut tails: Vec<f64> = active.iter().map(|w| w.p999_ns as f64).collect();
+    tails.sort_by(|a, b| a.partial_cmp(b).expect("tails are finite"));
+    let med = median(&tails);
+    let mut dev: Vec<f64> = tails.iter().map(|t| (t - med).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).expect("deviations are finite"));
+    let mad = median(&dev).max(med * 0.02).max(1.0);
+    let threshold = med + k * mad;
+    active
+        .iter()
+        .filter(|w| (w.p999_ns as f64) > threshold)
+        .map(|w| Anomaly {
+            window: w.index,
+            p999_ns: w.p999_ns,
+            baseline_ns: med,
+            threshold_ns: threshold,
+            causes: w.fault_events.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melody_spa::Breakdown;
+
+    fn window(
+        index: usize,
+        reads: u64,
+        p999_ns: u64,
+        faults: Vec<(String, u64)>,
+    ) -> AttributionWindow {
+        AttributionWindow {
+            index,
+            t_start_ns: index as u64 * 1_000,
+            t_end_ns: (index as u64 + 1) * 1_000,
+            breakdown: Breakdown::default(),
+            local_cycles: 1_000.0,
+            target_cycles: 1_500.0,
+            reads,
+            p999_ns,
+            queue_frac: 0.0,
+            row_hit_frac: 0.9,
+            lfb_full: 0,
+            fault_events: faults,
+            label: "dram-bound".to_string(),
+        }
+    }
+
+    #[test]
+    fn flags_only_the_outlier_window_with_causes() {
+        let mut tl: Vec<AttributionWindow> = (0..10)
+            .map(|i| window(i, 100, 400 + (i as u64 % 3), vec![]))
+            .collect();
+        tl[6] = window(6, 100, 9_000, vec![("retrain".to_string(), 2)]);
+        let out = detect_anomalies(&tl, 4.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].window, 6);
+        assert_eq!(out[0].p999_ns, 9_000);
+        assert_eq!(out[0].causes, vec![("retrain".to_string(), 2)]);
+        assert!(out[0].threshold_ns < 9_000.0);
+        assert!((out[0].baseline_ns - 401.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn uniform_run_flags_nothing() {
+        let tl: Vec<AttributionWindow> = (0..12).map(|i| window(i, 50, 500, vec![])).collect();
+        assert!(detect_anomalies(&tl, 4.0).is_empty());
+        // Tiny wobble stays under the floored MAD threshold.
+        let tl: Vec<AttributionWindow> = (0..12)
+            .map(|i| window(i, 50, 500 + (i as u64 % 2), vec![]))
+            .collect();
+        assert!(detect_anomalies(&tl, 4.0).is_empty());
+    }
+
+    #[test]
+    fn quiet_windows_are_ignored() {
+        // The spike window has no reads: nothing to flag.
+        let mut tl: Vec<AttributionWindow> = (0..8).map(|i| window(i, 10, 300, vec![])).collect();
+        tl[3] = window(3, 0, 50_000, vec![]);
+        assert!(detect_anomalies(&tl, 4.0).is_empty());
+    }
+
+    #[test]
+    fn too_few_active_windows_yield_no_baseline() {
+        let tl: Vec<AttributionWindow> = (0..3)
+            .map(|i| window(i, 10, 100 + 1_000 * i as u64, vec![]))
+            .collect();
+        assert!(detect_anomalies(&tl, 4.0).is_empty());
+    }
+}

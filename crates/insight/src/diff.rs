@@ -1,0 +1,353 @@
+//! Tolerance-aware structural diffing of two `--json` run documents.
+//!
+//! `melody diff a.json b.json` walks both JSON trees in parallel and
+//! reports every divergence with its path. Numeric leaves compare under
+//! a relative/absolute tolerance (so CI can accept sub-ULP drift while
+//! rejecting real regressions); strings, booleans, and shape mismatches
+//! are never tolerated. The verdict is machine-readable and maps onto
+//! process exit codes: identical → 0, within tolerance → 0, anything
+//! else → 1.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Numeric comparison tolerances. The default is exact comparison.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DiffOptions {
+    /// Relative tolerance: `|a-b| <= rel_tol * max(|a|,|b|)` passes.
+    #[serde(default)]
+    pub rel_tol: f64,
+    /// Absolute tolerance: `|a-b| <= abs_tol` passes.
+    #[serde(default)]
+    pub abs_tol: f64,
+}
+
+/// One divergence between the two documents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Delta {
+    /// JSON path of the divergent leaf (e.g. `target.demand_lat.p999`).
+    pub path: String,
+    /// Rendered value in document A.
+    pub a: String,
+    /// Rendered value in document B.
+    pub b: String,
+    /// Relative difference for numeric leaves; `-1` for non-numeric
+    /// mismatches (type, string, boolean, shape), which no tolerance
+    /// accepts.
+    pub rel: f64,
+}
+
+/// The machine-readable outcome of one diff.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiffVerdict {
+    /// True when every compared leaf matched exactly and no keys were
+    /// missing on either side.
+    pub identical: bool,
+    /// True when all divergences fell within the tolerances (implied by
+    /// `identical`). This is the CI gate: `!within_tolerance` → exit 1.
+    pub within_tolerance: bool,
+    /// Number of leaves compared.
+    pub compared: u64,
+    /// Divergences *exceeding* the tolerances.
+    pub deltas: Vec<Delta>,
+    /// Divergences absorbed by the tolerances (kept for the report).
+    pub tolerated: u64,
+    /// Paths present only in document A.
+    pub only_in_a: Vec<String>,
+    /// Paths present only in document B.
+    pub only_in_b: Vec<String>,
+}
+
+fn render(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(x) => format!("{x}"),
+        Value::Str(s) => format!("\"{s}\""),
+        Value::Array(items) => format!("[..{} items]", items.len()),
+        Value::Object(pairs) => format!("{{..{} keys}}", pairs.len()),
+    }
+}
+
+fn as_num(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+struct DiffState<'o> {
+    opts: &'o DiffOptions,
+    compared: u64,
+    tolerated: u64,
+    deltas: Vec<Delta>,
+    only_in_a: Vec<String>,
+    only_in_b: Vec<String>,
+    exact: bool,
+}
+
+impl DiffState<'_> {
+    fn mismatch(&mut self, path: &str, a: &Value, b: &Value) {
+        self.exact = false;
+        self.deltas.push(Delta {
+            path: path.to_string(),
+            a: render(a),
+            b: render(b),
+            rel: -1.0,
+        });
+    }
+
+    fn walk(&mut self, path: &str, a: &Value, b: &Value) {
+        // Numeric leaves first: U64 vs F64 of the same quantity must
+        // compare as numbers, not as a type mismatch.
+        if let (Some(x), Some(y)) = (as_num(a), as_num(b)) {
+            self.compared += 1;
+            if x == y {
+                return;
+            }
+            self.exact = false;
+            let abs = (x - y).abs();
+            let rel = abs / x.abs().max(y.abs()).max(f64::MIN_POSITIVE);
+            if abs <= self.opts.abs_tol || rel <= self.opts.rel_tol {
+                self.tolerated += 1;
+                return;
+            }
+            self.deltas.push(Delta {
+                path: path.to_string(),
+                a: render(a),
+                b: render(b),
+                rel,
+            });
+            return;
+        }
+        match (a, b) {
+            (Value::Null, Value::Null) => {
+                self.compared += 1;
+            }
+            (Value::Bool(x), Value::Bool(y)) => {
+                self.compared += 1;
+                if x != y {
+                    self.mismatch(path, a, b);
+                }
+            }
+            (Value::Str(x), Value::Str(y)) => {
+                self.compared += 1;
+                if x != y {
+                    self.mismatch(path, a, b);
+                }
+            }
+            (Value::Array(xs), Value::Array(ys)) => {
+                if xs.len() != ys.len() {
+                    self.exact = false;
+                    self.deltas.push(Delta {
+                        path: format!("{path}.len"),
+                        a: xs.len().to_string(),
+                        b: ys.len().to_string(),
+                        rel: -1.0,
+                    });
+                }
+                for (i, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+                    self.walk(&format!("{path}[{i}]"), x, y);
+                }
+            }
+            (Value::Object(xs), Value::Object(ys)) => {
+                // Objects are ordered pair lists; compare by key.
+                for (k, x) in xs {
+                    let child = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    match ys.iter().find(|(yk, _)| yk == k) {
+                        Some((_, y)) => self.walk(&child, x, y),
+                        None => {
+                            self.exact = false;
+                            self.only_in_a.push(child);
+                        }
+                    }
+                }
+                for (k, _) in ys {
+                    if !xs.iter().any(|(xk, _)| xk == k) {
+                        self.exact = false;
+                        self.only_in_b.push(if path.is_empty() {
+                            k.clone()
+                        } else {
+                            format!("{path}.{k}")
+                        });
+                    }
+                }
+            }
+            _ => {
+                self.compared += 1;
+                self.mismatch(path, a, b);
+            }
+        }
+    }
+}
+
+/// Diffs two parsed JSON documents under the given tolerances.
+pub fn diff_values(a: &Value, b: &Value, opts: &DiffOptions) -> DiffVerdict {
+    let mut st = DiffState {
+        opts,
+        compared: 0,
+        tolerated: 0,
+        deltas: Vec::new(),
+        only_in_a: Vec::new(),
+        only_in_b: Vec::new(),
+        exact: true,
+    };
+    st.walk("", a, b);
+    DiffVerdict {
+        identical: st.exact,
+        within_tolerance: st.deltas.is_empty()
+            && st.only_in_a.is_empty()
+            && st.only_in_b.is_empty(),
+        compared: st.compared,
+        deltas: st.deltas,
+        tolerated: st.tolerated,
+        only_in_a: st.only_in_a,
+        only_in_b: st.only_in_b,
+    }
+}
+
+/// Renders the human-readable delta table for one verdict.
+pub fn render_delta_table(v: &DiffVerdict) -> String {
+    let mut out = String::new();
+    if v.identical {
+        out.push_str(&format!("identical ({} leaves compared)\n", v.compared));
+        return out;
+    }
+    if v.within_tolerance {
+        out.push_str(&format!(
+            "within tolerance ({} leaves compared, {} tolerated)\n",
+            v.compared, v.tolerated
+        ));
+        return out;
+    }
+    out.push_str(&format!(
+        "DIFFERS: {} delta(s) over {} leaves ({} tolerated)\n",
+        v.deltas.len(),
+        v.compared,
+        v.tolerated
+    ));
+    let path_w = v
+        .deltas
+        .iter()
+        .map(|d| d.path.len())
+        .chain(std::iter::once(4))
+        .max()
+        .unwrap_or(4)
+        .min(56);
+    out.push_str(&format!(
+        "  {:<path_w$}  {:>16}  {:>16}  {:>10}\n",
+        "path", "a", "b", "rel"
+    ));
+    for d in &v.deltas {
+        let rel = if d.rel < 0.0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.3e}", d.rel)
+        };
+        out.push_str(&format!(
+            "  {:<path_w$}  {:>16}  {:>16}  {:>10}\n",
+            d.path, d.a, d.b, rel
+        ));
+    }
+    for p in &v.only_in_a {
+        out.push_str(&format!("  only in a: {p}\n"));
+    }
+    for p in &v.only_in_b {
+        out.push_str(&format!("  only in b: {p}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        serde_json::from_str(s).expect("valid test JSON")
+    }
+
+    #[test]
+    fn identical_documents_are_identical() {
+        let a = parse(r#"{"x": 1, "y": [1.5, 2.5], "s": "ok"}"#);
+        let v = diff_values(&a, &a, &DiffOptions::default());
+        assert!(v.identical);
+        assert!(v.within_tolerance);
+        assert!(v.deltas.is_empty());
+        assert_eq!(v.compared, 4);
+        assert!(render_delta_table(&v).contains("identical"));
+    }
+
+    #[test]
+    fn numeric_drift_respects_tolerance() {
+        let a = parse(r#"{"lat": 100.0}"#);
+        let b = parse(r#"{"lat": 100.5}"#);
+        let exact = diff_values(&a, &b, &DiffOptions::default());
+        assert!(!exact.identical);
+        assert!(!exact.within_tolerance);
+        assert_eq!(exact.deltas[0].path, "lat");
+        let loose = diff_values(
+            &a,
+            &b,
+            &DiffOptions {
+                rel_tol: 0.01,
+                abs_tol: 0.0,
+            },
+        );
+        assert!(!loose.identical, "tolerated drift is still not identical");
+        assert!(loose.within_tolerance);
+        assert_eq!(loose.tolerated, 1);
+    }
+
+    #[test]
+    fn u64_and_f64_of_same_quantity_compare_numerically() {
+        let a = parse(r#"{"n": 5}"#);
+        let b = parse(r#"{"n": 5.0}"#);
+        let v = diff_values(&a, &b, &DiffOptions::default());
+        assert!(v.identical, "{v:?}");
+    }
+
+    #[test]
+    fn string_mismatch_is_never_tolerated() {
+        let a = parse(r#"{"device": "CXL-A"}"#);
+        let b = parse(r#"{"device": "CXL-B"}"#);
+        let v = diff_values(
+            &a,
+            &b,
+            &DiffOptions {
+                rel_tol: 1.0,
+                abs_tol: 1e18,
+            },
+        );
+        assert!(!v.within_tolerance);
+        assert_eq!(v.deltas[0].rel, -1.0);
+    }
+
+    #[test]
+    fn missing_keys_and_length_changes_are_reported() {
+        let a = parse(r#"{"x": 1, "gone": 2, "arr": [1, 2, 3]}"#);
+        let b = parse(r#"{"x": 1, "new": 9, "arr": [1, 2]}"#);
+        let v = diff_values(&a, &b, &DiffOptions::default());
+        assert!(!v.within_tolerance);
+        assert_eq!(v.only_in_a, vec!["gone".to_string()]);
+        assert_eq!(v.only_in_b, vec!["new".to_string()]);
+        assert!(v.deltas.iter().any(|d| d.path == "arr.len"));
+        let table = render_delta_table(&v);
+        assert!(table.contains("only in a: gone"));
+        assert!(table.contains("only in b: new"));
+    }
+
+    #[test]
+    fn nested_paths_name_the_leaf() {
+        let a = parse(r#"{"target": {"demand_lat": {"p999": 1200}}}"#);
+        let b = parse(r#"{"target": {"demand_lat": {"p999": 3400}}}"#);
+        let v = diff_values(&a, &b, &DiffOptions::default());
+        assert_eq!(v.deltas[0].path, "target.demand_lat.p999");
+    }
+}

@@ -1,0 +1,244 @@
+//! The `melody-run` JSON document: everything one instrumented run pair
+//! produced, in one serializable tree.
+//!
+//! This is the unit `melody run --json` emits, `melody diff` compares,
+//! and `melody report` renders. The document is a pure function of the
+//! run inputs (seed, devices, workload, fault regime), so two runs with
+//! the same configuration — at any `--jobs` setting — produce
+//! byte-identical documents.
+
+use melody_cpu::RunResult;
+use melody_spa::Breakdown;
+use melody_telemetry::{HistSummary, TelemetryExport, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::anomaly::{detect_anomalies, Anomaly};
+use crate::timeline::{attribution_timeline, AttributionWindow, InsightConfig};
+
+/// Document-kind tag carried in [`RunDoc::kind`], so tools can reject
+/// JSON that is not a run document.
+pub const RUN_DOC_KIND: &str = "melody-run";
+
+/// Identity of the run pair: what was run, where, and how.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Workload name (registry identifier).
+    pub workload: String,
+    /// Workload suite.
+    pub suite: String,
+    /// CPU platform preset name.
+    pub platform: String,
+    /// Baseline (local DRAM) device name.
+    pub local_device: String,
+    /// Target (CXL) device name.
+    pub target_device: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Memory references simulated per run.
+    pub mem_refs: u64,
+    /// Fault regime applied to the target device (empty = none).
+    #[serde(default)]
+    pub faults: String,
+}
+
+/// Summary of one run (one side of the pair).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Simulated wall time, ns.
+    pub wall_ns: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Demand-load *memory* latency percentiles, ns.
+    pub demand_lat: HistSummary,
+    /// All dependent-load observed latency percentiles, ns (what a
+    /// pointer-chase probe sees — cache hits included).
+    pub dep_load_lat: HistSummary,
+    /// Loaded-latency curve: `(read bandwidth GB/s, mean demand latency
+    /// ns)` per sampling window, sorted by bandwidth (Figure 7 shape).
+    pub latency_bw: Vec<(f64, f64)>,
+    /// Demand-latency CDF: `(latency ns, cumulative fraction)`.
+    pub lat_cdf: Vec<(f64, f64)>,
+}
+
+impl RunSummary {
+    /// Summarises one finished run.
+    pub fn from_run(r: &RunResult) -> Self {
+        let mut latency_bw = Vec::new();
+        let mut prev_ns = 0u64;
+        for p in &r.latency_series {
+            let dt = p.time_ns.saturating_sub(prev_ns);
+            prev_ns = p.time_ns;
+            if dt == 0 || p.mean_lat_ns <= 0.0 {
+                continue;
+            }
+            // bytes per ns == GB/s.
+            latency_bw.push((p.read_bytes as f64 / dt as f64, p.mean_lat_ns));
+        }
+        latency_bw.sort_by(|a, b| a.partial_cmp(b).expect("finite bandwidth/latency points"));
+        let lat_cdf = r
+            .demand_lat_hist
+            .cdf_points()
+            .into_iter()
+            .map(|(ns, frac)| (ns as f64, frac))
+            .collect();
+        Self {
+            wall_ns: r.wall_ns,
+            cycles: r.counters.cycles,
+            instructions: r.counters.instructions,
+            ipc: r.ipc(),
+            demand_lat: HistSummary::from_hist(&r.demand_lat_hist),
+            dep_load_lat: HistSummary::from_hist(&r.dep_load_hist),
+            latency_bw,
+            lat_cdf,
+        }
+    }
+}
+
+/// The complete `melody run --json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunDoc {
+    /// Document kind tag: always [`RUN_DOC_KIND`].
+    pub kind: String,
+    /// Run identity.
+    pub meta: RunMeta,
+    /// Whole-run measured slowdown (fraction).
+    pub slowdown: f64,
+    /// Whole-run Eq. 8 stall breakdown.
+    pub breakdown: Breakdown,
+    /// Baseline run summary.
+    pub local: RunSummary,
+    /// Target run summary.
+    pub target: RunSummary,
+    /// Windowed attribution timeline (target-run time).
+    pub timeline: Vec<AttributionWindow>,
+    /// Windows flagged by the tail-latency anomaly detector.
+    pub anomalies: Vec<Anomaly>,
+    /// Trace events lost to ring-buffer overflow during capture.
+    pub dropped_events: u64,
+    /// Full telemetry export (counters, histogram percentiles, gauge
+    /// series); omitted when telemetry was off.
+    #[serde(default, skip_serializing_if = "TelemetryExport::is_empty")]
+    pub telemetry: TelemetryExport,
+}
+
+/// Assembles the run document from the two captured runs.
+///
+/// `events` is the **target** run's trace (the side whose time axis the
+/// timeline uses); `dropped_events` its overflow count; `telemetry` the
+/// merged metrics export of both runs (pass a default/empty export when
+/// telemetry was off).
+pub fn build_run_doc(
+    meta: RunMeta,
+    local: &RunResult,
+    target: &RunResult,
+    events: &[TraceEvent],
+    dropped_events: u64,
+    telemetry: TelemetryExport,
+    cfg: &InsightConfig,
+) -> RunDoc {
+    let slowdown = target.slowdown_vs(local);
+    let breakdown = melody_spa::breakdown(&local.counters, &target.counters);
+    let timeline: Vec<AttributionWindow> =
+        attribution_timeline(&local.samples, &target.samples, events, target.wall_ns, cfg);
+    let anomalies = detect_anomalies(&timeline, cfg.anomaly_k);
+    RunDoc {
+        kind: RUN_DOC_KIND.to_string(),
+        meta,
+        slowdown,
+        breakdown,
+        local: RunSummary::from_run(local),
+        target: RunSummary::from_run(target),
+        timeline,
+        anomalies,
+        dropped_events,
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melody_cpu::CounterSet;
+    use melody_stats::LatencyHistogram;
+
+    fn run(cycles: u64, instr: u64, wall_ns: u64) -> RunResult {
+        let mut h = LatencyHistogram::new();
+        h.record(300);
+        h.record(320);
+        RunResult {
+            counters: CounterSet {
+                cycles,
+                instructions: instr,
+                ..Default::default()
+            },
+            samples: Vec::new(),
+            latency_series: Vec::new(),
+            demand_lat_hist: h.clone(),
+            dep_load_hist: h,
+            wall_ns,
+            device_stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn doc_round_trips_through_json() {
+        let local = run(1_000, 2_000, 500);
+        let target = run(1_500, 2_000, 750);
+        let doc = build_run_doc(
+            RunMeta {
+                workload: "605.mcf".into(),
+                target_device: "CXL-B".into(),
+                ..Default::default()
+            },
+            &local,
+            &target,
+            &[],
+            0,
+            TelemetryExport::default(),
+            &InsightConfig::default(),
+        );
+        assert_eq!(doc.kind, RUN_DOC_KIND);
+        assert!((doc.slowdown - 0.5).abs() < 1e-9);
+        let json = serde_json::to_string_pretty(&doc).expect("serialize");
+        // Empty telemetry is omitted entirely.
+        assert!(!json.contains("\"telemetry\""));
+        let back: RunDoc = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.meta.workload, "605.mcf");
+        assert!(back.telemetry.is_empty());
+        assert_eq!(
+            serde_json::to_string_pretty(&back).expect("re-serialize"),
+            json,
+            "round trip is byte-stable"
+        );
+    }
+
+    #[test]
+    fn summary_sorts_loaded_latency_curve_by_bandwidth() {
+        let mut r = run(1_000, 1_000, 3_000);
+        let pt = |time_ns, mean_lat_ns, max_lat_ns, read_bytes| melody_cpu::LatencyPoint {
+            time_ns,
+            mean_lat_ns,
+            max_lat_ns,
+            read_bytes,
+        };
+        r.latency_series = vec![
+            pt(1_000, 250.0, 300, 4_000),
+            pt(2_000, 400.0, 500, 9_000),
+            pt(3_000, 300.0, 350, 1_000),
+        ];
+        let s = RunSummary::from_run(&r);
+        assert_eq!(s.latency_bw.len(), 3);
+        for pair in s.latency_bw.windows(2) {
+            assert!(
+                pair[0].0 <= pair[1].0,
+                "sorted by bandwidth: {:?}",
+                s.latency_bw
+            );
+        }
+        assert_eq!(s.demand_lat.n, 2);
+    }
+}

@@ -1,0 +1,405 @@
+//! Self-contained static HTML report rendering.
+//!
+//! `melody report` turns a [`RunDoc`] into one HTML file with inline
+//! SVG charts ([`melody_stats::svg`]) and inline CSS — no scripts, no
+//! external assets, byte-identical for identical documents. The three
+//! charts mirror the paper's headline figures: the loaded-latency curve
+//! (Figure 7), the stacked stall-attribution timeline (Figure 16), and
+//! the tail-latency CDF (Figure 6), annotated with fault events and
+//! anomaly windows.
+
+use melody_stats::svg::{line_chart, stacked_bars, ChartConfig, Mark, SeriesRef, StackedBar};
+
+use crate::doc::RunDoc;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// `n/a` for zero-count percentile cells, the value otherwise.
+fn ns_cell(v: u64, n: u64) -> String {
+    if n == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+const STYLE: &str = "\
+body{font-family:sans-serif;max-width:72em;margin:1em auto;padding:0 1em;color:#222}\
+h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.6em}\
+table{border-collapse:collapse;font-size:0.9em}\
+td,th{border:1px solid #ccc;padding:2px 8px;text-align:right}\
+th{background:#f2f2f2}td:first-child,th:first-child{text-align:left}\
+.anom{background:#ffe8e8}.quiet{color:#888}\
+footer{margin-top:2em;font-size:0.8em;color:#666}";
+
+/// Renders the full report for one run document.
+pub fn render_run_html(doc: &RunDoc) -> String {
+    let m = &doc.meta;
+    let title = format!(
+        "{} on {} vs {} ({})",
+        m.workload, m.target_device, m.local_device, m.platform
+    );
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str(&format!("<title>melody: {}</title>\n", esc(&title)));
+    out.push_str(&format!("<style>{STYLE}</style>\n</head>\n<body>\n"));
+    out.push_str(&format!("<h1>melody run report: {}</h1>\n", esc(&title)));
+
+    // Run identity + headline numbers.
+    out.push_str("<h2>Summary</h2>\n<table>\n");
+    out.push_str("<tr><th>metric</th><th>local</th><th>target</th></tr>\n");
+    out.push_str(&format!(
+        "<tr><td>device</td><td>{}</td><td>{}</td></tr>\n",
+        esc(&m.local_device),
+        esc(&m.target_device)
+    ));
+    out.push_str(&format!(
+        "<tr><td>wall time (ns)</td><td>{}</td><td>{}</td></tr>\n",
+        doc.local.wall_ns, doc.target.wall_ns
+    ));
+    out.push_str(&format!(
+        "<tr><td>IPC</td><td>{:.4}</td><td>{:.4}</td></tr>\n",
+        doc.local.ipc, doc.target.ipc
+    ));
+    out.push_str(&format!(
+        "<tr><td>demand p99.9 (ns)</td><td>{}</td><td>{}</td></tr>\n",
+        ns_cell(doc.local.demand_lat.p999, doc.local.demand_lat.n),
+        ns_cell(doc.target.demand_lat.p999, doc.target.demand_lat.n)
+    ));
+    out.push_str(&format!(
+        "<tr><td>slowdown</td><td>-</td><td>{:.2}%</td></tr>\n",
+        doc.slowdown * 100.0
+    ));
+    out.push_str("</table>\n");
+
+    // Whole-run breakdown.
+    let b = &doc.breakdown;
+    out.push_str("<h2>Stall attribution (whole run)</h2>\n<table>\n<tr>");
+    for name in melody_spa::Breakdown::labels() {
+        out.push_str(&format!("<th>{name}</th>"));
+    }
+    out.push_str("<th>Total</th></tr>\n<tr>");
+    for v in b.values() {
+        out.push_str(&format!("<td>{:.2}%</td>", v * 100.0));
+    }
+    out.push_str(&format!(
+        "<td>{:.2}%</td></tr>\n</table>\n",
+        b.total * 100.0
+    ));
+
+    // Chart 1: loaded-latency curve.
+    out.push_str("<h2>Latency vs bandwidth</h2>\n");
+    let cfg = ChartConfig::new(
+        "Mean demand latency vs read bandwidth",
+        "read bandwidth (GB/s)",
+        "mean latency (ns)",
+    );
+    out.push_str(&line_chart(
+        &cfg,
+        &[
+            SeriesRef {
+                name: "local",
+                points: &doc.local.latency_bw,
+            },
+            SeriesRef {
+                name: "target",
+                points: &doc.target.latency_bw,
+            },
+        ],
+        &[],
+    ));
+
+    // Chart 2: stacked attribution timeline with fault/anomaly marks.
+    out.push_str("<h2>Attribution timeline</h2>\n");
+    let layer_names = melody_spa::Breakdown::labels();
+    let bars: Vec<StackedBar> = doc
+        .timeline
+        .iter()
+        .map(|w| StackedBar {
+            x: w.t_start_ns as f64 / 1_000.0,
+            values: w.breakdown.values().to_vec(),
+            note: Some(format!(
+                "w{}: {} (p99.9 {}, {} reads)",
+                w.index,
+                w.label,
+                ns_cell(w.p999_ns, w.reads),
+                w.reads
+            )),
+        })
+        .collect();
+    let mut marks: Vec<Mark> = doc
+        .timeline
+        .iter()
+        .filter(|w| !w.fault_events.is_empty())
+        .map(|w| Mark {
+            x: w.t_start_ns as f64 / 1_000.0,
+            label: w.fault_events[0].0.clone(),
+        })
+        .collect();
+    for a in &doc.anomalies {
+        if let Some(w) = doc.timeline.get(a.window) {
+            marks.push(Mark {
+                x: w.t_start_ns as f64 / 1_000.0,
+                label: format!("anomaly w{}", a.window),
+            });
+        }
+    }
+    let cfg = ChartConfig::new(
+        "Per-window stall attribution (S components)",
+        "target-run time (us)",
+        "slowdown share",
+    );
+    out.push_str(&stacked_bars(&cfg, &layer_names, &bars, &marks));
+
+    // Chart 3: tail-latency CDF on a log x axis.
+    out.push_str("<h2>Demand-latency CDF</h2>\n");
+    let log_cdf = |pts: &[(f64, f64)]| -> Vec<(f64, f64)> {
+        pts.iter()
+            .filter(|(ns, _)| *ns >= 1.0)
+            .map(|(ns, f)| (ns.log10(), *f))
+            .collect()
+    };
+    let local_cdf = log_cdf(&doc.local.lat_cdf);
+    let target_cdf = log_cdf(&doc.target.lat_cdf);
+    let cfg = ChartConfig::new(
+        "Demand-load latency CDF",
+        "log10(latency ns)",
+        "fraction of loads",
+    );
+    out.push_str(&line_chart(
+        &cfg,
+        &[
+            SeriesRef {
+                name: "local",
+                points: &local_cdf,
+            },
+            SeriesRef {
+                name: "target",
+                points: &target_cdf,
+            },
+        ],
+        &[],
+    ));
+
+    // Anomaly table.
+    out.push_str("<h2>Anomalies</h2>\n");
+    if doc.anomalies.is_empty() {
+        out.push_str("<p class=\"quiet\">No anomalous windows.</p>\n");
+    } else {
+        out.push_str(
+            "<table>\n<tr><th>window</th><th>span (ns)</th><th>p99.9 (ns)</th>\
+             <th>threshold (ns)</th><th>suspected causes</th></tr>\n",
+        );
+        for a in &doc.anomalies {
+            let span = doc
+                .timeline
+                .get(a.window)
+                .map(|w| format!("{}..{}", w.t_start_ns, w.t_end_ns))
+                .unwrap_or_else(|| "?".to_string());
+            let causes = if a.causes.is_empty() {
+                "none recorded".to_string()
+            } else {
+                a.causes
+                    .iter()
+                    .map(|(k, n)| format!("{k}&times;{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push_str(&format!(
+                "<tr class=\"anom\"><td>w{}</td><td>{}</td><td>{}</td>\
+                 <td>{:.0}</td><td>{}</td></tr>\n",
+                a.window, span, a.p999_ns, a.threshold_ns, causes
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+
+    // Per-window detail table.
+    out.push_str("<h2>Windows</h2>\n<table>\n");
+    out.push_str(
+        "<tr><th>w</th><th>start (ns)</th><th>label</th><th>S total</th>\
+         <th>reads</th><th>p99.9 (ns)</th><th>queue</th><th>row hit</th>\
+         <th>faults</th></tr>\n",
+    );
+    for w in &doc.timeline {
+        let anom = doc.anomalies.iter().any(|a| a.window == w.index);
+        let class = if anom {
+            " class=\"anom\""
+        } else if w.label == "quiet" {
+            " class=\"quiet\""
+        } else {
+            ""
+        };
+        let faults = w
+            .fault_events
+            .iter()
+            .map(|(k, n)| format!("{k}&times;{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "<tr{}><td>w{}</td><td>{}</td><td>{}</td><td>{:.2}%</td><td>{}</td>\
+             <td>{}</td><td>{:.0}%</td><td>{:.0}%</td><td>{}</td></tr>\n",
+            class,
+            w.index,
+            w.t_start_ns,
+            esc(&w.label),
+            w.breakdown.total * 100.0,
+            w.reads,
+            ns_cell(w.p999_ns, w.reads),
+            w.queue_frac * 100.0,
+            w.row_hit_frac * 100.0,
+            faults
+        ));
+    }
+    out.push_str("</table>\n");
+
+    out.push_str(&format!(
+        "<footer>workload {} (suite {}), seed {}, {} refs{}. {} trace event(s) \
+         dropped during capture. Generated by melody report; fully self-contained \
+         (no scripts, no external assets).</footer>\n",
+        esc(&m.workload),
+        esc(&m.suite),
+        m.seed,
+        m.mem_refs,
+        if m.faults.is_empty() {
+            String::new()
+        } else {
+            format!(", fault regime {}", esc(&m.faults))
+        },
+        doc.dropped_events
+    ));
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::Anomaly;
+    use crate::doc::{RunMeta, RunSummary, RUN_DOC_KIND};
+    use crate::timeline::AttributionWindow;
+    use melody_spa::Breakdown;
+
+    fn doc() -> RunDoc {
+        let window = |i: usize, label: &str, faults: Vec<(String, u64)>| AttributionWindow {
+            index: i,
+            t_start_ns: i as u64 * 1_000,
+            t_end_ns: (i as u64 + 1) * 1_000,
+            breakdown: Breakdown {
+                dram: 0.3,
+                total: 0.4,
+                l3: 0.1,
+                ..Default::default()
+            },
+            local_cycles: 900.0,
+            target_cycles: 1_300.0,
+            reads: 40,
+            p999_ns: if i == 2 { 9_000 } else { 400 },
+            queue_frac: 0.1,
+            row_hit_frac: 0.8,
+            lfb_full: 0,
+            fault_events: faults,
+            label: label.to_string(),
+        };
+        RunDoc {
+            kind: RUN_DOC_KIND.to_string(),
+            meta: RunMeta {
+                workload: "605.mcf<test>".into(),
+                suite: "SPEC".into(),
+                platform: "EMR-2S".into(),
+                local_device: "local-EMR".into(),
+                target_device: "CXL-B".into(),
+                seed: 42,
+                mem_refs: 30_000,
+                faults: "link-retrain".into(),
+            },
+            slowdown: 0.42,
+            breakdown: Breakdown {
+                dram: 0.3,
+                l3: 0.05,
+                total: 0.42,
+                ..Default::default()
+            },
+            local: RunSummary {
+                latency_bw: vec![(1.0, 250.0), (2.0, 300.0)],
+                lat_cdf: vec![(200.0, 0.5), (400.0, 1.0)],
+                ..Default::default()
+            },
+            target: RunSummary {
+                latency_bw: vec![(0.8, 450.0), (1.5, 600.0)],
+                lat_cdf: vec![(400.0, 0.5), (9_000.0, 1.0)],
+                ..Default::default()
+            },
+            timeline: vec![
+                window(0, "dram-bound", vec![]),
+                window(1, "quiet", vec![]),
+                window(2, "link-retry-storm", vec![("retrain".to_string(), 2)]),
+            ],
+            anomalies: vec![Anomaly {
+                window: 2,
+                p999_ns: 9_000,
+                baseline_ns: 400.0,
+                threshold_ns: 650.0,
+                causes: vec![("retrain".to_string(), 2)],
+            }],
+            dropped_events: 0,
+            telemetry: Default::default(),
+        }
+    }
+
+    #[test]
+    fn report_is_self_contained() {
+        let html = render_run_html(&doc());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        // Three inline charts, no scripts, no external fetches.
+        assert_eq!(html.matches("<svg").count(), 3);
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("href"));
+        assert!(!html.contains("src="));
+        // The only URL is the SVG namespace declaration.
+        assert_eq!(
+            html.matches("http").count(),
+            html.matches("xmlns=\"http://www.w3.org/2000/svg\"").count()
+        );
+    }
+
+    #[test]
+    fn report_shows_anomalies_faults_and_escapes() {
+        let html = render_run_html(&doc());
+        assert!(html.contains("anomaly w2"), "anomaly mark on the timeline");
+        assert!(html.contains("retrain&times;2"), "fault counts rendered");
+        assert!(html.contains("605.mcf&lt;test&gt;"), "workload escaped");
+        assert!(html.contains("link-retry-storm"));
+        assert!(html.contains("fault regime link-retrain"));
+    }
+
+    #[test]
+    fn identical_documents_render_identical_bytes() {
+        assert_eq!(render_run_html(&doc()), render_run_html(&doc()));
+    }
+
+    #[test]
+    fn empty_document_renders_na_not_panic() {
+        let d = RunDoc {
+            kind: RUN_DOC_KIND.to_string(),
+            meta: RunMeta::default(),
+            slowdown: 0.0,
+            breakdown: Breakdown::default(),
+            local: RunSummary::default(),
+            target: RunSummary::default(),
+            timeline: Vec::new(),
+            anomalies: Vec::new(),
+            dropped_events: 0,
+            telemetry: Default::default(),
+        };
+        let html = render_run_html(&d);
+        assert!(html.contains("n/a (no data)"), "empty charts degrade");
+        assert!(html.contains("<td>n/a</td>"), "empty percentiles are n/a");
+        assert!(html.contains("No anomalous windows"));
+    }
+}

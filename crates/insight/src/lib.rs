@@ -1,0 +1,44 @@
+//! Online Spa insight engine.
+//!
+//! The paper's offline analyses — the Eq. 8 stall breakdown
+//! ([`melody_spa::breakdown`]), the §5.6 period-based view
+//! ([`melody_spa::period`]), the tail-latency characterization — become
+//! *operational* here: this crate turns one instrumented run pair into a
+//! reviewable artifact and keeps regressions from slipping past CI.
+//!
+//! Four layers, all deterministic (byte-identical output across
+//! `--jobs` settings, like the rest of the workspace):
+//!
+//! - [`timeline`]: a windowed **attribution timeline** — the run pair's
+//!   counter samples re-binned onto instruction periods (reusing the
+//!   §5.6 alignment), each window carrying its own stall [`Breakdown`],
+//!   tail latency, and a dominant-bottleneck label derived from the
+//!   correlated trace events (queueing-bound, link-retry storm,
+//!   row-miss thrash, MLP-limited, …).
+//! - [`anomaly`]: a robust **tail-latency anomaly detector** — windows
+//!   whose p99.9 departs more than `k · MAD` from the run's baseline
+//!   are flagged, with co-occurring fault/congestion events attached as
+//!   suspected causes.
+//! - [`diff`]: tolerance-aware structural **run diffing** over two
+//!   `--json` documents, with a machine-readable verdict and a human
+//!   delta table; exit-code friendly for CI gates.
+//! - [`html`]: a **self-contained HTML report** (inline SVG via
+//!   [`melody_stats::svg`], no external assets) with the latency-vs-
+//!   bandwidth curve, the stacked attribution timeline, and the
+//!   tail-latency CDF.
+//!
+//! [`Breakdown`]: melody_spa::Breakdown
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod diff;
+pub mod doc;
+pub mod html;
+pub mod timeline;
+
+pub use anomaly::{detect_anomalies, Anomaly};
+pub use diff::{diff_values, render_delta_table, DiffOptions, DiffVerdict};
+pub use doc::{build_run_doc, RunDoc, RunMeta, RunSummary};
+pub use html::render_run_html;
+pub use timeline::{attribution_timeline, AttributionWindow, BottleneckLabel, InsightConfig};

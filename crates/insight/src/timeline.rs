@@ -1,0 +1,485 @@
+//! Windowed online stall attribution with bottleneck labelling.
+//!
+//! Re-bins a run pair's cadence counter snapshots onto fixed
+//! instruction-count windows via [`melody_spa::period::analyze`] (the
+//! §5.6 alignment rule), then correlates each window with the trace
+//! events that fell inside it — demand-read latencies, queueing shares,
+//! row-buffer hit rates, and fault activity — to produce a per-window
+//! [`Breakdown`] plus a dominant-bottleneck label.
+//!
+//! Everything is a pure function of the inputs: windows, labels, and
+//! serialized output are byte-identical across `--jobs` settings.
+
+use melody_cpu::CounterSample;
+use melody_spa::period::analyze;
+use melody_spa::Breakdown;
+use melody_stats::LatencyHistogram;
+use melody_telemetry::{EventKind, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for timeline construction and anomaly detection.
+#[derive(Debug, Clone)]
+pub struct InsightConfig {
+    /// Target number of timeline windows (the run's instruction total is
+    /// divided into this many periods, subject to the minimum below).
+    pub windows: usize,
+    /// Smallest permitted window, in retired instructions.
+    pub min_period_instructions: u64,
+    /// Anomaly threshold: a window is flagged when its p99.9 exceeds
+    /// the run baseline by more than `k` robust deviations (MAD).
+    pub anomaly_k: f64,
+}
+
+impl Default for InsightConfig {
+    fn default() -> Self {
+        Self {
+            windows: 24,
+            min_period_instructions: 1_000,
+            anomaly_k: 4.0,
+        }
+    }
+}
+
+/// Dominant-bottleneck classification of one attribution window.
+///
+/// Ordered by diagnostic specificity: event-derived regimes (retry
+/// storms, MLP saturation, queueing) are reported before the plain
+/// "which stall component dominates" fallbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BottleneckLabel {
+    /// Slowdown below the noise floor; nothing to attribute.
+    Quiet,
+    /// Link retraining windows or a burst of CRC replays dominated.
+    LinkRetryStorm,
+    /// The line-fill buffer saturated: memory-level parallelism, not
+    /// device latency, is the limiter.
+    MlpLimited,
+    /// Device queueing contributed an outsized share of access latency.
+    QueueingBound,
+    /// Row-buffer locality collapsed while DRAM stalls dominate.
+    RowMissThrash,
+    /// DRAM/CXL-level stalls dominate the window's slowdown.
+    DramBound,
+    /// L3 stalls dominate.
+    L3Bound,
+    /// L2 stalls dominate.
+    L2Bound,
+    /// L1 stalls dominate.
+    L1Bound,
+    /// Store-bound stalls dominate.
+    StoreBound,
+    /// Core (port/scoreboard) pressure dominates.
+    CoreBound,
+    /// Unattributed residual dominates.
+    OtherBound,
+}
+
+impl BottleneckLabel {
+    /// Stable kebab-case name used in JSON documents and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BottleneckLabel::Quiet => "quiet",
+            BottleneckLabel::LinkRetryStorm => "link-retry-storm",
+            BottleneckLabel::MlpLimited => "mlp-limited",
+            BottleneckLabel::QueueingBound => "queueing-bound",
+            BottleneckLabel::RowMissThrash => "row-miss-thrash",
+            BottleneckLabel::DramBound => "dram-bound",
+            BottleneckLabel::L3Bound => "l3-bound",
+            BottleneckLabel::L2Bound => "l2-bound",
+            BottleneckLabel::L1Bound => "l1-bound",
+            BottleneckLabel::StoreBound => "store-bound",
+            BottleneckLabel::CoreBound => "core-bound",
+            BottleneckLabel::OtherBound => "other-bound",
+        }
+    }
+}
+
+/// One attribution window: an instruction period mapped back onto
+/// target-run time, with its stall breakdown, correlated event
+/// statistics, and bottleneck label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributionWindow {
+    /// Zero-based window index.
+    pub index: usize,
+    /// Window start in target-run simulated time, ns.
+    pub t_start_ns: u64,
+    /// Window end in target-run simulated time, ns.
+    pub t_end_ns: u64,
+    /// The window's differential-stall breakdown (Eq. 8, per window).
+    pub breakdown: Breakdown,
+    /// Baseline (local) cycles binned into this window.
+    pub local_cycles: f64,
+    /// Target cycles binned into this window.
+    pub target_cycles: f64,
+    /// Demand reads completing in the window.
+    pub reads: u64,
+    /// p99.9 of the window's demand-read device latencies, ns (0 when
+    /// no reads completed — render as n/a).
+    pub p999_ns: u64,
+    /// Queueing share of demand-read latency (0..=1).
+    pub queue_frac: f64,
+    /// Row-buffer hit fraction over read traffic (0..=1; 0 when no
+    /// reads).
+    pub row_hit_frac: f64,
+    /// Line-fill-buffer-full (MLP blocked) events in the window.
+    pub lfb_full: u64,
+    /// Fault-category event counts in the window, sorted by count
+    /// descending then name — the anomaly detector's suspected causes.
+    pub fault_events: Vec<(String, u64)>,
+    /// Dominant-bottleneck label ([`BottleneckLabel::name`]).
+    pub label: String,
+}
+
+/// Per-window event accumulator.
+#[derive(Default)]
+struct WindowStats {
+    reads: u64,
+    read_dur_ps: u64,
+    read_queue_ps: u64,
+    row_lookups: u64,
+    row_hits: u64,
+    lfb_full: u64,
+    retrains: u64,
+    retries: u64,
+    congestion: u64,
+    refresh: u64,
+    thermal: u64,
+    poison: u64,
+    hist: LatencyHistogram,
+}
+
+impl WindowStats {
+    fn fault_events(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = [
+            ("retrain", self.retrains),
+            ("link_retry", self.retries),
+            ("congestion", self.congestion),
+            ("refresh_storm", self.refresh),
+            ("thermal_throttle", self.thermal),
+            ("poison_ue", self.poison),
+        ]
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(k, n)| (k.to_string(), *n))
+        .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Classifies one window. The order is intentional: specific
+/// event-derived regimes win over generic component dominance.
+fn classify(b: &Breakdown, s: &WindowStats) -> BottleneckLabel {
+    if b.total < 0.05 {
+        return BottleneckLabel::Quiet;
+    }
+    if s.retrains > 0 || s.retries >= (s.reads / 25).max(3) {
+        return BottleneckLabel::LinkRetryStorm;
+    }
+    if s.lfb_full >= (s.reads / 8).max(8) {
+        return BottleneckLabel::MlpLimited;
+    }
+    let queue_frac = if s.read_dur_ps > 0 {
+        s.read_queue_ps as f64 / s.read_dur_ps as f64
+    } else {
+        0.0
+    };
+    if queue_frac > 0.35 {
+        return BottleneckLabel::QueueingBound;
+    }
+    // Dominant exclusive component, clamped at zero (components can dip
+    // negative from proportional-splitting noise).
+    let comps = [
+        (b.dram.max(0.0), BottleneckLabel::DramBound),
+        (b.l3.max(0.0), BottleneckLabel::L3Bound),
+        (b.l2.max(0.0), BottleneckLabel::L2Bound),
+        (b.l1.max(0.0), BottleneckLabel::L1Bound),
+        (b.store.max(0.0), BottleneckLabel::StoreBound),
+        (b.core.max(0.0), BottleneckLabel::CoreBound),
+        (b.other.max(0.0), BottleneckLabel::OtherBound),
+    ];
+    let (_, dominant) =
+        comps
+            .iter()
+            .fold((f64::MIN, BottleneckLabel::OtherBound), |acc, &(v, l)| {
+                if v > acc.0 {
+                    (v, l)
+                } else {
+                    acc
+                }
+            });
+    if dominant == BottleneckLabel::DramBound && s.row_lookups > 0 {
+        let row_hit = s.row_hits as f64 / s.row_lookups as f64;
+        if row_hit < 0.35 {
+            return BottleneckLabel::RowMissThrash;
+        }
+    }
+    dominant
+}
+
+/// Builds the attribution timeline for one run pair.
+///
+/// `local`/`target` are the two runs' cumulative counter snapshots (the
+/// telemetry-cadence samples), `events` is the **target** run's trace,
+/// and `target_wall_ns` its simulated duration. The instruction total is
+/// divided into `cfg.windows` periods (clamped to
+/// `cfg.min_period_instructions`); each period's breakdown comes from
+/// the §5.6 alignment, and its time span on the target run — needed to
+/// correlate trace events — is reconstructed from the per-period target
+/// cycle weights.
+///
+/// Returns an empty timeline when either sample set is empty.
+pub fn attribution_timeline(
+    local: &[CounterSample],
+    target: &[CounterSample],
+    events: &[TraceEvent],
+    target_wall_ns: u64,
+    cfg: &InsightConfig,
+) -> Vec<AttributionWindow> {
+    let (Some(l_last), Some(t_last)) = (local.last(), target.last()) else {
+        return Vec::new();
+    };
+    let total_instr = l_last
+        .counters
+        .instructions
+        .min(t_last.counters.instructions);
+    if total_instr == 0 {
+        return Vec::new();
+    }
+    let windows = cfg.windows.max(1) as u64;
+    let period = (total_instr / windows).max(cfg.min_period_instructions.max(1));
+    let pa = analyze(local, target, period);
+    let n = pa.periods.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Map instruction windows onto target time by cumulative target
+    // cycles (equal division if the cycle weights are degenerate).
+    let total_tc: f64 = pa.target_cycles.iter().sum();
+    let mut bounds_ns = Vec::with_capacity(n + 1);
+    bounds_ns.push(0.0f64);
+    let mut cum = 0.0;
+    for i in 0..n {
+        if total_tc > 0.0 {
+            cum += pa.target_cycles[i];
+            bounds_ns.push(target_wall_ns as f64 * cum / total_tc);
+        } else {
+            bounds_ns.push(target_wall_ns as f64 * (i + 1) as f64 / n as f64);
+        }
+    }
+
+    // Correlate events: each event lands in the window containing its
+    // start time (end-exclusive boundaries; the final window also takes
+    // anything at or past the last boundary).
+    let mut stats: Vec<WindowStats> = (0..n).map(|_| WindowStats::default()).collect();
+    for e in events {
+        let t = e.ts_ps as f64 / 1_000.0;
+        // First boundary strictly greater than t, minus one.
+        let idx = match bounds_ns[1..].iter().position(|&b| t < b) {
+            Some(i) => i,
+            None => n - 1,
+        };
+        let s = &mut stats[idx];
+        match e.kind {
+            EventKind::DemandRead => {
+                s.reads += 1;
+                s.read_dur_ps += e.dur_ps;
+                s.read_queue_ps += e.a;
+                s.row_lookups += 1;
+                s.row_hits += e.b;
+                s.hist.record((e.dur_ps / 1_000).max(1));
+            }
+            EventKind::PrefetchRead => {
+                s.row_lookups += 1;
+                s.row_hits += e.b;
+            }
+            EventKind::Write => {}
+            EventKind::LinkRetry => s.retries += 1,
+            EventKind::Congestion => s.congestion += 1,
+            EventKind::ThermalThrottle => s.thermal += 1,
+            EventKind::Retrain => s.retrains += 1,
+            EventKind::RefreshStorm => s.refresh += 1,
+            EventKind::PoisonUe => s.poison += 1,
+            EventKind::MceRecovery | EventKind::LoadStall | EventKind::CellStart => {}
+            EventKind::LfbFull => s.lfb_full += 1,
+        }
+    }
+
+    (0..n)
+        .map(|i| {
+            let s = &stats[i];
+            let b = pa.periods[i];
+            let queue_frac = if s.read_dur_ps > 0 {
+                s.read_queue_ps as f64 / s.read_dur_ps as f64
+            } else {
+                0.0
+            };
+            let row_hit_frac = if s.row_lookups > 0 {
+                s.row_hits as f64 / s.row_lookups as f64
+            } else {
+                0.0
+            };
+            AttributionWindow {
+                index: i,
+                t_start_ns: bounds_ns[i].round() as u64,
+                t_end_ns: bounds_ns[i + 1].round() as u64,
+                breakdown: b,
+                local_cycles: pa.local_cycles[i],
+                target_cycles: pa.target_cycles[i],
+                reads: s.reads,
+                p999_ns: if s.hist.is_empty() {
+                    0
+                } else {
+                    s.hist.percentile(99.9)
+                },
+                queue_frac,
+                row_hit_frac,
+                lfb_full: s.lfb_full,
+                fault_events: s.fault_events(),
+                label: classify(&b, s).name().to_string(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melody_cpu::CounterSet;
+
+    fn samples(instr_per_sample: u64, cycle_deltas: &[u64], p5_frac: f64) -> Vec<CounterSample> {
+        let mut out = Vec::new();
+        let mut acc = CounterSet::default();
+        let mut t = 0;
+        for &dc in cycle_deltas {
+            acc.instructions += instr_per_sample;
+            acc.cycles += dc;
+            let stall = (dc as f64 * p5_frac) as u64;
+            acc.retired_stalls += stall;
+            acc.bound_on_loads += stall;
+            acc.stalls_l1d_miss += stall;
+            acc.stalls_l2_miss += stall;
+            acc.stalls_l3_miss += stall;
+            t += 1_000;
+            out.push(CounterSample {
+                time_ns: t,
+                counters: acc,
+            });
+        }
+        out
+    }
+
+    fn ev(kind: EventKind, ts_ns: u64, dur_ns: u64, a: u64, b: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ps: ts_ns * 1_000,
+            dur_ps: dur_ns * 1_000,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_quiet() {
+        let local = samples(1_000, &[1_000; 10], 0.2);
+        let target = samples(1_000, &[1_000; 10], 0.2);
+        let cfg = InsightConfig {
+            windows: 5,
+            ..Default::default()
+        };
+        let tl = attribution_timeline(&local, &target, &[], 10_000, &cfg);
+        assert_eq!(tl.len(), 5);
+        for w in &tl {
+            assert_eq!(w.label, "quiet", "window {w:?}");
+            assert!(w.breakdown.total.abs() < 1e-9);
+        }
+        // Windows tile [0, wall_ns] without gaps.
+        assert_eq!(tl[0].t_start_ns, 0);
+        assert_eq!(tl.last().unwrap().t_end_ns, 10_000);
+        for p in tl.windows(2) {
+            assert_eq!(p[0].t_end_ns, p[1].t_start_ns);
+        }
+    }
+
+    #[test]
+    fn retrain_events_label_a_retry_storm() {
+        let local = samples(1_000, &[1_000; 10], 0.2);
+        let target = samples(1_000, &[1_600; 10], 0.45);
+        let cfg = InsightConfig {
+            windows: 5,
+            ..Default::default()
+        };
+        // Wall = 16 µs over 5 uniform windows of 3.2 µs; a retrain at
+        // 7 µs lands in window 2.
+        let events = vec![ev(EventKind::Retrain, 7_000, 8_000, 8_000_000, 0)];
+        let tl = attribution_timeline(&local, &target, &events, 16_000, &cfg);
+        assert_eq!(tl[2].label, "link-retry-storm");
+        assert_eq!(tl[2].fault_events, vec![("retrain".to_string(), 1)]);
+        for (i, w) in tl.iter().enumerate() {
+            if i != 2 {
+                assert_ne!(w.label, "link-retry-storm", "window {i}");
+                assert!(w.fault_events.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn demand_reads_feed_window_tails_and_queueing() {
+        let local = samples(1_000, &[1_000; 4], 0.2);
+        let target = samples(1_000, &[1_500; 4], 0.45);
+        let cfg = InsightConfig {
+            windows: 2,
+            ..Default::default()
+        };
+        // Window 0: fast reads, no queueing. Window 1: slow, 60% queued.
+        let mut events = Vec::new();
+        for i in 0..40 {
+            events.push(ev(EventKind::DemandRead, 10 + i, 200, 0, 1));
+        }
+        for i in 0..40 {
+            events.push(TraceEvent {
+                ts_ps: (3_000 + i) * 1_000,
+                dur_ps: 1_000_000,
+                kind: EventKind::DemandRead,
+                a: 600_000,
+                b: 0,
+            });
+        }
+        let tl = attribution_timeline(&local, &target, &events, 6_000, &cfg);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].reads, 40);
+        assert!(tl[0].p999_ns <= 250, "fast window tail: {}", tl[0].p999_ns);
+        assert!(tl[1].p999_ns >= 900, "slow window tail: {}", tl[1].p999_ns);
+        assert!(tl[1].queue_frac > 0.5);
+        assert_eq!(tl[1].label, "queueing-bound");
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_timeline() {
+        let cfg = InsightConfig::default();
+        assert!(attribution_timeline(&[], &[], &[], 0, &cfg).is_empty());
+        let s = samples(1_000, &[1_000; 2], 0.2);
+        assert!(attribution_timeline(&s, &[], &[], 0, &cfg).is_empty());
+    }
+
+    #[test]
+    fn timeline_is_deterministic() {
+        let local = samples(500, &[900, 1_100, 1_000, 950], 0.25);
+        let target = samples(500, &[1_400, 1_450, 1_500, 1_350], 0.4);
+        let events = vec![
+            ev(EventKind::DemandRead, 100, 1, 200, 1),
+            ev(EventKind::LinkRetry, 2_000, 0, 120_000, 0),
+        ];
+        let cfg = InsightConfig {
+            windows: 4,
+            ..Default::default()
+        };
+        let a = attribution_timeline(&local, &target, &events, 5_700, &cfg);
+        let b = attribution_timeline(&local, &target, &events, 5_700, &cfg);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}

@@ -16,6 +16,9 @@
 //! - Period-based analysis (§5.6, Figure 16): converting 1 ms time
 //!   samples into fixed instruction-count periods with proportional
 //!   boundary splitting — see [`period`].
+//! - Streaming/windowed breakdown: the online counterpart of the period
+//!   analysis, emitting each aligned window's breakdown as soon as both
+//!   runs retire past its boundary — see [`BreakdownStream`].
 //!
 //! # Example
 //!
@@ -41,7 +44,9 @@ mod estimate;
 pub mod period;
 pub mod predict;
 pub mod prefetch;
+mod stream;
 
 pub use accuracy::{accuracy, AccuracyReport};
 pub use estimate::{breakdown, estimates, Breakdown, SlowdownEstimates};
 pub use predict::{evaluate, predict_slowdown, DeviceProfile, Measurement, PredictionQuality};
+pub use stream::{BreakdownStream, StreamWindow};

@@ -68,6 +68,10 @@ pub struct PeriodAnalysis {
     pub periods: Vec<Breakdown>,
     /// Baseline (local) cycles per period, for weighting.
     pub local_cycles: Vec<f64>,
+    /// Target (CXL) cycles per period — maps instruction periods back to
+    /// target-run time so windowed views can correlate trace events.
+    #[serde(default)]
+    pub target_cycles: Vec<f64>,
 }
 
 impl PeriodAnalysis {
@@ -128,6 +132,7 @@ pub fn analyze(
             period_instructions,
             periods: Vec::new(),
             local_cycles: Vec::new(),
+            target_cycles: Vec::new(),
         };
     }
     let l = bin_run(local, period_instructions);
@@ -135,9 +140,11 @@ pub fn analyze(
     let n = l.cycles.len().min(x.cycles.len());
     let mut periods = Vec::with_capacity(n);
     let mut local_cycles = Vec::with_capacity(n);
+    let mut target_cycles = Vec::with_capacity(n);
     for i in 0..n {
         let c = l.cycles[i];
         local_cycles.push(c.max(0.0));
+        target_cycles.push(x.cycles[i].max(0.0));
         if c <= 0.0 {
             periods.push(Breakdown::default());
             continue;
@@ -175,6 +182,7 @@ pub fn analyze(
         period_instructions,
         periods,
         local_cycles,
+        target_cycles,
     }
 }
 

@@ -1,0 +1,358 @@
+//! Streaming/windowed breakdown: the online counterpart of
+//! [`crate::period::analyze`].
+//!
+//! The batch analysis re-bins two *complete* runs' counter samples onto
+//! instruction periods. The insight layer instead consumes cadence
+//! snapshots as they arrive (local and target runs interleaved or
+//! separate) and wants each aligned window's [`Breakdown`] as soon as
+//! *both* runs have retired past the window's instruction boundary.
+//! [`BreakdownStream`] keeps per-run incremental binners that apply the
+//! same proportional boundary-splitting rule as
+//! `TimeSeries::rebin_by_cumulative` (§5.6: "partial time-based sampling
+//! results are proportionally adjusted"), so the emitted prefix is
+//! identical to what the batch analysis would produce over the same
+//! samples.
+
+use melody_cpu::CounterSample;
+use serde::{Deserialize, Serialize};
+
+use crate::estimate::Breakdown;
+use crate::period::PeriodAnalysis;
+
+/// Counter channels binned per run: cycles, P1..P5, core-stall proxy.
+const CH: usize = 7;
+
+/// One run's incremental instruction-period binner.
+#[derive(Debug, Clone)]
+struct RunBinner {
+    period: f64,
+    /// Cumulative instructions consumed so far.
+    pace: f64,
+    /// Previous cumulative counter values (instructions + channels).
+    prev_instructions: u64,
+    prev: [u64; CH],
+    /// Per-period channel sums (fractional from boundary splitting).
+    bins: Vec<[f64; CH]>,
+}
+
+impl RunBinner {
+    fn new(period_instructions: u64) -> Self {
+        Self {
+            period: period_instructions as f64,
+            pace: 0.0,
+            prev_instructions: 0,
+            prev: [0; CH],
+            bins: Vec::new(),
+        }
+    }
+
+    fn channels(s: &CounterSample) -> [u64; CH] {
+        let c = &s.counters;
+        [
+            c.cycles,
+            c.bound_on_loads,
+            c.bound_on_stores,
+            c.stalls_l1d_miss,
+            c.stalls_l2_miss,
+            c.stalls_l3_miss,
+            c.ports_1_util + c.ports_2_util + c.stalls_scoreboard,
+        ]
+    }
+
+    fn grow_to(&mut self, idx: usize) {
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, [0.0; CH]);
+        }
+    }
+
+    /// Folds one cumulative sample in, distributing its deltas over the
+    /// instruction periods it spans — the exact rule of
+    /// `TimeSeries::rebin_by_cumulative`, applied sample-at-a-time.
+    fn push(&mut self, s: &CounterSample) {
+        let cur = Self::channels(s);
+        let mut vals = [0.0f64; CH];
+        for i in 0..CH {
+            vals[i] = cur[i].saturating_sub(self.prev[i]) as f64;
+            self.prev[i] = cur[i];
+        }
+        let dp = s
+            .counters
+            .instructions
+            .saturating_sub(self.prev_instructions) as f64;
+        self.prev_instructions = s.counters.instructions;
+
+        if dp == 0.0 {
+            // No pace progress: attribute to the current period.
+            let bin = (self.pace / self.period) as usize;
+            self.grow_to(bin);
+            for (b, v) in self.bins[bin].iter_mut().zip(vals) {
+                *b += v;
+            }
+            return;
+        }
+        let start = self.pace;
+        let end = start + dp;
+        let first = (start / self.period) as usize;
+        // End-exclusive: pace exactly on a boundary belongs to the
+        // earlier bin (mirrors rebin_by_cumulative).
+        let last = ((end - f64::EPSILON * end.abs()) / self.period).max(0.0) as usize;
+        self.grow_to(last.max(first));
+        if first == last {
+            for (b, v) in self.bins[first].iter_mut().zip(vals) {
+                *b += v;
+            }
+        } else {
+            for idx in first..=last {
+                let lo = (idx as f64 * self.period).max(start);
+                let hi = ((idx + 1) as f64 * self.period).min(end);
+                let frac = ((hi - lo) / dp).clamp(0.0, 1.0);
+                for (b, v) in self.bins[idx].iter_mut().zip(vals) {
+                    *b += v * frac;
+                }
+            }
+        }
+        self.pace = end;
+    }
+
+    /// Number of periods no future sample can still touch.
+    fn complete(&self) -> usize {
+        ((self.pace / self.period) as usize).min(self.bins.len())
+    }
+}
+
+/// A breakdown window emitted by [`BreakdownStream::poll`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamWindow {
+    /// Zero-based instruction-period index.
+    pub index: usize,
+    /// The window's differential-stall breakdown.
+    pub breakdown: Breakdown,
+    /// Baseline (local) cycles binned into the window.
+    pub local_cycles: f64,
+    /// Target cycles binned into the window.
+    pub target_cycles: f64,
+}
+
+/// Online windowed breakdown over two incrementally-sampled runs.
+///
+/// Feed cumulative [`CounterSample`]s with [`push_local`] /
+/// [`push_target`] in run order; [`poll`] returns the newly *complete*
+/// aligned windows (both runs past the window's instruction boundary),
+/// each with its own [`Breakdown`]. [`finish`] closes the stream and
+/// returns the full [`PeriodAnalysis`], including the final partial
+/// periods — equal to running [`crate::period::analyze`] on the same
+/// sample vectors.
+///
+/// [`push_local`]: BreakdownStream::push_local
+/// [`push_target`]: BreakdownStream::push_target
+/// [`poll`]: BreakdownStream::poll
+/// [`finish`]: BreakdownStream::finish
+#[derive(Debug, Clone)]
+pub struct BreakdownStream {
+    period_instructions: u64,
+    local: RunBinner,
+    target: RunBinner,
+    emitted: usize,
+}
+
+fn window_breakdown(l: &[f64; CH], x: &[f64; CH]) -> Breakdown {
+    let c = l[0];
+    if c <= 0.0 {
+        return Breakdown::default();
+    }
+    let ex = |hi: f64, lo: f64| (hi - lo).max(0.0);
+    let store = (x[2] - l[2]) / c;
+    let l1 = (ex(x[1], x[3]) - ex(l[1], l[3])) / c;
+    let l2 = (ex(x[3], x[4]) - ex(l[3], l[4])) / c;
+    let l3 = (ex(x[4], x[5]) - ex(l[4], l[5])) / c;
+    let dram = (x[5] - l[5]) / c;
+    let core = (x[6] - l[6]) / c;
+    let total = (x[0] - c) / c;
+    let other = total - (store + l1 + l2 + l3 + dram + core);
+    Breakdown {
+        store,
+        l1,
+        l2,
+        l3,
+        dram,
+        core,
+        other,
+        total,
+    }
+}
+
+impl BreakdownStream {
+    /// Creates a stream with the given instruction-period length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_instructions` is zero.
+    pub fn new(period_instructions: u64) -> Self {
+        assert!(period_instructions > 0, "period must be positive");
+        Self {
+            period_instructions,
+            local: RunBinner::new(period_instructions),
+            target: RunBinner::new(period_instructions),
+            emitted: 0,
+        }
+    }
+
+    /// Folds in the next baseline-run counter snapshot (cumulative).
+    pub fn push_local(&mut self, s: &CounterSample) {
+        self.local.push(s);
+    }
+
+    /// Folds in the next target-run counter snapshot (cumulative).
+    pub fn push_target(&mut self, s: &CounterSample) {
+        self.target.push(s);
+    }
+
+    /// Windows emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Returns the windows that became complete since the last poll, in
+    /// index order.
+    pub fn poll(&mut self) -> Vec<StreamWindow> {
+        let ready = self.local.complete().min(self.target.complete());
+        let mut out = Vec::new();
+        while self.emitted < ready {
+            let i = self.emitted;
+            let l = &self.local.bins[i];
+            let x = &self.target.bins[i];
+            out.push(StreamWindow {
+                index: i,
+                breakdown: window_breakdown(l, x),
+                local_cycles: l[0].max(0.0),
+                target_cycles: x[0].max(0.0),
+            });
+            self.emitted += 1;
+        }
+        out
+    }
+
+    /// Closes the stream: every binned period (including the final,
+    /// possibly partial ones) becomes a [`PeriodAnalysis`] entry, exactly
+    /// as the batch [`crate::period::analyze`] would produce.
+    pub fn finish(self) -> PeriodAnalysis {
+        let n = self.local.bins.len().min(self.target.bins.len());
+        let mut periods = Vec::with_capacity(n);
+        let mut local_cycles = Vec::with_capacity(n);
+        let mut target_cycles = Vec::with_capacity(n);
+        for i in 0..n {
+            let l = &self.local.bins[i];
+            let x = &self.target.bins[i];
+            periods.push(window_breakdown(l, x));
+            local_cycles.push(l[0].max(0.0));
+            target_cycles.push(x[0].max(0.0));
+        }
+        PeriodAnalysis {
+            period_instructions: self.period_instructions,
+            periods,
+            local_cycles,
+            target_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::period::analyze;
+    use melody_cpu::CounterSet;
+
+    /// Cumulative samples with per-sample instruction and cycle deltas
+    /// plus a DRAM-stall fraction (mirrors period.rs's fixture).
+    fn samples(instr_per_sample: u64, cycle_deltas: &[u64], p5_frac: f64) -> Vec<CounterSample> {
+        let mut out = Vec::new();
+        let mut acc = CounterSet::default();
+        let mut t = 0;
+        for &dc in cycle_deltas {
+            acc.instructions += instr_per_sample;
+            acc.cycles += dc;
+            let stall = (dc as f64 * p5_frac) as u64;
+            acc.retired_stalls += stall;
+            acc.bound_on_loads += stall;
+            acc.stalls_l1d_miss += stall;
+            acc.stalls_l2_miss += stall;
+            acc.stalls_l3_miss += stall;
+            t += 1_000;
+            out.push(CounterSample {
+                time_ns: t,
+                counters: acc,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_matches_batch_analysis() {
+        let local = samples(100, &[1_000, 1_200, 900, 1_100, 1_000, 1_050], 0.2);
+        let cxl = samples(50, &[700; 12], 0.4);
+        let batch = analyze(&local, &cxl, 150);
+
+        let mut s = BreakdownStream::new(150);
+        for l in &local {
+            s.push_local(l);
+        }
+        let mut streamed = Vec::new();
+        for x in &cxl {
+            s.push_target(x);
+            streamed.extend(s.poll());
+        }
+        let fin = s.finish();
+        assert_eq!(fin.periods.len(), batch.periods.len());
+        for (a, b) in fin.periods.iter().zip(&batch.periods) {
+            assert!((a.total - b.total).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!((a.dram - b.dram).abs() < 1e-9);
+            assert!((a.other - b.other).abs() < 1e-9);
+        }
+        for (a, b) in fin.local_cycles.iter().zip(&batch.local_cycles) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in fin.target_cycles.iter().zip(&batch.target_cycles) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // Every polled window is a prefix entry of the batch result.
+        for w in &streamed {
+            let b = &batch.periods[w.index];
+            assert!((w.breakdown.total - b.total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn poll_emits_only_complete_aligned_windows() {
+        let local = samples(100, &[1_000; 10], 0.2);
+        let cxl = samples(100, &[1_500; 10], 0.45);
+        let mut s = BreakdownStream::new(200);
+        // Local fully pushed, target not yet: nothing is aligned.
+        for l in &local {
+            s.push_local(l);
+        }
+        assert!(s.poll().is_empty());
+        // Push 3 target samples (300 instructions = 1.5 windows): exactly
+        // one window is complete on both sides.
+        for x in &cxl[..3] {
+            s.push_target(x);
+        }
+        let w = s.poll();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].index, 0);
+        assert!((w[0].breakdown.total - 0.5).abs() < 1e-9);
+        assert_eq!(s.emitted(), 1);
+        // Draining the rest emits the remaining aligned windows once.
+        for x in &cxl[3..] {
+            s.push_target(x);
+        }
+        let rest = s.poll();
+        assert_eq!(rest.len(), 4);
+        assert!(s.poll().is_empty(), "no double emission");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = BreakdownStream::new(0);
+    }
+}

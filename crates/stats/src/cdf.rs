@@ -54,19 +54,23 @@ impl Cdf {
 
     /// Value at quantile `q` (0..=1) with linear interpolation.
     ///
-    /// # Panics
-    ///
-    /// Panics on an empty CDF.
+    /// Returns 0.0 on an empty CDF so render paths degrade to a blank
+    /// point instead of panicking (check [`Cdf::is_empty`] to show
+    /// `n/a`).
     pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
         percentile_sorted(&self.sorted, q * 100.0)
     }
 
     /// Value at percentile `p` (0..=100).
     ///
-    /// # Panics
-    ///
-    /// Panics on an empty CDF.
+    /// Returns 0.0 on an empty CDF (see [`Cdf::quantile`]).
     pub fn percentile(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
         percentile_sorted(&self.sorted, p)
     }
 
@@ -89,22 +93,14 @@ impl Cdf {
             .collect()
     }
 
-    /// Minimum sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty CDF.
+    /// Minimum sample, or 0.0 when empty.
     pub fn min(&self) -> f64 {
-        *self.sorted.first().expect("min of empty CDF")
+        self.sorted.first().copied().unwrap_or(0.0)
     }
 
-    /// Maximum sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty CDF.
+    /// Maximum sample, or 0.0 when empty.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("max of empty CDF")
+        self.sorted.last().copied().unwrap_or(0.0)
     }
 
     /// Mean of the samples, or 0.0 when empty.
@@ -152,6 +148,22 @@ mod tests {
         assert_eq!(pts.len(), 3);
         assert_eq!(pts[0], (1.0, 1.0 / 3.0));
         assert_eq!(pts[2], (3.0, 1.0));
+    }
+
+    #[test]
+    fn empty_cdf_is_safe_everywhere() {
+        // Regression for the percentile_sorted empty-input panic path:
+        // a CDF over zero samples (zero-access device under --faults)
+        // must answer every query without panicking.
+        let cdf = Cdf::from_samples(Vec::<f64>::new());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), 0.0);
+        assert_eq!(cdf.percentile(99.9), 0.0);
+        assert_eq!(cdf.min(), 0.0);
+        assert_eq!(cdf.max(), 0.0);
+        assert_eq!(cdf.mean(), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert!(cdf.points().is_empty());
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod corr;
 mod hist;
 mod series;
 mod summary;
+pub mod svg;
 mod violin;
 
 pub use cdf::Cdf;

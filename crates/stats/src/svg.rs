@@ -1,0 +1,463 @@
+//! Deterministic inline-SVG chart emitters for self-contained HTML
+//! reports.
+//!
+//! The insight layer (`melody report`) renders the paper's headline
+//! views — latency-vs-bandwidth curves (Figure 7), stacked stall
+//! attribution timelines (Figure 16), tail-latency CDFs (Figure 6) —
+//! without any external assets or plotting toolchain. Everything here is
+//! a pure function of its inputs with fixed-precision number formatting,
+//! so reports from identical runs are byte-identical (the same rule the
+//! trace exporter follows).
+//!
+//! Charts degrade gracefully: an empty dataset renders the chart frame
+//! with an `n/a` placeholder instead of panicking (see the
+//! `percentile_sorted` empty-input audit).
+
+/// Fixed palette; series/layer `i` uses colour `i % PALETTE.len()`.
+/// Chosen for contrast on a white background.
+pub const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#9c755f",
+];
+
+/// Geometry and labelling for one chart.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Chart title, rendered above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Total width in px.
+    pub width: u32,
+    /// Total height in px.
+    pub height: u32,
+}
+
+impl ChartConfig {
+    /// A chart config with the default 640×320 geometry.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 640,
+            height: 320,
+        }
+    }
+}
+
+/// A named point series to draw as a polyline.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesRef<'a> {
+    /// Legend label.
+    pub name: &'a str,
+    /// `(x, y)` points in draw order.
+    pub points: &'a [(f64, f64)],
+}
+
+/// A vertical annotation marker at `x` (fault events, anomaly windows).
+#[derive(Debug, Clone)]
+pub struct Mark {
+    /// X position in data coordinates.
+    pub x: f64,
+    /// Short label drawn beside the marker line.
+    pub label: String,
+}
+
+/// One bar of a stacked-bar timeline: `values[i]` is the height of
+/// layer `i` (negative values are clamped to 0 when drawn — stall
+/// attribution components can dip slightly negative from sampling
+/// noise).
+#[derive(Debug, Clone)]
+pub struct StackedBar {
+    /// Bar position in data coordinates (e.g. window start time).
+    pub x: f64,
+    /// Per-layer heights, same order as the layer-name slice.
+    pub values: Vec<f64>,
+    /// Optional hover tooltip (`<title>` element).
+    pub note: Option<String>,
+}
+
+const ML: f64 = 58.0; // left margin (y tick labels)
+const MR: f64 = 14.0;
+const MT: f64 = 30.0; // top margin (title)
+const MB: f64 = 44.0; // bottom margin (x label + ticks)
+
+/// Formats a data value with deterministic, magnitude-adapted precision.
+pub fn fmt_val(v: f64) -> String {
+    let a = v.abs();
+    if a >= 10_000.0 {
+        format!("{v:.0}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+struct Scale {
+    lo: f64,
+    hi: f64,
+    px_lo: f64,
+    px_hi: f64,
+}
+
+impl Scale {
+    fn new(lo: f64, hi: f64, px_lo: f64, px_hi: f64) -> Self {
+        let (lo, hi) = if (hi - lo).abs() < 1e-12 {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        Self {
+            lo,
+            hi,
+            px_lo,
+            px_hi,
+        }
+    }
+
+    fn map(&self, v: f64) -> f64 {
+        self.px_lo + (v - self.lo) / (self.hi - self.lo) * (self.px_hi - self.px_lo)
+    }
+}
+
+fn open_svg(cfg: &ChartConfig, out: &mut String) {
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {h}\" \
+         width=\"{w}\" height=\"{h}\" font-family=\"sans-serif\" font-size=\"11\">\n",
+        w = cfg.width,
+        h = cfg.height
+    ));
+    out.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"18\" font-size=\"13\" font-weight=\"bold\">{}</text>\n",
+        ML,
+        esc(&cfg.title)
+    ));
+}
+
+fn axes(cfg: &ChartConfig, xs: &Scale, ys: &Scale, out: &mut String) {
+    let (w, h) = (cfg.width as f64, cfg.height as f64);
+    // Plot frame.
+    out.push_str(&format!(
+        "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+         fill=\"none\" stroke=\"#444\"/>\n",
+        ML,
+        MT,
+        w - ML - MR,
+        h - MT - MB
+    ));
+    // 5 ticks per axis with grid lines.
+    for i in 0..=4u32 {
+        let f = i as f64 / 4.0;
+        let xv = xs.lo + f * (xs.hi - xs.lo);
+        let xp = xs.map(xv);
+        out.push_str(&format!(
+            "<line x1=\"{xp:.1}\" y1=\"{:.1}\" x2=\"{xp:.1}\" y2=\"{:.1}\" \
+             stroke=\"#ddd\"/>\n",
+            MT,
+            h - MB
+        ));
+        out.push_str(&format!(
+            "<text x=\"{xp:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            h - MB + 14.0,
+            fmt_val(xv)
+        ));
+        let yv = ys.lo + f * (ys.hi - ys.lo);
+        let yp = ys.map(yv);
+        out.push_str(&format!(
+            "<line x1=\"{:.1}\" y1=\"{yp:.1}\" x2=\"{:.1}\" y2=\"{yp:.1}\" \
+             stroke=\"#ddd\"/>\n",
+            ML,
+            w - MR
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            ML - 4.0,
+            yp + 3.5,
+            fmt_val(yv)
+        ));
+    }
+    // Axis labels.
+    out.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+        (ML + w - MR) / 2.0,
+        h - 8.0,
+        esc(&cfg.x_label)
+    ));
+    out.push_str(&format!(
+        "<text x=\"12\" y=\"{:.1}\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 12 {:.1})\">{}</text>\n",
+        (MT + h - MB) / 2.0,
+        (MT + h - MB) / 2.0,
+        esc(&cfg.y_label)
+    ));
+}
+
+fn draw_marks(cfg: &ChartConfig, xs: &Scale, marks: &[Mark], out: &mut String) {
+    let h = cfg.height as f64;
+    for m in marks {
+        if m.x < xs.lo || m.x > xs.hi {
+            continue;
+        }
+        let xp = xs.map(m.x);
+        out.push_str(&format!(
+            "<line x1=\"{xp:.1}\" y1=\"{:.1}\" x2=\"{xp:.1}\" y2=\"{:.1}\" \
+             stroke=\"#d62728\" stroke-dasharray=\"4 3\"/>\n",
+            MT,
+            h - MB
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"#d62728\" font-size=\"10\">{}</text>\n",
+            xp + 3.0,
+            MT + 10.0,
+            esc(&m.label)
+        ));
+    }
+}
+
+fn na_placeholder(cfg: &ChartConfig, out: &mut String) {
+    out.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"#888\" \
+         font-size=\"14\">n/a (no data)</text>\n",
+        cfg.width as f64 / 2.0,
+        cfg.height as f64 / 2.0
+    ));
+}
+
+/// Renders named series as polylines with axes, grid, legend, and
+/// optional vertical annotation marks. Series with no points are listed
+/// in the legend but drawn as nothing; a chart with no points at all
+/// shows an `n/a` placeholder.
+pub fn line_chart(cfg: &ChartConfig, series: &[SeriesRef<'_>], marks: &[Mark]) -> String {
+    let mut out = String::new();
+    open_svg(cfg, &mut out);
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if pts.is_empty() {
+        na_placeholder(cfg, &mut out);
+        out.push_str("</svg>\n");
+        return out;
+    }
+    let (mut xlo, mut xhi, mut ylo, mut yhi) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &pts {
+        xlo = xlo.min(x);
+        xhi = xhi.max(x);
+        ylo = ylo.min(y);
+        yhi = yhi.max(y);
+    }
+    ylo = ylo.min(0.0); // anchor y at 0 for rate/latency charts
+    let xs = Scale::new(xlo, xhi, ML, cfg.width as f64 - MR);
+    let ys = Scale::new(ylo, yhi * 1.05, cfg.height as f64 - MB, MT);
+    axes(cfg, &xs, &ys, &mut out);
+    draw_marks(cfg, &xs, marks, &mut out);
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        if !s.points.is_empty() {
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", xs.map(x), ys.map(y)))
+                .collect();
+            out.push_str(&format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" \
+                 stroke-width=\"1.5\"/>\n",
+                path.join(" ")
+            ));
+        }
+        // Legend entry.
+        let ly = MT + 6.0 + i as f64 * 14.0;
+        out.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"10\" height=\"3\" fill=\"{color}\"/>\n",
+            cfg.width as f64 - MR - 110.0,
+            ly
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\">{}</text>\n",
+            cfg.width as f64 - MR - 96.0,
+            ly + 5.0,
+            esc(s.name)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a stacked-bar timeline: one bar per entry, layers stacked
+/// bottom-up in `layers` order, with a legend and optional vertical
+/// marks. Negative layer values clamp to zero height.
+pub fn stacked_bars(
+    cfg: &ChartConfig,
+    layers: &[&str],
+    bars: &[StackedBar],
+    marks: &[Mark],
+) -> String {
+    let mut out = String::new();
+    open_svg(cfg, &mut out);
+    if bars.is_empty() || layers.is_empty() {
+        na_placeholder(cfg, &mut out);
+        out.push_str("</svg>\n");
+        return out;
+    }
+    let xlo = bars.first().map(|b| b.x).unwrap_or(0.0);
+    let xhi = bars.last().map(|b| b.x).unwrap_or(1.0);
+    let mut yhi = 0.0f64;
+    for b in bars {
+        let tot: f64 = b.values.iter().map(|v| v.max(0.0)).sum();
+        yhi = yhi.max(tot);
+    }
+    // Bar slot width: the span divided by the bar count (bars are
+    // assumed evenly spaced, as cadence windows are).
+    let span = if bars.len() > 1 {
+        (xhi - xlo) / (bars.len() - 1) as f64
+    } else {
+        1.0
+    };
+    let xs = Scale::new(xlo, xhi + span, ML, cfg.width as f64 - MR);
+    let ys = Scale::new(0.0, (yhi * 1.05).max(1e-9), cfg.height as f64 - MB, MT);
+    axes(cfg, &xs, &ys, &mut out);
+    draw_marks(cfg, &xs, marks, &mut out);
+    for b in bars {
+        let x0 = xs.map(b.x);
+        let x1 = xs.map(b.x + span * 0.9);
+        let mut base = 0.0f64;
+        out.push_str("<g>\n");
+        if let Some(note) = &b.note {
+            out.push_str(&format!("<title>{}</title>\n", esc(note)));
+        }
+        for (i, &v) in b.values.iter().enumerate() {
+            let v = v.max(0.0);
+            if v <= 0.0 {
+                continue;
+            }
+            let y0 = ys.map(base);
+            let y1 = ys.map(base + v);
+            out.push_str(&format!(
+                "<rect x=\"{x0:.1}\" y=\"{y1:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"{}\"/>\n",
+                (x1 - x0).max(0.5),
+                (y0 - y1).max(0.0),
+                PALETTE[i % PALETTE.len()]
+            ));
+            base += v;
+        }
+        out.push_str("</g>\n");
+    }
+    for (i, name) in layers.iter().enumerate() {
+        let ly = MT + 6.0 + i as f64 * 13.0;
+        out.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"10\" height=\"8\" fill=\"{}\"/>\n",
+            cfg.width as f64 - MR - 92.0,
+            ly,
+            PALETTE[i % PALETTE.len()]
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\">{}</text>\n",
+            cfg.width as f64 - MR - 78.0,
+            ly + 7.0,
+            esc(name)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ChartConfig {
+        ChartConfig::new("t", "x", "y")
+    }
+
+    #[test]
+    fn line_chart_is_self_contained_svg() {
+        let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)];
+        let svg = line_chart(
+            &cfg(),
+            &[SeriesRef {
+                name: "a",
+                points: &pts,
+            }],
+            &[Mark {
+                x: 1.0,
+                label: "m".into(),
+            }],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("stroke-dasharray"), "mark rendered");
+        assert!(
+            !svg.contains("http://") || svg.contains("xmlns"),
+            "no external refs"
+        );
+        assert!(!svg.contains("href"), "no external assets");
+    }
+
+    #[test]
+    fn empty_chart_renders_na() {
+        let svg = line_chart(&cfg(), &[], &[]);
+        assert!(svg.contains("n/a (no data)"));
+        let svg = stacked_bars(&cfg(), &["l"], &[], &[]);
+        assert!(svg.contains("n/a (no data)"));
+    }
+
+    #[test]
+    fn stacked_bars_clamp_negatives_and_stack() {
+        let bars = vec![
+            StackedBar {
+                x: 0.0,
+                values: vec![1.0, -0.5, 2.0],
+                note: Some("w0".into()),
+            },
+            StackedBar {
+                x: 1.0,
+                values: vec![0.5, 0.5, 0.5],
+                note: None,
+            },
+        ];
+        let svg = stacked_bars(&cfg(), &["a", "b", "c"], &bars, &[]);
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("<title>w0</title>"));
+        // Deterministic: same input, same bytes.
+        let svg2 = stacked_bars(&cfg(), &["a", "b", "c"], &bars, &[]);
+        assert_eq!(svg, svg2);
+    }
+
+    #[test]
+    fn fmt_val_precision_tiers() {
+        assert_eq!(fmt_val(12345.6), "12346");
+        assert_eq!(fmt_val(123.45), "123.5");
+        assert_eq!(fmt_val(1.234), "1.23");
+        assert_eq!(fmt_val(0.1234), "0.123");
+    }
+
+    #[test]
+    fn escaping_guards_markup() {
+        let svg = line_chart(
+            &ChartConfig::new("a<b>&c", "x", "y"),
+            &[SeriesRef {
+                name: "s",
+                points: &[(0.0, 0.0)],
+            }],
+            &[],
+        );
+        assert!(svg.contains("a&lt;b&gt;&amp;c"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Machine-readable export of a [`MetricsRegistry`]: full percentile
+//! summaries and gauge series, so `melody diff` and external tooling can
+//! consume telemetry without re-parsing the rendered text table.
+//!
+//! The raw registry serializes histograms as bucket arrays — compact and
+//! lossless, but every consumer would have to reimplement the log-bucket
+//! percentile math. [`TelemetryExport`] precomputes the quantities the
+//! paper's analyses quote (p50/p95/p99/p99.9/max, mean, n) while keeping
+//! deterministic `BTreeMap` ordering, so two exports from equal
+//! registries are byte-identical.
+
+use std::collections::BTreeMap;
+
+use melody_stats::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{GaugeSeries, MetricsRegistry};
+
+/// Percentile summary of one latency histogram.
+///
+/// All values are `None`-free: an empty histogram exports as `n = 0`
+/// with zeroed quantiles, and renderers are expected to show `n/a` when
+/// `n == 0` (see `MetricsRegistry::render`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Median, ns.
+    pub p50: u64,
+    /// 95th percentile, ns.
+    pub p95: u64,
+    /// 99th percentile, ns.
+    pub p99: u64,
+    /// 99.9th percentile, ns — the paper's headline tail metric.
+    pub p999: u64,
+    /// Largest recorded value, ns.
+    pub max: u64,
+    /// Mean, ns.
+    pub mean: f64,
+    /// Number of recorded values (0 = render as n/a).
+    pub n: u64,
+}
+
+impl HistSummary {
+    /// Summarises a histogram; an empty one yields all-zero quantiles
+    /// with `n = 0`.
+    pub fn from_hist(h: &LatencyHistogram) -> Self {
+        if h.is_empty() {
+            return Self {
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                p999: 0,
+                max: 0,
+                mean: 0.0,
+                n: 0,
+            };
+        }
+        Self {
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+            p999: h.percentile(99.9),
+            max: h.max(),
+            mean: h.mean(),
+            n: h.count(),
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// One exported gauge window: `(window index, mean, max, n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaugePoint {
+    /// Window index (`ts_ps / cadence_ps`).
+    pub window: u64,
+    /// Mean of the samples in the window.
+    pub mean: f64,
+    /// Largest sample in the window.
+    pub max: f64,
+    /// Number of samples in the window.
+    pub n: u64,
+}
+
+/// An exported gauge series with its cadence in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeExport {
+    /// Window width, simulated nanoseconds.
+    pub cadence_ns: u64,
+    /// Per-window aggregates in window order.
+    pub points: Vec<GaugePoint>,
+}
+
+impl GaugeExport {
+    fn from_series(s: &GaugeSeries) -> Self {
+        Self {
+            cadence_ns: s.cadence_ps / 1_000,
+            points: s
+                .windows
+                .iter()
+                .map(|(&w, gw)| GaugePoint {
+                    window: w,
+                    mean: if gw.n == 0 { 0.0 } else { gw.sum / gw.n as f64 },
+                    max: gw.max,
+                    n: gw.n,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The `telemetry` object attached to `--json` reports: counters
+/// verbatim, histograms as percentile summaries, gauges as window
+/// series.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetryExport {
+    /// Monotonic counters, verbatim from the registry.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram percentile summaries keyed by metric name.
+    pub hists: BTreeMap<String, HistSummary>,
+    /// Gauge window series keyed by metric name.
+    pub gauges: BTreeMap<String, GaugeExport>,
+}
+
+impl TelemetryExport {
+    /// Builds the export view of a registry.
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        Self {
+            counters: reg.counters.clone(),
+            hists: reg
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), HistSummary::from_hist(h)))
+                .collect(),
+            gauges: reg
+                .series
+                .iter()
+                .map(|(k, s)| (k.clone(), GaugeExport::from_series(s)))
+                .collect(),
+        }
+    }
+
+    /// True when the export carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty() && self.gauges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_summarises_percentiles_and_gauges() {
+        let mut r = MetricsRegistry::default();
+        r.count("c", 3);
+        for v in [100, 110, 120, 5_000] {
+            r.record("h", v);
+        }
+        r.gauge("g", 1_000_000, 0, 0.5);
+        r.gauge("g", 1_000_000, 1_500_000, 0.9);
+        let e = TelemetryExport::from_registry(&r);
+        assert_eq!(e.counters["c"], 3);
+        let h = &e.hists["h"];
+        assert_eq!(h.n, 4);
+        assert!(h.p999 >= 4_000, "tail must reach the spike: {h:?}");
+        assert!(h.p50 >= 100 && h.p50 <= 130);
+        let g = &e.gauges["g"];
+        assert_eq!(g.cadence_ns, 1_000);
+        assert_eq!(g.points.len(), 2);
+        assert_eq!(g.points[1].window, 1);
+    }
+
+    #[test]
+    fn empty_histogram_exports_n_zero() {
+        let mut r = MetricsRegistry::default();
+        r.hists.insert("e".into(), LatencyHistogram::new());
+        let e = TelemetryExport::from_registry(&r);
+        assert!(e.hists["e"].is_empty());
+        assert_eq!(e.hists["e"].p999, 0);
+    }
+
+    #[test]
+    fn equal_registries_export_identically() {
+        let mut a = MetricsRegistry::default();
+        let mut b = MetricsRegistry::default();
+        for r in [&mut a, &mut b] {
+            r.count("x", 1);
+            r.record("h", 250);
+            r.gauge("g", 1_000, 10, 1.0);
+        }
+        assert_eq!(
+            serde_json::to_string(&TelemetryExport::from_registry(&a)).unwrap(),
+            serde_json::to_string(&TelemetryExport::from_registry(&b)).unwrap()
+        );
+    }
+}

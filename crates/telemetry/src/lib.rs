@@ -28,11 +28,13 @@
 
 mod chrome;
 mod event;
+mod export;
 mod metrics;
 mod span;
 
 pub use chrome::chrome_trace;
 pub use event::{EventKind, TraceBuf, TraceEvent};
+pub use export::{GaugeExport, GaugePoint, HistSummary, TelemetryExport};
 pub use metrics::{GaugeSeries, GaugeWindow, MetricsRegistry};
 pub use span::{Profile, SpanStack, SpanStat};
 
@@ -106,6 +108,16 @@ pub fn set_trace_capacity(events: usize) {
 /// Sets the gauge sampling window width in simulated nanoseconds.
 pub fn set_cadence_ns(ns: u64) {
     CADENCE_PS.store(ns.max(1).saturating_mul(1_000), Ordering::Relaxed);
+}
+
+/// Current gauge/window cadence in simulated nanoseconds.
+///
+/// Consumers that window derived analyses on the telemetry cadence (the
+/// insight layer's counter snapshots, the anomaly detector) read it from
+/// here so one `--cadence-ns` flag governs every windowed view.
+#[inline]
+pub fn cadence_ns() -> u64 {
+    (CADENCE_PS.load(Ordering::Relaxed) / 1_000).max(1)
 }
 
 /// Everything one thread (or one captured cell) has collected.
@@ -220,6 +232,30 @@ impl CellTelemetry {
             && self.trace.dropped() == 0
             && self.metrics.is_empty()
             && self.profile.is_empty()
+    }
+
+    /// The cell's trace events, oldest first.
+    pub fn trace_events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.trace.iter()
+    }
+
+    /// Events this cell lost to ring overflow.
+    pub fn dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
+    /// The cell's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Decomposes into `(trace events, dropped count, metrics)`, consuming
+    /// the cell. The insight layer uses this to analyse one run's events
+    /// without routing them through the global sink.
+    pub fn into_parts(self) -> (Vec<TraceEvent>, u64, MetricsRegistry) {
+        let dropped = self.trace.dropped();
+        let events: Vec<TraceEvent> = self.trace.iter().copied().collect();
+        (events, dropped, self.metrics)
     }
 }
 

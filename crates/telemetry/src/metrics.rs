@@ -189,26 +189,40 @@ impl MetricsRegistry {
         if !self.hists.is_empty() {
             out.push_str("histograms (p50 / p99 / p99.9 / max, n):\n");
             for (k, h) in &self.hists {
-                out.push_str(&format!(
-                    "  {k:<28} {} / {} / {} / {}  (n={})\n",
-                    h.percentile(50.0),
-                    h.percentile(99.0),
-                    h.percentile(99.9),
-                    h.max(),
-                    h.count()
-                ));
+                // An empty histogram (a zero-access device under --faults,
+                // a deserialized registry from a degenerate run) renders
+                // as n/a rather than a misleading row of zeros.
+                if h.is_empty() {
+                    out.push_str(&format!("  {k:<28} n/a  (n=0)\n"));
+                } else {
+                    out.push_str(&format!(
+                        "  {k:<28} {} / {} / {} / {}  (n={})\n",
+                        h.percentile(50.0),
+                        h.percentile(99.0),
+                        h.percentile(99.9),
+                        h.max(),
+                        h.count()
+                    ));
+                }
             }
         }
         if !self.series.is_empty() {
             out.push_str("gauges (mean / max over windows):\n");
             for (k, s) in &self.series {
-                out.push_str(&format!(
-                    "  {k:<28} {:.4} / {:.4}  (windows={}, cadence={}ns)\n",
-                    s.mean(),
-                    s.max(),
-                    s.windows.len(),
-                    s.cadence_ps / 1_000
-                ));
+                if s.windows.is_empty() {
+                    out.push_str(&format!(
+                        "  {k:<28} n/a  (windows=0, cadence={}ns)\n",
+                        s.cadence_ps / 1_000
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "  {k:<28} {:.4} / {:.4}  (windows={}, cadence={}ns)\n",
+                        s.mean(),
+                        s.max(),
+                        s.windows.len(),
+                        s.cadence_ps / 1_000
+                    ));
+                }
             }
         }
         out
@@ -232,6 +246,22 @@ mod tests {
         assert_eq!(s.windows[&1].n, 1);
         assert_eq!(s.mean(), 3.0);
         assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn empty_histogram_renders_na_not_zeros() {
+        // Regression: an empty histogram or gauge in a registry (e.g.
+        // deserialized from a degenerate --faults run) must render n/a,
+        // not fabricate percentiles.
+        let mut r = MetricsRegistry::default();
+        r.hists.insert("empty.h".into(), LatencyHistogram::new());
+        r.series.insert("empty.g".into(), GaugeSeries::new(1_000));
+        r.record("live.h", 42);
+        let s = r.render();
+        assert!(s.contains("empty.h"));
+        assert!(s.contains("n/a  (n=0)"), "render:\n{s}");
+        assert!(s.contains("n/a  (windows=0"), "render:\n{s}");
+        assert!(s.contains("42 / 42"), "live histogram still renders:\n{s}");
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! melody mio <device> [--threads N] [--noise N] [--accesses N]
 //! melody mlc <device> [--rw R] [--delay CYCLES] [--requests N]
 //! melody run <workload> <device> [--refs N] [--platform NAME]
+//!            [--json] [--out PATH] [--windows N]
 //! melody cpmu <device> [--accesses N] # white-box component attribution
 //! melody degraded [--scale S] [--journal PATH] [--resume] [--limit N] [--json]
 //! melody trace <device> [--out PATH] [--workloads N] [--refs N]
+//! melody diff <a.json> <b.json> [--rel-tol X] [--abs-tol X] [--json]
+//! melody report <run.json> [--out PATH]
 //! ```
 //!
 //! Devices: local, numa, cxl-a, cxl-b, cxl-c, cxl-d, cxl-a+numa, ...,
@@ -30,6 +33,14 @@
 //! sweeps every regime across the four CXL devices, checkpointing each
 //! finished cell to `--journal` so a killed sweep restarted with
 //! `--resume` skips finished cells and emits byte-identical output.
+//!
+//! `run --json` emits a `melody-run` insight document: the whole-run
+//! breakdown plus the windowed attribution timeline, flagged anomaly
+//! windows, and the full telemetry export (see TELEMETRY.md). `melody
+//! diff` compares two such documents (or any two `--json` outputs)
+//! under optional tolerances and exits nonzero on divergence — the CI
+//! regression gate. `melody report` renders a document into a
+//! self-contained static HTML page with inline SVG charts.
 
 use melody::prelude::*;
 use melody_mem::{CpmuDevice, FaultConfig};
@@ -109,7 +120,7 @@ fn apply_faults(spec: DeviceSpec, args: &[String]) -> DeviceSpec {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|degraded|trace> [args]\n\
+        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|degraded|trace|diff|report> [args]\n\
          \u{20}      [--jobs N] [--telemetry off|metrics|trace] [--cadence-ns N]\n\
          see `src/bin/melody.rs` header or README for details"
     );
@@ -183,6 +194,8 @@ fn main() {
         "cpmu" => cmd_cpmu(&args[1..]),
         "degraded" => cmd_degraded(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "diff" => cmd_diff(&args[1..]),
+        "report" => cmd_report(&args[1..]),
         _ => usage(),
     }
     finish_telemetry();
@@ -292,12 +305,13 @@ fn cmd_mio(args: &[String]) {
         ..Default::default()
     };
     let r = melody_mio::run(&spec, &cfg);
+    let p = |pp| melody::report::percentile_cell(&r.latency, pp);
     println!(
         "{}: p50 {} ns  p99 {} ns  p99.9 {} ns  gap {} ns  bw {:.1} GB/s",
         spec.name(),
-        r.latency.percentile(50.0),
-        r.latency.percentile(99.0),
-        r.latency.percentile(99.9),
+        p(50.0),
+        p(99.0),
+        p(99.9),
         r.tail_gap_ns,
         r.bandwidth_gbps
     );
@@ -322,7 +336,7 @@ fn cmd_mlc(args: &[String]) {
         "{}: loaded latency {:.0} ns (p99.9 {} ns) at {:.1} GB/s (delay {} cyc, read {:.0}%)",
         spec.name(),
         p.mean_latency_ns(),
-        p.latency.percentile(99.9),
+        melody::report::percentile_cell(&p.latency, 99.9),
         p.bandwidth_gbps,
         cfg.delay_cycles,
         read_frac * 100.0
@@ -356,6 +370,10 @@ fn cmd_run(args: &[String]) {
         "SKX8S" => presets::local_skx8s(),
         _ => presets::local_emr(),
     };
+    if args.iter().any(|a| a == "--json") {
+        run_json(args, &platform, &local, &spec, &w, &opts);
+        return;
+    }
     let pair = run_pair(&platform, &local, &spec, &w, &opts);
     println!(
         "{} on {} ({}): slowdown {:.1}%",
@@ -371,13 +389,167 @@ fn cmd_run(args: &[String]) {
         "  ipc {:.2} -> {:.2}; demand p99.9 {} -> {} ns",
         pair.local.ipc(),
         pair.target.ipc(),
-        pair.local.demand_lat_hist.percentile(99.9),
-        pair.target.demand_lat_hist.percentile(99.9)
+        melody::report::percentile_cell(&pair.local.demand_lat_hist, 99.9),
+        melody::report::percentile_cell(&pair.target.demand_lat_hist, 99.9)
     );
     print_ras(&pair.target.device_stats.ras);
     if pair.target.counters.machine_checks > 0 {
         println!("  machine checks: {}", pair.target.counters.machine_checks);
     }
+}
+
+/// `melody run ... --json`: runs the pair with tracing forced on (each
+/// side captured privately, so events never mix) and emits the
+/// `melody-run` insight document — whole-run breakdown, windowed
+/// attribution timeline, anomaly windows, and the merged telemetry
+/// export. `--out PATH` additionally writes the document to a file;
+/// `--windows N` sets the timeline resolution.
+fn run_json(
+    args: &[String],
+    platform: &Platform,
+    local_spec: &DeviceSpec,
+    target_spec: &DeviceSpec,
+    w: &WorkloadSpec,
+    opts: &RunOptions,
+) {
+    let cfg = melody_insight::InsightConfig {
+        windows: flag_u64(args, "--windows", 24) as usize,
+        ..Default::default()
+    };
+    let (local_run, _l_events, l_dropped, l_metrics) =
+        melody::exec::traced(|| melody::run_workload(platform, local_spec, w, opts));
+    let (target_run, t_events, t_dropped, t_metrics) =
+        melody::exec::traced(|| melody::run_workload(platform, target_spec, w, opts));
+    let mut metrics = l_metrics;
+    metrics.merge(&t_metrics);
+    let meta = melody_insight::RunMeta {
+        workload: w.name.clone(),
+        suite: w.suite.label().to_string(),
+        platform: platform.name.clone(),
+        local_device: local_spec.name(),
+        target_device: target_spec.name(),
+        seed: opts.seed,
+        mem_refs: opts.mem_refs,
+        faults: flag(args, "--faults").unwrap_or_default(),
+    };
+    let doc = melody_insight::build_run_doc(
+        meta,
+        &local_run,
+        &target_run,
+        &t_events,
+        l_dropped + t_dropped,
+        melody_telemetry::TelemetryExport::from_registry(&metrics),
+        &cfg,
+    );
+    let json = melody::report::to_json(&doc);
+    if let Some(path) = flag(args, "--out") {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {path}: {} windows, {} anomaly(ies)",
+            doc.timeline.len(),
+            doc.anomalies.len()
+        );
+    } else {
+        println!("{json}");
+    }
+}
+
+/// `melody diff <a.json> <b.json>`: structural diff of two `--json`
+/// documents under optional `--rel-tol` / `--abs-tol` tolerances.
+/// Prints the human delta table (or the machine verdict with `--json`)
+/// and exits 0 when identical/within tolerance, 1 on divergence, 2 on
+/// usage or I/O errors — CI gates on the exit code.
+fn cmd_diff(args: &[String]) {
+    // The two documents are the positional (non-flag) arguments, in any
+    // interleaving with the flags: `diff --json a b` works like
+    // `diff a b --json`.
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rel-tol" | "--abs-tol" => i += 2,
+            s if s.starts_with("--") => i += 1,
+            _ => {
+                paths.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [path_a, path_b] = paths[..] else { usage() };
+    let read = |path: &String| -> serde::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let a = read(path_a);
+    let b = read(path_b);
+    let opts = melody_insight::DiffOptions {
+        rel_tol: flag(args, "--rel-tol")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0),
+        abs_tol: flag(args, "--abs-tol")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0),
+    };
+    let verdict = melody_insight::diff_values(&a, &b, &opts);
+    if args.iter().any(|x| x == "--json") {
+        println!("{}", melody::report::to_json(&verdict));
+    } else {
+        print!(
+            "{} vs {}: {}",
+            path_a,
+            path_b,
+            melody_insight::render_delta_table(&verdict)
+        );
+    }
+    if !verdict.within_tolerance {
+        std::process::exit(1);
+    }
+}
+
+/// `melody report <run.json>`: renders a `melody-run` document into a
+/// self-contained static HTML page (inline SVG charts, inline CSS, no
+/// scripts or external assets) at `--out` (default `report.html`).
+fn cmd_report(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc: melody_insight::RunDoc = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: not a melody-run document: {e}");
+        std::process::exit(2);
+    });
+    if doc.kind != melody_insight::doc::RUN_DOC_KIND {
+        eprintln!(
+            "{path}: kind `{}` is not `{}`",
+            doc.kind,
+            melody_insight::doc::RUN_DOC_KIND
+        );
+        std::process::exit(2);
+    }
+    let out_path = flag(args, "--out").unwrap_or_else(|| "report.html".to_string());
+    let html = melody_insight::render_run_html(&doc);
+    if let Err(e) = std::fs::write(&out_path, &html) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "{} -> {out_path}: {} on {}, {} window(s), {} anomaly(ies)",
+        path,
+        doc.meta.workload,
+        doc.meta.target_device,
+        doc.timeline.len(),
+        doc.anomalies.len()
+    );
 }
 
 fn cmd_cpmu(args: &[String]) {
@@ -455,14 +627,18 @@ fn cmd_degraded(args: &[String]) {
     );
     if args.iter().any(|a| a == "--json") {
         if melody_telemetry::metrics_on() {
-            // Fold the metrics registry into the JSON document rather
-            // than breaking it with a trailing table. The profile still
+            // Fold the telemetry export into the JSON document rather
+            // than breaking it with a trailing table: full percentile
+            // summaries (p50/p95/p99/p99.9/max, n) and gauge window
+            // series, so `melody diff` and external tooling consume
+            // them without re-parsing rendered text. The profile still
             // goes to stderr: wall-clock values are nondeterministic.
             let c = melody_telemetry::collect();
+            let export = melody_telemetry::TelemetryExport::from_registry(&c.metrics);
             println!(
                 "{{\"report\":{},\"telemetry\":{}}}",
                 melody::report::to_json(&report),
-                serde_json::to_string(&c.metrics).expect("metrics serialize")
+                serde_json::to_string(&export).expect("telemetry export serialize")
             );
             if !c.profile.is_empty() {
                 eprint!("{}", c.profile.render());

@@ -56,6 +56,30 @@ fn cell_capture<R>(index: usize, f: impl FnOnce() -> R) -> (R, CellTelemetry) {
     })
 }
 
+/// Runs `f` with tracing forced on, capturing its telemetry privately,
+/// and restores the previous telemetry mode afterwards.
+///
+/// This is how `melody run --json` gets the trace events the insight
+/// timeline correlates without requiring the user to pass `--telemetry
+/// trace` (and without leaking the forced mode into the rest of the
+/// process): the closure's events, overflow count, and metrics registry
+/// come back directly instead of going to the global sink.
+pub fn traced<R>(
+    f: impl FnOnce() -> R,
+) -> (
+    R,
+    Vec<melody_telemetry::TraceEvent>,
+    u64,
+    melody_telemetry::MetricsRegistry,
+) {
+    let prev = melody_telemetry::mode();
+    melody_telemetry::set_mode(melody_telemetry::Mode::Trace);
+    let (r, cell) = melody_telemetry::capture(f);
+    melody_telemetry::set_mode(prev);
+    let (events, dropped, metrics) = cell.into_parts();
+    (r, events, dropped, metrics)
+}
+
 /// Process-wide worker count; 0 means "auto" (available parallelism).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
 

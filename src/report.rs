@@ -133,6 +133,21 @@ pub fn ras_table(
     t
 }
 
+/// Renders a histogram percentile for a report cell: the value when the
+/// histogram has samples, `n/a` when it is empty.
+///
+/// Every render path must go through this (or check `is_empty` itself)
+/// rather than formatting `percentile()` of an empty histogram — the
+/// raw query would silently print 0 ns, which reads as "instantaneous"
+/// instead of "no data".
+pub fn percentile_cell(h: &melody_stats::LatencyHistogram, p: f64) -> String {
+    if h.is_empty() {
+        "n/a".to_string()
+    } else {
+        h.percentile(p).to_string()
+    }
+}
+
 /// Serialises any experiment payload to pretty JSON.
 pub fn to_json<T: Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
@@ -167,6 +182,17 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.125), "12.5%");
+    }
+
+    #[test]
+    fn percentile_cell_renders_na_for_empty_histograms() {
+        let empty = melody_stats::LatencyHistogram::new();
+        assert_eq!(percentile_cell(&empty, 99.9), "n/a");
+        let mut h = melody_stats::LatencyHistogram::new();
+        h.record(250);
+        // Non-empty histograms render exactly the raw percentile value,
+        // so existing report output stays byte-identical.
+        assert_eq!(percentile_cell(&h, 50.0), h.percentile(50.0).to_string());
     }
 
     #[test]

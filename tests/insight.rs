@@ -1,0 +1,214 @@
+//! Insight-layer end-to-end tests: windowed attribution determinism
+//! across worker counts, anomaly detection under a seeded fault regime,
+//! and the `melody diff` / `melody report` CLI contracts (exit codes,
+//! self-contained HTML) — the acceptance criteria of the insight PR.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use melody_insight::doc::RUN_DOC_KIND;
+use melody_insight::{DiffVerdict, RunDoc};
+
+fn melody_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_melody"))
+}
+
+/// Per-test temp path, unique across concurrently running test threads.
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("melody_insight_{}_{name}", std::process::id()));
+    p
+}
+
+/// Runs `melody run 605.mcf cxl-b --refs 8000 --json` with the given
+/// extra args, writing the document to `out`.
+fn capture_run(out: &PathBuf, extra: &[&str]) {
+    let status = melody_bin()
+        .args([
+            "run", "605.mcf", "cxl-b", "--refs", "8000", "--json", "--out",
+        ])
+        .arg(out)
+        .args(extra)
+        .status()
+        .expect("spawn melody run");
+    assert!(status.success(), "melody run failed: {status}");
+}
+
+fn parse_doc(path: &PathBuf) -> RunDoc {
+    let text = std::fs::read_to_string(path).expect("read run document");
+    serde_json::from_str(&text).expect("parse melody-run document")
+}
+
+#[test]
+fn run_doc_is_byte_identical_across_jobs_and_diff_exits_zero() {
+    // Same seed, different worker counts: the attribution timeline (and
+    // the whole document around it) must not move by a byte, and
+    // `melody diff` must agree with exit code 0.
+    let a = tmp("jobs1.json");
+    let b = tmp("jobs4.json");
+    capture_run(&a, &["--jobs", "1"]);
+    capture_run(&b, &["--jobs", "4"]);
+    let bytes_a = std::fs::read(&a).expect("read a");
+    let bytes_b = std::fs::read(&b).expect("read b");
+    assert_eq!(bytes_a, bytes_b, "--jobs must not perturb the document");
+
+    let out = melody_bin()
+        .arg("diff")
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .expect("spawn melody diff");
+    assert_eq!(out.status.code(), Some(0), "identical documents exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("identical"), "diff output: {stdout}");
+
+    // The document itself is a well-formed insight doc with a windowed
+    // timeline and the full telemetry export (histogram percentiles and
+    // counters — not just a rendered table).
+    let doc = parse_doc(&a);
+    assert_eq!(doc.kind, RUN_DOC_KIND);
+    assert!(
+        doc.timeline.len() >= 8,
+        "got {} windows",
+        doc.timeline.len()
+    );
+    assert!(!doc.telemetry.counters.is_empty(), "counters exported");
+    assert!(
+        doc.telemetry
+            .hists
+            .values()
+            .any(|h| h.n > 0 && h.p999 >= h.p50),
+        "histogram percentile summaries exported: {:?}",
+        doc.telemetry.hists.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn anomaly_detector_flags_the_faulted_window_not_the_quiet_ones() {
+    let f = tmp("faulted.json");
+    capture_run(&f, &["--faults", "retrain"]);
+    let doc = parse_doc(&f);
+    assert_eq!(doc.meta.faults, "retrain");
+
+    // The retrain regime shows up in the timeline: correlated fault
+    // events on specific windows, with the storm labelled.
+    assert!(
+        doc.timeline.iter().any(|w| w.label == "link-retry-storm"
+            && w.fault_events.iter().any(|(k, n)| k == "retrain" && *n > 0)),
+        "no labelled retrain window in {:?}",
+        doc.timeline
+            .iter()
+            .map(|w| (&w.label, &w.fault_events))
+            .collect::<Vec<_>>()
+    );
+
+    // The tail-latency detector fires, and only on windows that did
+    // work: a quiet window (no completed demand reads) has no tail to
+    // be anomalous about.
+    assert!(!doc.anomalies.is_empty(), "retrain run must flag a window");
+    for a in &doc.anomalies {
+        let w = &doc.timeline[a.window];
+        assert!(w.reads > 0, "anomaly on quiet window {}", a.window);
+        assert!(
+            (a.p999_ns as f64) > a.threshold_ns,
+            "flagged window must exceed its threshold: {a:?}"
+        );
+    }
+    // At least one flagged window carries the injected fault as a
+    // suspected cause.
+    assert!(
+        doc.anomalies
+            .iter()
+            .any(|a| a.causes.iter().any(|(k, _)| k == "retrain")),
+        "anomaly causes: {:?}",
+        doc.anomalies
+    );
+}
+
+#[test]
+fn diff_reports_fault_regressions_with_nonzero_exit() {
+    let clean = tmp("clean.json");
+    let faulted = tmp("regressed.json");
+    capture_run(&clean, &[]);
+    capture_run(&faulted, &["--faults", "retrain"]);
+
+    let out = melody_bin()
+        .arg("diff")
+        .arg(&clean)
+        .arg(&faulted)
+        .output()
+        .expect("spawn melody diff");
+    assert_eq!(out.status.code(), Some(1), "divergent documents exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DIFFERS"), "diff output: {stdout}");
+
+    // Machine-readable verdict: attribution and tail deltas are named
+    // by path, and the fault regime string mismatch is never tolerated.
+    let out = melody_bin()
+        .args(["diff", "--json"])
+        .arg(&clean)
+        .arg(&faulted)
+        .output()
+        .expect("spawn melody diff --json");
+    assert_eq!(out.status.code(), Some(1));
+    let verdict: DiffVerdict =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("parse diff verdict");
+    assert!(!verdict.identical);
+    assert!(!verdict.within_tolerance);
+    assert!(verdict
+        .deltas
+        .iter()
+        .any(|d| d.path.starts_with("breakdown")));
+    assert!(verdict.deltas.iter().any(|d| d.path == "meta.faults"));
+
+    // Usage/I-O problems exit 2, distinct from "documents differ".
+    let out = melody_bin()
+        .args(["diff", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .expect("spawn melody diff on missing files");
+    assert_eq!(out.status.code(), Some(2), "missing input exits 2");
+}
+
+#[test]
+fn report_renders_self_contained_html_with_attribution_timeline() {
+    let f = tmp("report_run.json");
+    let html_path = tmp("report.html");
+    capture_run(&f, &["--faults", "retrain"]);
+    let status = melody_bin()
+        .arg("report")
+        .arg(&f)
+        .arg("--out")
+        .arg(&html_path)
+        .status()
+        .expect("spawn melody report");
+    assert!(status.success());
+
+    let html = std::fs::read_to_string(&html_path).expect("read report");
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.trim_end().ends_with("</html>"));
+    // Three inline SVG charts, among them the stacked attribution
+    // timeline; no scripts, stylesheets, or external fetches.
+    assert_eq!(html.matches("<svg").count(), 3);
+    assert!(html.contains("Per-window stall attribution"));
+    assert!(html.contains("link-retry-storm"));
+    assert!(!html.contains("<script"));
+    assert!(!html.contains("href"));
+    assert!(!html.contains("src="));
+    assert_eq!(
+        html.matches("http").count(),
+        html.matches("xmlns=\"http://www.w3.org/2000/svg\"").count(),
+        "the only URLs are SVG namespace declarations"
+    );
+
+    // A non-run document is rejected up front with the usage exit code.
+    let bogus = tmp("bogus.json");
+    std::fs::write(&bogus, "{\"kind\": \"not-a-run\"}").expect("write bogus doc");
+    let out = melody_bin()
+        .arg("report")
+        .arg(&bogus)
+        .arg("--out")
+        .arg(tmp("bogus.html"))
+        .output()
+        .expect("spawn melody report on bogus doc");
+    assert_eq!(out.status.code(), Some(2));
+}
