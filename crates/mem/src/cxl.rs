@@ -21,7 +21,7 @@
 //! - optional thermal throttling gives periodic stalls under sustained
 //!   high utilization.
 
-use melody_sim::{Dist, ServerPool, SimRng, SimTime};
+use melody_sim::{CreditPool, Dist, ServerPool, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::device::{AccessBreakdown, DeviceStats, MemoryDevice};
@@ -219,8 +219,20 @@ pub struct CxlDevice {
     ia_ewma_ps: f64,
     last_arrival: SimTime,
     service_ref_ps: f64,
+    /// Transaction-layer flow-control credit ledger. Accounting only:
+    /// each request holds one credit from issue to completion, but the
+    /// pool never alters latency (credit-exhaustion *latency* is already
+    /// modelled by the stochastic congestion windows), so attaching it
+    /// keeps device output byte-identical.
+    credits: CreditPool,
     stats: DeviceStats,
 }
+
+/// Transaction-layer credit depth. CXL type-3 controllers typically
+/// advertise on the order of tens of request credits per virtual
+/// channel; the exact number only shapes the accounting (shortfall
+/// telemetry), never latency.
+const TXN_CREDITS: u32 = 64;
 
 impl CxlDevice {
     /// Instantiates the device with a deterministic RNG seed.
@@ -265,9 +277,24 @@ impl CxlDevice {
             ia_ewma_ps: 1e9, // start effectively idle
             last_arrival: 0,
             service_ref_ps,
+            credits: CreditPool::new(TXN_CREDITS),
             stats: DeviceStats::default(),
             cfg,
         }
+    }
+
+    /// The transaction-layer credit ledger (see [`CreditPool`]): free,
+    /// held, and in-flight counts plus the shortfall counter.
+    pub fn credit_pool(&self) -> &CreditPool {
+        &self.credits
+    }
+
+    /// Quiesces the credit ledger — collects every scheduled credit
+    /// return — and reports `(available, total)`. At a true quiesce
+    /// point (no request mid-flight inside `access`) the two are equal;
+    /// the property-test suite asserts exactly that.
+    pub fn quiesce_credits(&mut self) -> (u32, u32) {
+        (self.credits.quiesce(), self.credits.total())
     }
 
     /// Current utilization estimate (0..1) from the inter-arrival EWMA.
@@ -344,6 +371,13 @@ impl MemoryDevice for CxlDevice {
         let is_read = req.kind.is_read();
         self.update_load(req.issue);
         let util = self.utilization();
+
+        // Credit accounting (latency-neutral; see `CxlDevice::credits`).
+        let credit_grant = self.credits.acquire(req.issue);
+        if credit_grant > req.issue && melody_telemetry::metrics_on() {
+            melody_telemetry::count("cxl.credit_shortfall", 1);
+            melody_telemetry::record_ns("cxl.credit_wait", credit_grant - req.issue);
+        }
 
         // Fault layer first: it decides this request's link width and any
         // correlated-fault delay before the request touches the pools.
@@ -464,6 +498,7 @@ impl MemoryDevice for CxlDevice {
             t = done;
         }
         let completion = t + half_fixed + defer_ps;
+        self.credits.release_at(completion);
 
         let out = AccessBreakdown {
             completion,
@@ -804,6 +839,19 @@ mod tests {
             "thermal throttling should accumulate: {:?}",
             dev.stats().ras
         );
+    }
+
+    #[test]
+    fn credit_ledger_conserves_and_quiesces() {
+        let mut dev = CxlDevice::new(quiet_config(), 11);
+        for i in 0..10_000u64 {
+            dev.access(&MemRequest::new(i * 64, RequestKind::DemandRead, i * 500));
+            assert!(dev.credit_pool().invariants_hold(), "request {i}");
+        }
+        // Saturating traffic must exhaust the 64-credit pool sometimes.
+        assert!(dev.credit_pool().shortfalls() > 0);
+        let (avail, total) = dev.quiesce_credits();
+        assert_eq!(avail, total, "all credits return at quiesce");
     }
 
     #[test]

@@ -168,20 +168,38 @@ impl DramBackend {
         self.channels.len() as f64 * 64.0 / self.timing.burst_ns
     }
 
-    /// Performs one cacheline access arriving at the array at `arrival`.
-    pub fn access(&mut self, addr: u64, is_read: bool, arrival: SimTime) -> DramAccess {
-        let t = self.timing;
+    /// Maps an address to its `(channel, bank, row)` coordinates — the
+    /// same mapping [`access`](DramBackend::access) uses. Pure; exposed
+    /// so external invariant checks (the property-test suite's
+    /// row-buffer oracle) can mirror the controller's address decode.
+    pub fn locate(&self, addr: u64) -> (usize, usize, u64) {
+        let t = &self.timing;
         let n_ch = self.channels.len() as u64;
         let line = addr / 64;
         let ch_idx = (line % n_ch) as usize;
-        // Strip the channel bits so each channel sees a dense local space.
         let local_addr = (line / n_ch) * 64 + (addr % 64);
         let row = local_addr / t.row_bytes;
+        let n_banks = self.channels[ch_idx].banks.len() as u64;
+        let bank_idx = (bank_hash(row) % n_banks) as usize;
+        (ch_idx, bank_idx, row)
+    }
+
+    /// The row currently open in `bank` of `channel` (`None` when the
+    /// bank is precharged). Observability hook for invariant checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel or bank index is out of range.
+    pub fn open_row(&self, channel: usize, bank: usize) -> Option<u64> {
+        self.channels[channel].banks[bank].open_row
+    }
+
+    /// Performs one cacheline access arriving at the array at `arrival`.
+    pub fn access(&mut self, addr: u64, is_read: bool, arrival: SimTime) -> DramAccess {
+        let t = self.timing;
+        let (ch_idx, bank_idx, row) = self.locate(addr);
         let ch = &mut self.channels[ch_idx];
         let n_banks = ch.banks.len() as u64;
-        // Hash the row into a bank index the way real MCs do, so
-        // power-of-two-aligned streams don't alias onto a single bank.
-        let bank_idx = (bank_hash(row) % n_banks) as usize;
 
         // Wait for the bank.
         let bank = &mut ch.banks[bank_idx];

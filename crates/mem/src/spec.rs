@@ -62,7 +62,26 @@ pub enum DeviceSpec {
     },
 }
 
+/// Version stamp of the [`DeviceSpec`] serialization schema *and* of the
+/// device models' observable behaviour. Content-addressed result caches
+/// (melody's campaign engine) mix this into every cell fingerprint, so
+/// bumping it invalidates all cached results built from device specs.
+///
+/// Bump it whenever a change alters what a spec means: a field is
+/// added/renamed/reinterpreted, a preset's parameters move, or a device
+/// model's output changes for the same spec + seed.
+pub const SPEC_SCHEMA_VERSION: u32 = 1;
+
 impl DeviceSpec {
+    /// Canonical serialized form of this spec: the compact serde-JSON
+    /// encoding, which is deterministic (fields serialize in declaration
+    /// order, floats use shortest-round-trip formatting). Cache
+    /// fingerprints hash this string together with
+    /// [`SPEC_SCHEMA_VERSION`].
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("DeviceSpec serializes")
+    }
+
     /// Instantiates a fresh device with deterministic `seed`.
     pub fn build(&self, seed: u64) -> Box<dyn MemoryDevice> {
         match self {

@@ -14,6 +14,8 @@
 //!   bounded Pareto for heavy tails, mixtures).
 //! - [`ServerPool`]: a k-server queueing primitive used to model bandwidth
 //!   (service slots) in memory controllers and links.
+//! - [`CreditPool`]: flow-control credit accounting with time-scheduled
+//!   returns, used to state (and property-test) link-credit invariants.
 //!
 //! # Example
 //!
@@ -29,12 +31,14 @@
 
 #![warn(missing_docs)]
 
+mod credits;
 mod dist;
 mod events;
 mod queueing;
 mod rng;
 mod time;
 
+pub use credits::CreditPool;
 pub use dist::Dist;
 pub use events::EventQueue;
 pub use queueing::ServerPool;

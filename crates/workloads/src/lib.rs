@@ -35,5 +35,5 @@ pub mod registry;
 mod spec;
 mod stream;
 
-pub use spec::{Pattern, Phase, Suite, WorkloadSpec};
+pub use spec::{Pattern, Phase, Suite, WorkloadSpec, SPEC_SCHEMA_VERSION};
 pub use stream::SlotStream;

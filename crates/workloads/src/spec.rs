@@ -98,6 +98,17 @@ impl Phase {
     }
 }
 
+/// Version stamp of the [`WorkloadSpec`] serialization schema *and* of
+/// the workload models' observable behaviour. Content-addressed result
+/// caches mix this into every cell fingerprint, so bumping it
+/// invalidates all cached results built from workload specs.
+///
+/// Bump it whenever a change alters what a spec means: a field is
+/// added/renamed/reinterpreted, a registry entry's parameters move, or
+/// the address-stream generator changes its output for the same spec +
+/// seed.
+pub const SPEC_SCHEMA_VERSION: u32 = 1;
+
 /// A complete workload model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
@@ -134,6 +145,13 @@ impl WorkloadSpec {
             serialize_frac: 0.01,
             threads: 1,
         }
+    }
+
+    /// Canonical serialized form of this spec: the compact serde-JSON
+    /// encoding, which is deterministic. Cache fingerprints hash this
+    /// string together with [`SPEC_SCHEMA_VERSION`].
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("WorkloadSpec serializes")
     }
 
     /// Total normalised phase weights (for sanity checks).

@@ -9,6 +9,7 @@
 //! melody run <workload> <device> [--refs N] [--platform NAME]
 //!            [--json] [--out PATH] [--windows N]
 //! melody cpmu <device> [--accesses N] # white-box component attribution
+//! melody campaign <spec.json> [--shard i/N] [--journal PATH] [--resume] [--json]
 //! melody degraded [--scale S] [--journal PATH] [--resume] [--limit N] [--json]
 //! melody trace <device> [--out PATH] [--workloads N] [--refs N]
 //! melody diff <a.json> <b.json> [--rel-tol X] [--abs-tol X] [--json]
@@ -20,7 +21,13 @@
 //!
 //! Global flags: `--jobs N` (worker threads), `--telemetry
 //! off|metrics|trace` (instrumentation level, default off — see
-//! TELEMETRY.md) and `--cadence-ns N` (gauge sampling window). With
+//! TELEMETRY.md), `--cadence-ns N` (gauge sampling window), and
+//! `--cache DIR` / `--no-cache` (content-addressed result cache; see
+//! EXPERIMENTS.md "Campaigns and the result cache"). `melody campaign`
+//! expands a platform × device × fault × workload spec into cells,
+//! loads warm cells from the cache (default `.melody-cache`), simulates
+//! only the misses, and emits byte-identical output for any cache,
+//! `--shard i/N` or `--jobs` mix. With
 //! telemetry enabled, every command appends a metrics table to its
 //! report (stdout) and a wall-clock phase profile to stderr. `melody
 //! trace` runs a small deterministic population sweep in trace mode and
@@ -47,43 +54,9 @@ use melody_mem::{CpmuDevice, FaultConfig};
 use melody_workloads::mlc::{loaded_latency, MlcConfig};
 use melody_workloads::Suite;
 
-fn device_by_name(name: &str) -> Option<DeviceSpec> {
-    let base = |n: &str| -> Option<DeviceSpec> {
-        Some(match n {
-            "local" => presets::local_emr(),
-            "numa" => presets::numa_emr(),
-            "cxl-a" => presets::cxl_a(),
-            "cxl-b" => presets::cxl_b(),
-            "cxl-c" => presets::cxl_c(),
-            "cxl-d" => presets::cxl_d(),
-            "skx-140" => presets::skx_140(),
-            "skx-190" => presets::skx_190(),
-            "skx-410" => presets::skx8s_410(),
-            _ => return None,
-        })
-    };
-    if let Some(stripped) = name.strip_suffix("+numa") {
-        return base(stripped).map(|d| d.with_numa_hop());
-    }
-    if let Some(stripped) = name.strip_suffix("+switch") {
-        return base(stripped).map(|d| d.with_switch_hop());
-    }
-    if let Some(stripped) = name.strip_suffix("-x2") {
-        return base(stripped).map(|d| d.interleaved(2));
-    }
-    base(name)
-}
-
-fn platform_by_name(name: &str) -> Option<Platform> {
-    Some(match name {
-        "spr2s" => Platform::spr2s(),
-        "emr2s" => Platform::emr2s(),
-        "emr2s-prime" => Platform::emr2s_prime(),
-        "skx2s" => Platform::skx2s(),
-        "skx8s" => Platform::skx8s(),
-        _ => return None,
-    })
-}
+// Device / platform name resolution lives in `melody::campaign`
+// (re-exported through the prelude) so the `campaign` spec expander and
+// the CLI agree on the vocabulary.
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -120,8 +93,9 @@ fn apply_faults(spec: DeviceSpec, args: &[String]) -> DeviceSpec {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|degraded|trace|diff|report> [args]\n\
+        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|campaign|degraded|trace|diff|report> [args]\n\
          \u{20}      [--jobs N] [--telemetry off|metrics|trace] [--cadence-ns N]\n\
+         \u{20}      [--cache DIR] [--no-cache]\n\
          see `src/bin/melody.rs` header or README for details"
     );
     std::process::exit(2);
@@ -163,6 +137,37 @@ fn take_telemetry_flags(args: &mut Vec<String>) {
     }
 }
 
+/// Consumes the global cache flags. `--cache DIR` installs a
+/// content-addressed result cache rooted at DIR for every
+/// cache-aware code path (campaigns, population sweeps, figure
+/// drivers); `--no-cache` forces cache-free execution (it also
+/// suppresses the default `.melody-cache` that `melody campaign`
+/// would otherwise install). Returns `true` when `--no-cache` was
+/// given.
+fn take_cache_flags(args: &mut Vec<String>) -> bool {
+    let mut no_cache = false;
+    if let Some(i) = args.iter().position(|a| a == "--no-cache") {
+        no_cache = true;
+        args.remove(i);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--cache") {
+        let dir = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        args.drain(i..i + 2);
+        if no_cache {
+            eprintln!("--cache and --no-cache are mutually exclusive");
+            std::process::exit(2);
+        }
+        match ResultCache::open(&dir) {
+            Ok(c) => melody::cache::set_global(Some(c)),
+            Err(e) => {
+                eprintln!("cannot open cache {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    no_cache
+}
+
 /// Drains collected telemetry after a command: metrics join the report
 /// on stdout, the wall-clock profile goes to stderr (host time is
 /// nondeterministic, so it must never mix into comparable output).
@@ -183,7 +188,19 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     take_jobs_flag(&mut args);
     take_telemetry_flags(&mut args);
+    let no_cache = take_cache_flags(&mut args);
     let Some(cmd) = args.first() else { usage() };
+    if cmd == "campaign" && !no_cache && !melody::cache::global_enabled() {
+        // Campaigns default to a local cache; every other command is
+        // cache-free unless --cache is given.
+        match ResultCache::open(".melody-cache") {
+            Ok(c) => melody::cache::set_global(Some(c)),
+            Err(e) => {
+                eprintln!("cannot open cache .melody-cache: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     match cmd.as_str() {
         "devices" => cmd_devices(),
         "workloads" => cmd_workloads(&args[1..]),
@@ -192,11 +209,17 @@ fn main() {
         "mlc" => cmd_mlc(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "cpmu" => cmd_cpmu(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
         "degraded" => cmd_degraded(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
         "report" => cmd_report(&args[1..]),
         _ => usage(),
+    }
+    // Cache effectiveness is diagnostic output: stderr only, never into
+    // comparable stdout.
+    if let Some(stats) = melody::cache::global_stats() {
+        eprintln!("{}", stats.render());
     }
     finish_telemetry();
 }
@@ -363,13 +386,7 @@ fn cmd_run(args: &[String]) {
         mem_refs: flag_u64(args, "--refs", 30_000),
         ..Default::default()
     };
-    let local = match platform.name.as_str() {
-        "SPR2S" => presets::local_spr(),
-        "EMR2S'" => presets::local_emr_prime(),
-        "SKX2S" => presets::local_skx2s(),
-        "SKX8S" => presets::local_skx8s(),
-        _ => presets::local_emr(),
-    };
+    let local = melody::campaign::local_for_platform(&platform);
     if args.iter().any(|a| a == "--json") {
         run_json(args, &platform, &local, &spec, &w, &opts);
         return;
@@ -457,6 +474,32 @@ fn run_json(
     }
 }
 
+/// Reads a JSON document for `diff`/`report`, exiting 2 with a clear
+/// message when the path is a directory, unreadable, or an empty file —
+/// those used to fall through to a raw deserialize error.
+fn read_json_text(path: &str) -> String {
+    match std::fs::metadata(path) {
+        Ok(m) if m.is_dir() => {
+            eprintln!("{path}: is a directory, not a JSON document");
+            std::process::exit(2);
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    if text.trim().is_empty() {
+        eprintln!("{path}: empty file, expected a JSON document");
+        std::process::exit(2);
+    }
+    text
+}
+
 /// `melody diff <a.json> <b.json>`: structural diff of two `--json`
 /// documents under optional `--rel-tol` / `--abs-tol` tolerances.
 /// Prints the human delta table (or the machine verdict with `--json`)
@@ -480,10 +523,7 @@ fn cmd_diff(args: &[String]) {
     }
     let [path_a, path_b] = paths[..] else { usage() };
     let read = |path: &String| -> serde::Value {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        });
+        let text = read_json_text(path);
         serde_json::from_str(&text).unwrap_or_else(|e| {
             eprintln!("{path}: not valid JSON: {e}");
             std::process::exit(2);
@@ -520,10 +560,7 @@ fn cmd_diff(args: &[String]) {
 /// scripts or external assets) at `--out` (default `report.html`).
 fn cmd_report(args: &[String]) {
     let Some(path) = args.first() else { usage() };
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2);
-    });
+    let text = read_json_text(path);
     let doc: melody_insight::RunDoc = serde_json::from_str(&text).unwrap_or_else(|e| {
         eprintln!("{path}: not a melody-run document: {e}");
         std::process::exit(2);
@@ -581,6 +618,72 @@ fn cmd_cpmu(args: &[String]) {
         r.spike.percentile(99.9),
         r.dominant_tail_component()
     );
+}
+
+/// `melody campaign <spec.json>`: expands the spec's
+/// platform × device × fault × workload grid, loads warm cells from the
+/// content-addressed result cache (default `.melody-cache`, override
+/// with `--cache DIR`, disable with `--no-cache`), dispatches only the
+/// misses to the worker pool, and renders the campaign table (or the
+/// JSON document with `--json`). `--shard i/N` runs the i-th of N
+/// interleaved slices; `--journal PATH` + `--resume` checkpoint and
+/// resume exactly like `melody degraded`. Output is byte-identical for
+/// any cache, shard or `--jobs` mix.
+fn cmd_campaign(args: &[String]) {
+    use melody::journal::Journal;
+
+    let Some(spec_path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("campaign requires a spec file (see datasets/grid_quick.json)");
+        std::process::exit(2);
+    };
+    let spec = CampaignSpec::load(spec_path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let shard = match flag(args, "--shard") {
+        Some(s) => Shard::parse(&s).unwrap_or_else(|| {
+            eprintln!("bad --shard `{s}` (expected i/N with i < N)");
+            std::process::exit(2);
+        }),
+        None => Shard::full(),
+    };
+    let resume = args.iter().any(|a| a == "--resume");
+    let mut journal = match flag(args, "--journal") {
+        Some(path) => {
+            if !resume {
+                // A fresh (non---resume) campaign starts from a clean
+                // journal; stale entries would silently skip cells.
+                let _ = std::fs::remove_file(&path);
+            }
+            Journal::open(&path).unwrap_or_else(|e| {
+                eprintln!("cannot open journal {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => {
+            if resume {
+                eprintln!("--resume requires --journal PATH");
+                std::process::exit(2);
+            }
+            Journal::in_memory()
+        }
+    };
+    let policy = melody::exec::CellPolicy::default();
+    let report = melody::cache::with_global(|cache| {
+        run_campaign(&spec, shard, &mut journal, cache, &policy)
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", melody::report::to_json(&report));
+    } else {
+        print!("{}", report.render());
+    }
+    if !report.errors.is_empty() {
+        std::process::exit(1);
+    }
 }
 
 fn cmd_degraded(args: &[String]) {

@@ -1,0 +1,758 @@
+//! Campaign engine: declarative platform × device × workload × faults
+//! grids with content-addressed result caching and CI sharding.
+//!
+//! A campaign is a JSON [`CampaignSpec`] naming platforms, devices,
+//! fault regimes and workloads. [`CampaignSpec::expand`] resolves the
+//! grid into concrete [`CampaignCell`]s — fully-resolved configurations,
+//! each with a stable fingerprint over everything that determines its
+//! result (platform parameters, device spec with faults applied,
+//! workload spec, run options, and the code-schema version stamps).
+//! [`run_campaign`] then consults a journal (same-run resume) and a
+//! [`ResultCache`] (cross-run warm starts) before dispatching only the
+//! misses to the resilient worker pool.
+//!
+//! Byte-identity contract: every cell result — journaled, cached, or
+//! freshly simulated — passes through exactly one compact-JSON
+//! round-trip before entering the report, so campaign output is
+//! identical whether cells came from cache, fresh simulation, any
+//! `--jobs` setting, or any shard split merged back together. CI
+//! enforces this with `cmp`.
+//!
+//! The same machinery backs the experiment drivers via [`cached_map`]:
+//! with no process-wide cache installed it degenerates to a plain
+//! [`crate::exec::parallel_map`] (the exact pre-cache code path); with
+//! `--cache DIR` it keys each cell and reuses prior results.
+
+use std::sync::Mutex;
+
+use melody_cpu::Platform;
+use melody_mem::{presets, DeviceSpec, FaultConfig};
+use melody_spa::Breakdown;
+use melody_workloads::{registry, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{self, ResultCache};
+use crate::exec::{run_cells, CellError, CellPolicy};
+use crate::experiments::Scale;
+use crate::journal::Journal;
+use crate::report::TableData;
+use crate::runner::{run_pair, PairOutcome, RunOptions};
+
+/// Version stamp of the campaign's cached result payloads (the
+/// serialized [`PairOutcome`] plus derived row schema). Mixed into every
+/// cell fingerprint; bump it when the payload's shape or meaning changes
+/// so stale cache entries become unreachable (see EXPERIMENTS.md,
+/// "Campaigns and the result cache").
+pub const RESULT_SCHEMA_VERSION: u32 = 1;
+
+/// Resolves a device keyword (`local`, `numa`, `cxl-a` … `cxl-d`,
+/// `skx-140`, `skx-190`, `skx-410`, with optional `+numa` / `+switch` /
+/// `-x2` suffixes) to its preset spec.
+pub fn device_by_name(name: &str) -> Option<DeviceSpec> {
+    let base = |n: &str| -> Option<DeviceSpec> {
+        Some(match n {
+            "local" => presets::local_emr(),
+            "numa" => presets::numa_emr(),
+            "cxl-a" => presets::cxl_a(),
+            "cxl-b" => presets::cxl_b(),
+            "cxl-c" => presets::cxl_c(),
+            "cxl-d" => presets::cxl_d(),
+            "skx-140" => presets::skx_140(),
+            "skx-190" => presets::skx_190(),
+            "skx-410" => presets::skx8s_410(),
+            _ => return None,
+        })
+    };
+    if let Some(stripped) = name.strip_suffix("+numa") {
+        return base(stripped).map(|d| d.with_numa_hop());
+    }
+    if let Some(stripped) = name.strip_suffix("+switch") {
+        return base(stripped).map(|d| d.with_switch_hop());
+    }
+    if let Some(stripped) = name.strip_suffix("-x2") {
+        return base(stripped).map(|d| d.interleaved(2));
+    }
+    base(name)
+}
+
+/// Resolves a platform keyword (`spr2s`, `emr2s`, `emr2s-prime`,
+/// `skx2s`, `skx8s`) to its [`Platform`].
+pub fn platform_by_name(name: &str) -> Option<Platform> {
+    Some(match name {
+        "spr2s" => Platform::spr2s(),
+        "emr2s" => Platform::emr2s(),
+        "emr2s-prime" => Platform::emr2s_prime(),
+        "skx2s" => Platform::skx2s(),
+        "skx8s" => Platform::skx8s(),
+        _ => return None,
+    })
+}
+
+/// The local-DRAM baseline device paired with a platform (matching the
+/// paper's Table 1 testbeds; `melody run --platform` uses the same map).
+pub fn local_for_platform(platform: &Platform) -> DeviceSpec {
+    match platform.name.as_str() {
+        "SPR2S" => presets::local_spr(),
+        "EMR2S'" => presets::local_emr_prime(),
+        "SKX2S" => presets::local_skx2s(),
+        "SKX8S" => presets::local_skx8s(),
+        _ => presets::local_emr(),
+    }
+}
+
+/// Fingerprint of one simulation cell: the canonical config JSON mixed
+/// with every schema stamp that can change what a stored result means —
+/// the cache envelope version, this campaign payload version, and the
+/// device/workload spec versions.
+pub fn cell_fingerprint(domain: &str, config_json: &str) -> String {
+    cache::fingerprint(&[
+        "melody-cell",
+        &cache::CACHE_SCHEMA_VERSION.to_string(),
+        &RESULT_SCHEMA_VERSION.to_string(),
+        &melody_mem::SPEC_SCHEMA_VERSION.to_string(),
+        &melody_workloads::SPEC_SCHEMA_VERSION.to_string(),
+        domain,
+        config_json,
+    ])
+}
+
+/// Canonical config JSON of one local-vs-target pair run — the hash
+/// input for [`cell_fingerprint`] used by all pair-running drivers.
+pub fn pair_config_json(
+    platform: &Platform,
+    local: &DeviceSpec,
+    target: &DeviceSpec,
+    workload: &WorkloadSpec,
+    opts: &RunOptions,
+) -> String {
+    format!(
+        "{{\"platform\":{},\"local\":{},\"target\":{},\"workload\":{},\"opts\":{}}}",
+        serde_json::to_string(platform).expect("Platform serializes"),
+        local.canonical_json(),
+        target.canonical_json(),
+        workload.canonical_json(),
+        serde_json::to_string(opts).expect("RunOptions serializes"),
+    )
+}
+
+/// Cache-aware [`crate::exec::parallel_map`]: with no process-wide cache
+/// installed ([`cache::set_global`]) this *is* `parallel_map` — same
+/// code path, byte-identical output. With a cache, each item's config
+/// (from `key_config`) is fingerprinted under `domain`; hits
+/// deserialize from the cache and only misses are simulated (then
+/// stored). Fresh results round-trip through the same compact JSON a
+/// hit would load from, so warm and cold runs are structurally
+/// identical.
+pub fn cached_map<T, R>(
+    domain: &str,
+    items: &[T],
+    key_config: impl Fn(&T) -> String + Sync,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Serialize + Deserialize,
+{
+    if !cache::global_enabled() {
+        return crate::exec::parallel_map(items, f);
+    }
+    let keys: Vec<String> = items
+        .iter()
+        .map(|t| cell_fingerprint(domain, &key_config(t)))
+        .collect();
+    let mut slots: Vec<Option<R>> = cache::with_global(|c| {
+        let c = c.expect("cache checked enabled");
+        keys.iter()
+            .map(|k| c.get(k).and_then(|p| serde_json::from_str(&p).ok()))
+            .collect()
+    });
+    let miss_idx: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let miss_items: Vec<&T> = miss_idx.iter().map(|&i| &items[i]).collect();
+    let fresh = crate::exec::parallel_map(&miss_items, |t| f(t));
+    for (&slot, r) in miss_idx.iter().zip(fresh) {
+        let json = serde_json::to_string(&r).expect("cell result serializes");
+        cache::with_global(|c| {
+            // A full disk is a degraded cache, not a failed experiment:
+            // the result below is still returned either way.
+            let _ = c.expect("cache checked enabled").put(&keys[slot], &json);
+        });
+        slots[slot] = Some(serde_json::from_str(&json).expect("cell result round-trips"));
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// A declarative campaign: the JSON document `melody campaign` loads.
+///
+/// `workloads` may list registry names explicitly; when empty, the
+/// campaign draws the deterministic class-spanning selection for
+/// `scale` (default `smoke`). `faults` defaults to `["none"]`,
+/// `mem_refs` to the scale's reference count and `seed` to 42.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (labels reports and artifacts).
+    pub name: String,
+    /// Platform keywords (see [`platform_by_name`]).
+    pub platforms: Vec<String>,
+    /// Device keywords (see [`device_by_name`]).
+    pub devices: Vec<String>,
+    /// Explicit workload names; empty means "use `scale` selection".
+    #[serde(default)]
+    pub workloads: Vec<String>,
+    /// Fault regimes ([`melody_mem::faults::REGIMES`]); empty = `none`.
+    #[serde(default)]
+    pub faults: Vec<String>,
+    /// Workload-selection scale: `smoke`, `quick` or `full`.
+    #[serde(default)]
+    pub scale: Option<String>,
+    /// Memory references per run (default: the scale's).
+    #[serde(default)]
+    pub mem_refs: Option<u64>,
+    /// Base RNG seed (default 42).
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+impl CampaignSpec {
+    /// Loads a campaign spec from a JSON file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not a campaign spec: {e:?}"))
+    }
+
+    /// The effective scale (`smoke` when unset).
+    pub fn effective_scale(&self) -> Result<Scale, String> {
+        match self.scale.as_deref() {
+            None | Some("smoke") => Ok(Scale::Smoke),
+            Some("quick") => Ok(Scale::Quick),
+            Some("full") => Ok(Scale::Full),
+            Some(other) => Err(format!("unknown scale `{other}` (smoke|quick|full)")),
+        }
+    }
+
+    /// Expands the grid into fully-resolved cells, in deterministic
+    /// platform-major order (platform, then device, then fault regime,
+    /// then workload). Unknown names are errors, not panics.
+    pub fn expand(&self) -> Result<Vec<CampaignCell>, String> {
+        let scale = self.effective_scale()?;
+        if self.platforms.is_empty() || self.devices.is_empty() {
+            return Err("campaign needs at least one platform and one device".into());
+        }
+        let workloads: Vec<WorkloadSpec> = if self.workloads.is_empty() {
+            scale.select_workloads()
+        } else {
+            self.workloads
+                .iter()
+                .map(|n| {
+                    registry::by_name(n)
+                        .ok_or_else(|| format!("unknown workload `{n}` (try `melody workloads`)"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let faults: Vec<String> = if self.faults.is_empty() {
+            vec!["none".to_string()]
+        } else {
+            self.faults.clone()
+        };
+        let opts = RunOptions {
+            mem_refs: self.mem_refs.unwrap_or_else(|| scale.mem_refs()),
+            seed: self.seed.unwrap_or(42),
+            ..Default::default()
+        };
+        let mut cells = Vec::new();
+        for pname in &self.platforms {
+            let platform = platform_by_name(pname).ok_or_else(|| {
+                format!("unknown platform `{pname}` (spr2s|emr2s|emr2s-prime|skx2s|skx8s)")
+            })?;
+            let local = local_for_platform(&platform);
+            for dname in &self.devices {
+                let device = device_by_name(dname)
+                    .ok_or_else(|| format!("unknown device `{dname}` (try `melody devices`)"))?;
+                for fname in &faults {
+                    let fc = FaultConfig::by_name(fname).ok_or_else(|| {
+                        format!(
+                            "unknown fault regime `{fname}` (known: {})",
+                            melody_mem::faults::REGIMES.join(", ")
+                        )
+                    })?;
+                    // The inert regime attaches no fault layer, so a
+                    // faultless campaign hashes (and simulates)
+                    // identically to one written before regimes existed.
+                    let target = if fc.is_inert() {
+                        device.clone()
+                    } else {
+                        device.clone().with_faults(fc)
+                    };
+                    for w in &workloads {
+                        // Same domain as the drivers' pair runs: a cell
+                        // simulated by `run_population_par` or a grid is
+                        // a warm hit for an equivalent campaign cell.
+                        let config = pair_config_json(&platform, &local, &target, w, &opts);
+                        let key = cell_fingerprint("pair", &config);
+                        cells.push(CampaignCell {
+                            index: cells.len(),
+                            key,
+                            platform_name: pname.clone(),
+                            device_name: dname.clone(),
+                            fault_name: fname.clone(),
+                            platform: platform.clone(),
+                            local: local.clone(),
+                            target: target.clone(),
+                            workload: w.clone(),
+                            opts: opts.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+}
+
+/// One fully-resolved campaign cell, ready to simulate or look up.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Position in the campaign's deterministic expansion order.
+    pub index: usize,
+    /// Content fingerprint of the resolved configuration.
+    pub key: String,
+    /// Platform keyword from the spec.
+    pub platform_name: String,
+    /// Device keyword from the spec.
+    pub device_name: String,
+    /// Fault regime name from the spec.
+    pub fault_name: String,
+    /// Resolved platform.
+    pub platform: Platform,
+    /// Local-DRAM baseline for this platform.
+    pub local: DeviceSpec,
+    /// Target device (faults applied).
+    pub target: DeviceSpec,
+    /// Resolved workload.
+    pub workload: WorkloadSpec,
+    /// Run options.
+    pub opts: RunOptions,
+}
+
+impl CampaignCell {
+    /// Human-readable cell label for error reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.platform_name, self.device_name, self.fault_name, self.workload.name
+        )
+    }
+}
+
+/// One shard of a campaign: this machine owns every cell whose index is
+/// congruent to `index` modulo `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard index in `0..count`.
+    pub index: usize,
+    /// Total shard count (≥ 1).
+    pub count: usize,
+}
+
+impl Shard {
+    /// The whole campaign (one shard).
+    pub fn full() -> Self {
+        Self { index: 0, count: 1 }
+    }
+
+    /// Parses `"i/N"` (e.g. `"0/2"`); `i` must be below `N`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (i, n) = s.split_once('/')?;
+        let index: usize = i.parse().ok()?;
+        let count: usize = n.parse().ok()?;
+        if count == 0 || index >= count {
+            return None;
+        }
+        Some(Self { index, count })
+    }
+
+    /// True when this shard owns cell `index`.
+    pub fn owns(&self, index: usize) -> bool {
+        index % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// One finished campaign cell, as reported (derived from the
+/// round-tripped [`PairOutcome`], so cached and fresh cells render
+/// identically).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignRow {
+    /// Platform keyword.
+    pub platform: String,
+    /// Device keyword.
+    pub device: String,
+    /// Fault regime.
+    pub faults: String,
+    /// Workload name.
+    pub workload: String,
+    /// Suite label.
+    pub suite: String,
+    /// Slowdown vs the platform's local baseline (fraction).
+    pub slowdown: f64,
+    /// Spa breakdown of the slowdown.
+    pub breakdown: Breakdown,
+    /// Baseline IPC.
+    pub local_ipc: f64,
+    /// Target IPC.
+    pub target_ipc: f64,
+    /// Target demand-load p99.9 latency, ns.
+    pub target_p999_ns: u64,
+}
+
+/// The result of one campaign (or campaign shard).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Shard that produced this report (`"0/1"` = whole campaign).
+    pub shard: String,
+    /// Total cells in the full campaign (all shards).
+    pub total_cells: usize,
+    /// Finished rows, in campaign expansion order.
+    pub rows: Vec<CampaignRow>,
+    /// Cells that failed, as structured errors (indices are campaign
+    /// expansion indices).
+    pub errors: Vec<CellError>,
+}
+
+impl CampaignReport {
+    /// Renders the per-cell table plus per-(platform, device, faults)
+    /// aggregates.
+    pub fn render(&self) -> String {
+        let mut t = TableData::new(
+            format!(
+                "campaign {} (shard {}, {} of {} cells)",
+                self.name,
+                self.shard,
+                self.rows.len(),
+                self.total_cells
+            ),
+            &[
+                "Platform",
+                "Device",
+                "Faults",
+                "Workload",
+                "Slowdown",
+                "DRAM",
+                "IPC",
+                "p99.9(ns)",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.platform.clone(),
+                r.device.clone(),
+                r.faults.clone(),
+                r.workload.clone(),
+                format!("{:.1}%", r.slowdown * 100.0),
+                format!("{:.1}%", r.breakdown.dram * 100.0),
+                format!("{:.2}->{:.2}", r.local_ipc, r.target_ipc),
+                r.target_p999_ns.to_string(),
+            ]);
+        }
+        let mut out = t.render();
+        let mut groups: Vec<(String, Vec<f64>)> = Vec::new();
+        for r in &self.rows {
+            let g = format!("{}/{}/{}", r.platform, r.device, r.faults);
+            match groups.iter_mut().find(|(k, _)| *k == g) {
+                Some((_, v)) => v.push(r.slowdown * 100.0),
+                None => groups.push((g, vec![r.slowdown * 100.0])),
+            }
+        }
+        let mut s = TableData::new(
+            "campaign summary: slowdown % per setup",
+            &["Setup", "n", "mean", "p50", "p90", "max"],
+        );
+        for (g, mut v) in groups {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite slowdowns"));
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let pick = |q: f64| v[((v.len() - 1) as f64 * q).round() as usize];
+            s.push_row(vec![
+                g,
+                v.len().to_string(),
+                format!("{mean:.1}"),
+                format!("{:.1}", pick(0.50)),
+                format!("{:.1}", pick(0.90)),
+                format!("{:.1}", v[v.len() - 1]),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&s.render());
+        if !self.errors.is_empty() {
+            out.push_str("\n== failed cells ==\n");
+            for e in &self.errors {
+                out.push_str(&format!("{e}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn row_from(cell: &CampaignCell, o: &PairOutcome) -> CampaignRow {
+    CampaignRow {
+        platform: cell.platform_name.clone(),
+        device: cell.device_name.clone(),
+        faults: cell.fault_name.clone(),
+        workload: o.workload.clone(),
+        suite: o.suite.label().to_string(),
+        slowdown: o.slowdown,
+        breakdown: o.breakdown,
+        local_ipc: o.local.ipc(),
+        target_ipc: o.target.ipc(),
+        target_p999_ns: o.target.demand_lat_hist.percentile(99.9),
+    }
+}
+
+/// Runs a campaign (or one shard of it).
+///
+/// Resolution order per owned cell: the `journal` (same-run resume,
+/// keyed by the same fingerprint), then `cache` (cross-run warm start),
+/// then simulation on the resilient worker pool. Fresh results are
+/// recorded to both, and every result passes through one compact-JSON
+/// round-trip so warm, cold, resumed and sharded runs serialize
+/// byte-identically.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    shard: Shard,
+    journal: &mut Journal,
+    cache: Option<&ResultCache>,
+    policy: &CellPolicy,
+) -> Result<CampaignReport, String> {
+    let _span = melody_telemetry::span("campaign");
+    let cells = spec.expand()?;
+    let total_cells = cells.len();
+    let owned: Vec<&CampaignCell> = cells.iter().filter(|c| shard.owns(c.index)).collect();
+
+    // Pass 1 (serial): resolve journal and cache hits.
+    let mut slots: Vec<Option<PairOutcome>> = Vec::with_capacity(owned.len());
+    let mut todo: Vec<&CampaignCell> = Vec::new();
+    for cell in &owned {
+        let restored = match journal.get(&cell.key) {
+            Some(json) => {
+                // Cache-aware resume: a journaled cell warms the shared
+                // cache too, so a resumed shard seeds later runs.
+                if let Some(c) = cache {
+                    let _ = c.put(&cell.key, json);
+                }
+                Some(json.to_string())
+            }
+            None => cache.and_then(|c| c.get(&cell.key)),
+        };
+        match restored.and_then(|json| serde_json::from_str::<PairOutcome>(&json).ok()) {
+            Some(o) => slots.push(Some(o)),
+            None => {
+                slots.push(None);
+                todo.push(cell);
+            }
+        }
+    }
+    if melody_telemetry::metrics_on() {
+        melody_telemetry::count("campaign.cells", owned.len() as u64);
+        melody_telemetry::count("campaign.simulated", todo.len() as u64);
+    }
+
+    // Pass 2: simulate the misses, checkpointing each as it completes.
+    let journal_mx = Mutex::new(journal);
+    let results = run_cells(
+        &todo,
+        policy,
+        |_, cell| cell.label(),
+        |cell| {
+            let o = run_pair(
+                &cell.platform,
+                &cell.local,
+                &cell.target,
+                &cell.workload,
+                &cell.opts,
+            );
+            let json = serde_json::to_string(&o).expect("outcome serializes");
+            journal_mx
+                .lock()
+                .expect("journal lock")
+                .record(&cell.key, &json)
+                .expect("journal append");
+            if let Some(c) = cache {
+                let _ = c.put(&cell.key, &json);
+            }
+            // Round-trip: fresh == restored, byte for byte.
+            serde_json::from_str::<PairOutcome>(&json).expect("outcome round-trips")
+        },
+    );
+
+    let mut errors = Vec::new();
+    let todo_slots: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    for ((slot, cell), r) in todo_slots.into_iter().zip(&todo).zip(results) {
+        match r {
+            Ok(o) => slots[slot] = Some(o),
+            Err(e) => errors.push(CellError {
+                index: cell.index,
+                ..e
+            }),
+        }
+    }
+
+    let rows = owned
+        .iter()
+        .zip(&slots)
+        .filter_map(|(cell, s)| s.as_ref().map(|o| row_from(cell, o)))
+        .collect();
+    Ok(CampaignReport {
+        name: spec.name.clone(),
+        shard: shard.to_string(),
+        total_cells,
+        rows,
+        errors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            platforms: vec!["emr2s".into()],
+            devices: vec!["cxl-a".into()],
+            workloads: vec!["605.mcf".into(), "541.leela".into()],
+            faults: vec![],
+            scale: None,
+            mem_refs: Some(4_000),
+            seed: None,
+        }
+    }
+
+    #[test]
+    fn expansion_is_platform_major_and_stable() {
+        let spec = CampaignSpec {
+            devices: vec!["cxl-a".into(), "cxl-b".into()],
+            faults: vec!["none".into(), "retrain".into()],
+            ..tiny_spec()
+        };
+        let cells = spec.expand().expect("expand");
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(cells[0].label(), "emr2s/cxl-a/none/605.mcf");
+        assert_eq!(cells[3].label(), "emr2s/cxl-a/retrain/541.leela");
+        assert_eq!(cells[4].label(), "emr2s/cxl-b/none/605.mcf");
+        // Fingerprints are stable across expansions and unique per cell.
+        let again = spec.expand().expect("expand");
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.key, b.key);
+        }
+        let mut keys: Vec<&str> = cells.iter().map(|c| c.key.as_str()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len(), "all cell keys distinct");
+    }
+
+    #[test]
+    fn config_changes_change_the_fingerprint() {
+        let base = tiny_spec().expand().expect("expand");
+        let reseeded = CampaignSpec {
+            seed: Some(43),
+            ..tiny_spec()
+        }
+        .expand()
+        .expect("expand");
+        let refsd = CampaignSpec {
+            mem_refs: Some(5_000),
+            ..tiny_spec()
+        }
+        .expand()
+        .expect("expand");
+        assert_ne!(base[0].key, reseeded[0].key, "seed is hashed");
+        assert_ne!(base[0].key, refsd[0].key, "mem_refs is hashed");
+        // The inert fault regime hashes identically to no regime at all.
+        let explicit_none = CampaignSpec {
+            faults: vec!["none".into()],
+            ..tiny_spec()
+        }
+        .expand()
+        .expect("expand");
+        assert_eq!(base[0].key, explicit_none[0].key);
+    }
+
+    #[test]
+    fn unknown_names_are_errors() {
+        let bad_platform = CampaignSpec {
+            platforms: vec!["pentium3".into()],
+            ..tiny_spec()
+        };
+        assert!(bad_platform.expand().unwrap_err().contains("pentium3"));
+        let bad_device = CampaignSpec {
+            devices: vec!["cxl-z".into()],
+            ..tiny_spec()
+        };
+        assert!(bad_device.expand().unwrap_err().contains("cxl-z"));
+        let bad_workload = CampaignSpec {
+            workloads: vec!["999.nothing".into()],
+            ..tiny_spec()
+        };
+        assert!(bad_workload.expand().unwrap_err().contains("999.nothing"));
+        let bad_fault = CampaignSpec {
+            faults: vec!["meteor".into()],
+            ..tiny_spec()
+        };
+        assert!(bad_fault.expand().unwrap_err().contains("meteor"));
+    }
+
+    #[test]
+    fn shard_parsing_and_ownership() {
+        assert_eq!(Shard::parse("0/2"), Some(Shard { index: 0, count: 2 }));
+        assert_eq!(Shard::parse("1/2"), Some(Shard { index: 1, count: 2 }));
+        assert_eq!(Shard::parse("2/2"), None, "index must be < count");
+        assert_eq!(Shard::parse("0/0"), None);
+        assert_eq!(Shard::parse("x/2"), None);
+        assert_eq!(Shard::parse("1"), None);
+        let s0 = Shard::parse("0/3").expect("shard");
+        let s1 = Shard::parse("1/3").expect("shard");
+        let s2 = Shard::parse("2/3").expect("shard");
+        for i in 0..30 {
+            let owners = [s0, s1, s2].iter().filter(|s| s.owns(i)).count();
+            assert_eq!(owners, 1, "cell {i} owned exactly once");
+        }
+        assert_eq!(Shard::full().to_string(), "0/1");
+    }
+
+    #[test]
+    fn campaign_runs_and_journal_resumes() {
+        let spec = tiny_spec();
+        let mut j = Journal::in_memory();
+        let a = run_campaign(&spec, Shard::full(), &mut j, None, &CellPolicy::default())
+            .expect("campaign");
+        assert_eq!(a.rows.len(), 2);
+        assert!(a.errors.is_empty(), "{:?}", a.errors);
+        assert_eq!(j.len(), 2);
+        // Rerun restores everything from the journal, byte-identically.
+        let b = run_campaign(&spec, Shard::full(), &mut j, None, &CellPolicy::default())
+            .expect("campaign");
+        assert_eq!(
+            serde_json::to_string(&a).expect("a"),
+            serde_json::to_string(&b).expect("b"),
+        );
+        assert!(a.render().contains("campaign summary"));
+    }
+}

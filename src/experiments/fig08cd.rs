@@ -17,7 +17,7 @@ use melody_workloads::{registry, Suite, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::report::Series;
-use crate::runner::{run_pair, run_population, RunOptions};
+use crate::runner::{run_pair, run_population_par, RunOptions};
 
 use super::Scale;
 
@@ -62,7 +62,7 @@ pub fn fig08c(scale: Scale) -> Fig08cData {
     let cdfs = configs
         .into_iter()
         .map(|(label, platform, local, target)| {
-            let outcomes = run_population(&platform, &local, &target, &workloads, &opts);
+            let outcomes = run_population_par(&platform, &local, &target, &workloads, &opts);
             let cdf = Cdf::from_samples(outcomes.iter().map(|o| o.slowdown * 100.0));
             Series::new(label, cdf.points())
         })
@@ -173,7 +173,7 @@ pub fn fig08f(scale: Scale) -> Fig08fData {
     let cdfs = configs
         .into_iter()
         .map(|(label, target)| {
-            let outcomes = run_population(
+            let outcomes = run_population_par(
                 &platform,
                 &presets::local_emr_prime(),
                 &target,

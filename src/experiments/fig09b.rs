@@ -8,7 +8,7 @@ use melody_workloads::Suite;
 use serde::{Deserialize, Serialize};
 
 use crate::report::TableData;
-use crate::runner::{run_population, RunOptions};
+use crate::runner::{run_population_par, RunOptions};
 
 use super::Scale;
 
@@ -89,7 +89,7 @@ pub fn run(scale: Scale) -> Fig09bData {
         };
         for (dev_label, spec) in &devices {
             let outcomes =
-                run_population(&platform, &presets::local_emr(), spec, &workloads, &opts);
+                run_population_par(&platform, &presets::local_emr(), spec, &workloads, &opts);
             for o in outcomes {
                 let mix = o.workload.rsplit('-').next().unwrap_or("?").to_string();
                 bars.push(YcsbBar {

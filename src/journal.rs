@@ -102,6 +102,12 @@ impl Journal {
         self.entries.get(key).map(String::as_str)
     }
 
+    /// Iterates all `(key, payload)` entries in key order (used to
+    /// backfill a result cache from a finished journal).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
     /// Number of journaled cells.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -197,6 +203,15 @@ mod tests {
         let err = Journal::open(&path).expect_err("corruption before tail");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn entries_iterate_in_key_order() {
+        let mut j = Journal::in_memory();
+        j.record("b", "2").expect("record");
+        j.record("a", "1").expect("record");
+        let all: Vec<(&str, &str)> = j.entries().collect();
+        assert_eq!(all, vec![("a", "1"), ("b", "2")]);
     }
 
     #[test]

@@ -38,6 +38,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod campaign;
 pub mod exec;
 pub mod experiments;
 pub mod journal;
@@ -53,6 +55,10 @@ pub use testbed::{emr_cxl_setups, full_latency_spectrum, spr_cxl_setups, Setup};
 
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
+    pub use crate::cache::{CacheStats, ResultCache};
+    pub use crate::campaign::{
+        device_by_name, platform_by_name, run_campaign, CampaignReport, CampaignSpec, Shard,
+    };
     pub use crate::exec::{CellError, CellErrorKind, CellPolicy};
     pub use crate::experiments::Scale;
     pub use crate::journal::Journal;

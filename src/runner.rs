@@ -159,7 +159,11 @@ pub fn run_population(
 /// Each (workload, device-pair) cell derives its RNG seed from the cell
 /// identity alone (`workload_seed`), and cells share no mutable state,
 /// so the result is byte-identical to [`run_population`] — same values,
-/// same order — for any worker count.
+/// same order — for any worker count. When a process-wide result cache
+/// is installed ([`crate::cache::set_global`]), previously simulated
+/// cells load from it instead of re-running (see
+/// [`crate::campaign::cached_map`]); without one this is a plain
+/// parallel map.
 pub fn run_population_par(
     platform: &Platform,
     local_spec: &DeviceSpec,
@@ -168,9 +172,12 @@ pub fn run_population_par(
     opts: &RunOptions,
 ) -> Vec<PairOutcome> {
     let _span = melody_telemetry::span("population");
-    crate::exec::parallel_map(workloads, |w| {
-        run_pair(platform, local_spec, target_spec, w, opts)
-    })
+    crate::campaign::cached_map(
+        "pair",
+        workloads,
+        |w| crate::campaign::pair_config_json(platform, local_spec, target_spec, w, opts),
+        |w| run_pair(platform, local_spec, target_spec, w, opts),
+    )
 }
 
 /// [`run_population_par`] with per-cell panic isolation: a workload that

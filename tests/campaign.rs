@@ -1,0 +1,278 @@
+//! Differential and fuzz tests for the campaign engine and its
+//! content-addressed result cache: warm, cold, resumed and sharded runs
+//! must serialize byte-identically; config changes must re-simulate
+//! exactly the changed cells; corrupted cache entries must degrade to
+//! misses, never panics.
+
+use melody::cache::{fingerprint, ResultCache};
+use melody::campaign::{run_campaign, CampaignReport, CampaignSpec, Shard};
+use melody::exec::CellPolicy;
+use melody::journal::Journal;
+use melody_sim::SimRng;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("melody-campaign-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "tiny".into(),
+        platforms: vec!["emr2s".into()],
+        devices: vec!["numa".into(), "cxl-a".into()],
+        workloads: vec!["605.mcf".into(), "541.leela".into()],
+        faults: vec![],
+        scale: None,
+        mem_refs: Some(4_000),
+        seed: None,
+    }
+}
+
+fn run(spec: &CampaignSpec, shard: Shard, cache: Option<&ResultCache>) -> CampaignReport {
+    let mut j = Journal::in_memory();
+    let r = run_campaign(spec, shard, &mut j, cache, &CellPolicy::default()).expect("campaign");
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    r
+}
+
+fn to_json(r: &CampaignReport) -> String {
+    serde_json::to_string(r).expect("report serializes")
+}
+
+#[test]
+fn warm_run_is_byte_identical_to_cold_and_fully_cached() {
+    let dir = tmp_dir("warmcold");
+    let spec = tiny_spec();
+
+    let no_cache = run(&spec, Shard::full(), None);
+    let cold_cache = ResultCache::open(&dir).expect("open");
+    let cold = run(&spec, Shard::full(), Some(&cold_cache));
+    assert_eq!(cold_cache.stats().hits, 0);
+    assert_eq!(cold_cache.stats().misses, 4);
+
+    // Fresh handle on the same directory: all four cells load warm.
+    let warm_cache = ResultCache::open(&dir).expect("reopen");
+    let warm = run(&spec, Shard::full(), Some(&warm_cache));
+    assert_eq!(warm_cache.stats().hits, 4, "{:?}", warm_cache.stats());
+    assert_eq!(warm_cache.stats().misses, 0);
+    assert!((warm_cache.stats().hit_rate() - 1.0).abs() < 1e-12);
+
+    assert_eq!(
+        to_json(&no_cache),
+        to_json(&cold),
+        "cache must not perturb output"
+    );
+    assert_eq!(
+        to_json(&cold),
+        to_json(&warm),
+        "warm == cold, byte for byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_runs_merge_byte_identical_to_the_full_run() {
+    let dir = tmp_dir("shards");
+    let spec = tiny_spec();
+    let full = run(&spec, Shard::full(), None);
+    assert_eq!(full.rows.len(), 4);
+
+    let cache = ResultCache::open(&dir).expect("open");
+    let s0 = run(&spec, Shard::parse("0/2").expect("shard"), Some(&cache));
+    let s1 = run(&spec, Shard::parse("1/2").expect("shard"), Some(&cache));
+    assert_eq!(s0.total_cells, 4);
+    assert_eq!(s0.rows.len() + s1.rows.len(), full.rows.len());
+
+    // Interleave the shard rows back into expansion order (shard i of N
+    // owns cells i, i+N, i+2N, ...).
+    let mut merged = Vec::new();
+    let (mut it0, mut it1) = (s0.rows.iter(), s1.rows.iter());
+    for i in 0..full.rows.len() {
+        merged.push(
+            if i % 2 == 0 {
+                it0.next().expect("shard 0 row")
+            } else {
+                it1.next().expect("shard 1 row")
+            }
+            .clone(),
+        );
+    }
+    let merged_json = serde_json::to_string(&merged).expect("rows");
+    let full_json = serde_json::to_string(&full.rows).expect("rows");
+    assert_eq!(
+        merged_json, full_json,
+        "shard merge must equal the full run"
+    );
+
+    // A warm full run over the shard-populated cache is also identical.
+    let warm_cache = ResultCache::open(&dir).expect("reopen");
+    let warm = run(&spec, Shard::full(), Some(&warm_cache));
+    assert_eq!(warm_cache.stats().misses, 0, "shards covered every cell");
+    assert_eq!(to_json(&warm), to_json(&full));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_cell_config_re_simulates_exactly_the_new_cells() {
+    let dir = tmp_dir("invalidate");
+    let spec = tiny_spec();
+    let cold = ResultCache::open(&dir).expect("open");
+    run(&spec, Shard::full(), Some(&cold));
+
+    // Adding one workload leaves the four existing cells warm and
+    // simulates exactly the two new (device × workload) cells.
+    let mut grown = tiny_spec();
+    grown.workloads.push("bfs-web".into());
+    let c = ResultCache::open(&dir).expect("reopen");
+    let r = run(&grown, Shard::full(), Some(&c));
+    assert_eq!(r.rows.len(), 6);
+    assert_eq!(c.stats().hits, 4, "{:?}", c.stats());
+    assert_eq!(c.stats().misses, 2, "{:?}", c.stats());
+
+    // Changing a run option (mem_refs) changes every fingerprint: the
+    // whole campaign is a miss — a stale-result reuse would be silent
+    // wrong answers.
+    let mut retuned = tiny_spec();
+    retuned.mem_refs = Some(5_000);
+    let c2 = ResultCache::open(&dir).expect("reopen");
+    run(&retuned, Shard::full(), Some(&c2));
+    assert_eq!(c2.stats().hits, 0, "{:?}", c2.stats());
+    assert_eq!(c2.stats().misses, 4, "{:?}", c2.stats());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_resume_backfills_the_cache() {
+    let dir = tmp_dir("backfill");
+    let spec = tiny_spec();
+
+    // First run journals everything but has no cache.
+    let mut j = Journal::in_memory();
+    let a =
+        run_campaign(&spec, Shard::full(), &mut j, None, &CellPolicy::default()).expect("campaign");
+    assert_eq!(j.len(), 4);
+
+    // Resuming with the journal and an empty cache must not simulate
+    // anything — and must seed the cache for journal-free runs.
+    let c = ResultCache::open(&dir).expect("open");
+    let b = run_campaign(
+        &spec,
+        Shard::full(),
+        &mut j,
+        Some(&c),
+        &CellPolicy::default(),
+    )
+    .expect("campaign");
+    assert_eq!(to_json(&a), to_json(&b));
+
+    let c2 = ResultCache::open(&dir).expect("reopen");
+    let mut fresh_journal = Journal::in_memory();
+    let d = run_campaign(
+        &spec,
+        Shard::full(),
+        &mut fresh_journal,
+        Some(&c2),
+        &CellPolicy::default(),
+    )
+    .expect("campaign");
+    assert_eq!(c2.stats().misses, 0, "journal hits were backfilled");
+    assert_eq!(to_json(&a), to_json(&d));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// On-disk entry path mirror of the documented cache layout
+/// (`<root>/<key[0..2]>/<key>.json`).
+fn entry_path(root: &std::path::Path, key: &str) -> std::path::PathBuf {
+    root.join(&key[0..2]).join(format!("{key}.json"))
+}
+
+#[test]
+fn fuzzed_payloads_roundtrip_byte_identically() {
+    let dir = tmp_dir("fuzz-roundtrip");
+    let c = ResultCache::open(&dir).expect("open");
+    let mut rng = SimRng::seed_from(0xF022);
+    for case in 0..200u64 {
+        // Randomized cell-result-shaped payloads: nested JSON with the
+        // float values a real cell carries (f64s survive Rust's
+        // shortest-roundtrip formatting exactly).
+        let f1 = f64::from_bits(rng.next_u64() >> 12); // finite by construction
+        let f2 = rng.range_f64(-1.0e6, 1.0e6);
+        let n = rng.next_u64();
+        let s: String = (0..rng.below(20))
+            .map(|_| char::from(b'a' + rng.below(26) as u8))
+            .collect();
+        let payload = format!(
+            "{{\"slowdown\":{f1},\"lat\":{f2},\"count\":{n},\"name\":{s:?},\"nested\":[{f1},{f2}]}}"
+        );
+        let key = fingerprint(&["fuzz", &case.to_string()]);
+        c.put(&key, &payload).expect("put");
+        let loaded = c.get(&key).expect("hit");
+        assert_eq!(loaded, payload, "case {case}: payload must round-trip");
+        // Serialize -> deserialize -> re-serialize through the serde
+        // Value layer is also byte-stable for these payloads.
+        let v: serde::Value = serde_json::from_str(&loaded).expect("valid JSON");
+        let re = serde_json::to_string(&v).expect("re-serialize");
+        let v2: serde::Value = serde_json::from_str(&re).expect("still valid");
+        assert_eq!(
+            re,
+            serde_json::to_string(&v2).expect("re-serialize"),
+            "case {case}: fixpoint after one round-trip"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_entries_are_misses_never_panics() {
+    let dir = tmp_dir("fuzz-corrupt");
+    let c = ResultCache::open(&dir).expect("open");
+    let mut rng = SimRng::seed_from(0xBAD);
+    let mut corrupt_seen = 0;
+    for case in 0..100u64 {
+        let key = fingerprint(&["corrupt", &case.to_string()]);
+        c.put(&key, &format!("{{\"case\":{case}}}")).expect("put");
+        let path = entry_path(&dir, &key);
+        let bytes = std::fs::read(&path).expect("entry exists");
+        // Random mutilation: truncate, bit-flip, or replace with noise.
+        let mutated: Vec<u8> = match rng.below(3) {
+            0 => bytes[..rng.below(bytes.len() as u64) as usize].to_vec(),
+            1 => {
+                let mut b = bytes.clone();
+                let i = rng.below(b.len() as u64) as usize;
+                b[i] ^= 1 << rng.below(8);
+                b
+            }
+            _ => (0..bytes.len()).map(|_| rng.next_u64() as u8).collect(),
+        };
+        std::fs::write(&path, &mutated).expect("write corruption");
+        let before = c.stats().corrupt;
+        let expected = format!("{{\"case\":{case}}}");
+        match c.get(&key) {
+            // Invalid entry: counted corrupt, treated as a miss, and a
+            // rewrite heals it.
+            None => {
+                assert_eq!(c.stats().corrupt, before + 1, "case {case}");
+                corrupt_seen += 1;
+                c.put(&key, &expected).expect("re-put");
+                assert_eq!(
+                    c.get(&key).as_deref(),
+                    Some(expected.as_str()),
+                    "case {case}: cache recovers after rewrite"
+                );
+            }
+            // A single bit flip inside the payload *string* can leave a
+            // structurally valid envelope with different content — not
+            // detectable without checksumming the payload itself. The
+            // contract under test is only "never a panic, never a
+            // half-parsed entry".
+            Some(p) => assert_ne!(p, "", "case {case}: hits carry a payload"),
+        }
+    }
+    assert!(
+        corrupt_seen > 40,
+        "mutations should usually corrupt: {corrupt_seen}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

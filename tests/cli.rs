@@ -1,0 +1,179 @@
+//! CLI error-path regression tests: `melody diff` / `melody report`
+//! given a directory or an empty file must exit 2 with a clear message,
+//! not surface a raw deserialize error.
+
+use std::process::Command;
+
+fn melody() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_melody"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("melody-cli-{name}-{}", std::process::id()));
+    p
+}
+
+#[test]
+fn diff_rejects_directories_with_exit_2() {
+    let dir = tmp("diff-dir");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out = melody()
+        .args([
+            "diff",
+            dir.to_str().expect("utf8"),
+            dir.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run melody");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("is a directory"),
+        "unclear message: {stderr}"
+    );
+    assert!(
+        stderr.contains(dir.to_str().expect("utf8")),
+        "message names the path: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_rejects_empty_files_with_exit_2() {
+    let a = tmp("diff-empty-a.json");
+    let b = tmp("diff-empty-b.json");
+    std::fs::write(&a, "").expect("write");
+    std::fs::write(&b, "  \n").expect("write");
+    let out = melody()
+        .args(["diff", a.to_str().expect("utf8"), b.to_str().expect("utf8")])
+        .output()
+        .expect("run melody");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("empty file"), "unclear message: {stderr}");
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
+fn diff_still_reports_missing_files_with_exit_2() {
+    let out = melody()
+        .args([
+            "diff",
+            "/nonexistent/melody-a.json",
+            "/nonexistent/melody-b.json",
+        ])
+        .output()
+        .expect("run melody");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn report_rejects_directories_with_exit_2() {
+    let dir = tmp("report-dir");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out = melody()
+        .args(["report", dir.to_str().expect("utf8")])
+        .output()
+        .expect("run melody");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("is a directory"),
+        "unclear message: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_rejects_empty_files_with_exit_2() {
+    let p = tmp("report-empty.json");
+    std::fs::write(&p, "\n\n").expect("write");
+    let out = melody()
+        .args(["report", p.to_str().expect("utf8")])
+        .output()
+        .expect("run melody");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("empty file"), "unclear message: {stderr}");
+    let _ = std::fs::remove_file(&p);
+}
+
+#[test]
+fn campaign_requires_a_spec_and_validates_shards() {
+    let out = melody().args(["campaign"]).output().expect("run melody");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("spec"));
+
+    let spec = tmp("campaign-spec.json");
+    std::fs::write(
+        &spec,
+        r#"{"name":"t","platforms":["emr2s"],"devices":["cxl-a"],"workloads":["541.leela"],"mem_refs":2000}"#,
+    )
+    .expect("write spec");
+    let out = melody()
+        .args([
+            "campaign",
+            spec.to_str().expect("utf8"),
+            "--shard",
+            "3/2",
+            "--no-cache",
+        ])
+        .output()
+        .expect("run melody");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shard"));
+    let _ = std::fs::remove_file(&spec);
+}
+
+#[test]
+fn campaign_no_cache_runs_and_renders() {
+    let spec = tmp("campaign-smoke.json");
+    std::fs::write(
+        &spec,
+        r#"{"name":"smoke","platforms":["emr2s"],"devices":["cxl-a"],"workloads":["541.leela"],"mem_refs":2000}"#,
+    )
+    .expect("write spec");
+    let out = melody()
+        .args(["campaign", spec.to_str().expect("utf8"), "--no-cache"])
+        .output()
+        .expect("run melody");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("campaign smoke"), "{stdout}");
+    assert!(stdout.contains("541.leela"), "{stdout}");
+    let _ = std::fs::remove_file(&spec);
+}
