@@ -31,18 +31,25 @@ use serde::Value;
 
 /// Kernel names, in run order. Each is one simulator hot path the
 /// telemetry layer touches: the single-cell pair run, the serial and
-/// fanned-out population sweeps, and the pair run with metrics enabled.
+/// fanned-out population sweeps, the pair run with metrics enabled, and
+/// the same pair run at the two reduced fidelity tiers (these also give
+/// CI a speedup record: sampled and fast must stay well under detailed).
 const KERNELS: &[&str] = &[
     "run_pair/mcf_cxl_b",
     "population/serial",
     "population/jobs4",
     "run_pair/metrics_on",
+    "run_pair/mcf_cxl_b_sampled",
+    "run_pair/mcf_cxl_b_fast",
 ];
 
 fn run_kernel(name: &str, w: &WorkloadSpec, workloads: &[WorkloadSpec], opts: &RunOptions) {
     let platform = Platform::emr2s();
     match name {
-        "run_pair/mcf_cxl_b" | "run_pair/metrics_on" => {
+        "run_pair/mcf_cxl_b"
+        | "run_pair/metrics_on"
+        | "run_pair/mcf_cxl_b_sampled"
+        | "run_pair/mcf_cxl_b_fast" => {
             black_box(run_pair(
                 &platform,
                 &presets::local_emr(),
@@ -79,7 +86,19 @@ fn run_kernel(name: &str, w: &WorkloadSpec, workloads: &[WorkloadSpec], opts: &R
 fn time_kernel(name: &str, iters: u32) -> f64 {
     let w = registry::by_name("605.mcf").expect("mcf");
     let workloads = bench_workloads();
-    let opts = bench_opts();
+    let mut opts = bench_opts();
+    if name.ends_with("_sampled") {
+        // Bench refs are tiny; shrink the schedule proportionally so the
+        // kernel actually exercises fast-forward windows.
+        opts.fidelity = melody_cpu::Fidelity::Sampled;
+        opts.sampling = melody_cpu::SamplingParams {
+            warmup_slots: 64,
+            window_slots: 256,
+            period_slots: 2_048,
+        };
+    } else if name.ends_with("_fast") {
+        opts.fidelity = melody_cpu::Fidelity::Fast;
+    }
     if name == "run_pair/metrics_on" {
         set_mode(Mode::Metrics);
     }

@@ -49,11 +49,13 @@
 mod cache;
 mod counters;
 mod engine;
+mod fidelity;
 mod platform;
 mod prefetch;
 
 pub use cache::Cache;
 pub use counters::{CounterSample, CounterSet};
 pub use engine::{Core, CoreConfig, LatencyPoint, RunResult, Slot};
+pub use fidelity::{Fidelity, SamplingParams};
 pub use platform::Platform;
 pub use prefetch::{PrefetchRequest, StreamPrefetcher, StridePrefetcher, MAX_PREFETCH_DEGREE};

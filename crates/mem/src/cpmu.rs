@@ -117,6 +117,10 @@ impl MemoryDevice for CpmuDevice {
     fn stats(&self) -> DeviceStats {
         self.inner.stats()
     }
+
+    fn fast_forward(&mut self, now: melody_sim::SimTime) {
+        self.inner.fast_forward(now);
+    }
 }
 
 impl std::fmt::Debug for CpmuDevice {

@@ -527,6 +527,12 @@ impl MemoryDevice for CxlDevice {
     fn stats(&self) -> DeviceStats {
         self.stats
     }
+
+    fn fast_forward(&mut self, now: melody_sim::SimTime) {
+        if let Some(sched) = self.faults.as_mut() {
+            sched.fast_forward(now, &mut self.stats.ras);
+        }
+    }
 }
 
 impl std::fmt::Debug for CxlDevice {

@@ -130,6 +130,19 @@ pub trait MemoryDevice {
 
     /// Lifetime traffic counters.
     fn stats(&self) -> DeviceStats;
+
+    /// Advances device-internal *time-driven* state to `now` without
+    /// serving any traffic. Used by the sampled fidelity tier when it
+    /// fast-forwards across a skipped region: periodic fault windows
+    /// (link retrains, refresh storms) that would have opened and closed
+    /// inside the skip still elapse — their schedules stay monotone and
+    /// their occurrence counters advance — while per-request effects
+    /// (CRC replays, poison, throttle time) are extrapolated by the
+    /// caller from the last measured window. Queue state needs no
+    /// explicit advance: devices already fold idle gaps in at the next
+    /// `access`. The default is a no-op for devices with no clocks of
+    /// their own.
+    fn fast_forward(&mut self, _now: SimTime) {}
 }
 
 #[cfg(test)]

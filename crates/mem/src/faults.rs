@@ -527,6 +527,46 @@ impl FaultSchedule {
 
         fx
     }
+
+    /// Advances the *time-driven* fault clocks (retrain and refresh-storm
+    /// schedules) to `now` without serving a request, crediting every
+    /// window that opened inside the elapsed span to `ras`. Used by the
+    /// sampled fidelity tier's fast-forward: periodic windows keep firing
+    /// at their configured cadence inside skipped regions, so occurrence
+    /// counters and the next-window times stay monotone and consistent
+    /// with a detailed run of the same length.
+    ///
+    /// Per-request mechanisms (CRC storms, refresh penalties, poison) are
+    /// *not* advanced here — without traffic there are no per-request
+    /// draws, matching the determinism contract that this schedule only
+    /// consumes RNG for requests it actually observes (plus the window
+    /// gaps, which a detailed run draws too).
+    pub fn fast_forward(&mut self, now: SimTime, ras: &mut RasCounters) {
+        if let Some(r) = &self.cfg.retrain {
+            while self.next_retrain <= now {
+                let start = self.next_retrain;
+                self.retrain_until = start + (r.duration_ns * 1_000.0) as SimTime;
+                let gap = Dist::Exp {
+                    mean: r.interval_ns,
+                }
+                .sample(&mut self.rng);
+                self.next_retrain = self.retrain_until + (gap * 1_000.0) as SimTime;
+                ras.retrains += 1;
+            }
+        }
+        if let Some(r) = &self.cfg.refresh_storm {
+            while self.next_refresh <= now {
+                let start = self.next_refresh;
+                self.refresh_until = start + (r.duration_ns * 1_000.0) as SimTime;
+                let gap = Dist::Exp {
+                    mean: r.interval_ns,
+                }
+                .sample(&mut self.rng);
+                self.next_refresh = self.refresh_until + (gap * 1_000.0) as SimTime;
+                ras.refresh_storms += 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -627,6 +667,39 @@ mod tests {
             (total, ras)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fast_forward_advances_windows_monotonically() {
+        let mut s = FaultSchedule::new(FaultConfig::link_retrain(), 17);
+        let mut ras = RasCounters::default();
+        let mut prev_next = s.next_retrain;
+        // Jump the clock forward in strides; every stride must leave the
+        // next-window time at or beyond the clock (schedules never move
+        // backwards) and credit each window crossed exactly once.
+        for step in 1..=50u64 {
+            let now = step * 100_000_000; // 100 µs strides
+            s.fast_forward(now, &mut ras);
+            assert!(s.next_retrain > now, "next window must be in the future");
+            assert!(s.next_retrain >= prev_next, "schedule went backwards");
+            prev_next = s.next_retrain;
+        }
+        // 5 ms of simulated time over ~38 µs mean period ≈ 130 windows.
+        assert!(ras.retrains > 50, "retrains {}", ras.retrains);
+        // A subsequent observe() sees a consistent state machine: no
+        // panic, width factor degraded only inside a window.
+        let fx = s.observe(prev_next, &mut ras);
+        assert!(fx.width_factor <= 1.0);
+    }
+
+    #[test]
+    fn fast_forward_on_inert_config_is_free() {
+        let mut s = FaultSchedule::new(FaultConfig::none(), 7);
+        let mut ras = RasCounters::default();
+        s.fast_forward(1_000_000_000, &mut ras);
+        assert!(ras.is_zero());
+        let mut fresh = SimRng::seed_from(7 ^ FAULT_STREAM_SALT);
+        assert_eq!(s.rng.next_u64(), fresh.next_u64());
     }
 
     #[test]

@@ -79,6 +79,12 @@ impl MemoryDevice for InterleavedDevice {
         total.first_issue = if first == u64::MAX { 0 } else { first };
         total
     }
+
+    fn fast_forward(&mut self, now: melody_sim::SimTime) {
+        for p in &mut self.parts {
+            p.fast_forward(now);
+        }
+    }
 }
 
 impl std::fmt::Debug for InterleavedDevice {

@@ -63,5 +63,5 @@ pub use imc::{ImcConfig, ImcDevice};
 pub use interleave::InterleavedDevice;
 pub use numa::{NumaHopConfig, NumaHopDevice};
 pub use request::{MemRequest, RequestKind};
-pub use spec::{DeviceSpec, SPEC_SCHEMA_VERSION};
+pub use spec::{AnalyticProfile, DeviceSpec, SPEC_SCHEMA_VERSION};
 pub use split::SplitDevice;

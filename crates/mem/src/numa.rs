@@ -194,6 +194,10 @@ impl MemoryDevice for NumaHopDevice {
         s.ras = self.inner.stats().ras;
         s
     }
+
+    fn fast_forward(&mut self, now: melody_sim::SimTime) {
+        self.inner.fast_forward(now);
+    }
 }
 
 impl std::fmt::Debug for NumaHopDevice {

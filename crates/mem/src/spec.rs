@@ -236,6 +236,74 @@ impl DeviceSpec {
             slow: Box::new(self),
         }
     }
+
+    /// Derives the closed-form device summary the `fast` fidelity tier's
+    /// interval model runs on: idle latency, aggregate capacity, and the
+    /// bottleneck queueing station's shape (server count + mean service
+    /// time). No device is instantiated and no RNG is consumed — the
+    /// profile is a pure function of the spec.
+    pub fn analytic_profile(&self) -> AnalyticProfile {
+        match self {
+            DeviceSpec::Imc(cfg) => {
+                // The IMC's bottleneck is the DRAM array: one 64 B burst
+                // per channel at a time.
+                let total_gbps = ImcDevice::new(cfg.clone()).peak_bandwidth_gbps();
+                AnalyticProfile {
+                    idle_latency_ns: cfg.idle_latency_ns(),
+                    total_gbps,
+                    servers: cfg.channels.max(1),
+                    service_ns: cfg.timing.burst_ns,
+                }
+            }
+            DeviceSpec::Cxl(cfg) => AnalyticProfile {
+                idle_latency_ns: cfg.idle_latency_ns(),
+                total_gbps: cfg.capacity_gbps(),
+                servers: cfg.sched_slots.max(1),
+                service_ns: cfg.sched_service_ns.mean(),
+            },
+            DeviceSpec::Hopped { hop, inner, .. } => {
+                let p = inner.analytic_profile();
+                AnalyticProfile {
+                    idle_latency_ns: p.idle_latency_ns + hop.extra_ns,
+                    // The hop serializes on the socket interconnect; per
+                    // direction it cannot exceed the UPI/link bandwidth.
+                    total_gbps: p.total_gbps.min(hop.upi_gbps),
+                    servers: p.servers,
+                    service_ns: p.service_ns,
+                }
+            }
+            DeviceSpec::Interleaved { parts, .. } => {
+                let profiles: Vec<AnalyticProfile> =
+                    parts.iter().map(|p| p.analytic_profile()).collect();
+                let n = profiles.len().max(1) as f64;
+                AnalyticProfile {
+                    idle_latency_ns: profiles.iter().map(|p| p.idle_latency_ns).sum::<f64>() / n,
+                    total_gbps: profiles.iter().map(|p| p.total_gbps).sum(),
+                    servers: profiles.iter().map(|p| p.servers).sum::<usize>().max(1),
+                    service_ns: profiles.iter().map(|p| p.service_ns).sum::<f64>() / n,
+                }
+            }
+            // Conservative: steady-state traffic is dominated by the
+            // capacity tier (the slow device holds the bulk of the
+            // address space), so the analytical model prices every access
+            // at the slow tier, consistent with `nominal_latency_ns`.
+            DeviceSpec::Split { slow, .. } => slow.analytic_profile(),
+        }
+    }
+}
+
+/// Closed-form device summary used by the `fast` fidelity tier (see
+/// [`DeviceSpec::analytic_profile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticProfile {
+    /// Unloaded (row-miss) latency in ns.
+    pub idle_latency_ns: f64,
+    /// Aggregate sustainable bandwidth in GB/s.
+    pub total_gbps: f64,
+    /// Parallel servers at the bottleneck queueing station.
+    pub servers: usize,
+    /// Mean service time per 64 B request at that station, ns.
+    pub service_ns: f64,
 }
 
 #[cfg(test)]
@@ -309,6 +377,36 @@ mod tests {
         assert_eq!(spec.name(), "Local|CXL-C");
         let dev = spec.build(5);
         assert!(dev.nominal_latency_ns() > 300.0);
+    }
+
+    #[test]
+    fn analytic_profiles_match_nominal_latency() {
+        for spec in [
+            presets::local_emr(),
+            presets::cxl_a(),
+            presets::cxl_b(),
+            presets::cxl_a().with_numa_hop(),
+            presets::cxl_d().interleaved(2),
+            presets::cxl_c().with_fast_tier(presets::local_emr(), 1 << 30),
+        ] {
+            let p = spec.analytic_profile();
+            assert!(
+                (p.idle_latency_ns - spec.nominal_latency_ns()).abs() < 1e-9,
+                "{}: profile idle {} vs nominal {}",
+                spec.name(),
+                p.idle_latency_ns,
+                spec.nominal_latency_ns()
+            );
+            assert!(p.total_gbps > 0.0, "{}", spec.name());
+            assert!(p.servers >= 1);
+            assert!(p.service_ns > 0.0);
+        }
+        // Interleaving doubles capacity; a hop caps it at the UPI link.
+        let one = presets::cxl_d().analytic_profile();
+        let two = presets::cxl_d().interleaved(2).analytic_profile();
+        assert!((two.total_gbps - 2.0 * one.total_gbps).abs() < 1e-9);
+        let hopped = presets::cxl_a().with_numa_hop().analytic_profile();
+        assert!(hopped.total_gbps <= 14.0 + 1e-9);
     }
 
     #[test]

@@ -79,6 +79,11 @@ impl MemoryDevice for SplitDevice {
             ras,
         }
     }
+
+    fn fast_forward(&mut self, now: melody_sim::SimTime) {
+        self.fast.fast_forward(now);
+        self.slow.fast_forward(now);
+    }
 }
 
 impl std::fmt::Debug for SplitDevice {

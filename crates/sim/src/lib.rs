@@ -41,7 +41,7 @@ mod time;
 pub use credits::CreditPool;
 pub use dist::Dist;
 pub use events::EventQueue;
-pub use queueing::ServerPool;
+pub use queueing::{queue_wait_estimate, ServerPool};
 pub use rng::SimRng;
 pub use time::{
     cycles_to_ps, ns, ps_to_cycles, ps_to_ns, ps_to_ns_f64, us, SimTime, PS_PER_NS, PS_PER_US,

@@ -1,0 +1,428 @@
+//! Interval model: the `fast` fidelity tier.
+//!
+//! Produces a [`RunResult`] for (platform, device, workload) in closed
+//! form — no event loop, no RNG, O(phases) work — by composing:
+//!
+//! - steady-state cache residency from working-set vs. capacity ratios
+//!   (the same footprint logic the detailed engine's functional warming
+//!   establishes),
+//! - prefetch *timeliness* coverage from the L2 prefetcher's in-flight
+//!   slot budget vs. memory latency (Finding #4's causal chain: longer
+//!   latency → busier slots → dropped prefetches → lost coverage),
+//! - line-fill-buffer-bounded memory-level parallelism for independent
+//!   misses (Little's law: a core with `lfb` entries cannot retire misses
+//!   faster than `lfb / latency`),
+//! - a Sakasegawa queueing estimate
+//!   ([`melody_sim::queue_wait_estimate`]) over the device's
+//!   [`AnalyticProfile`] for load-dependent latency, closed by a small
+//!   fixed-point iteration (time ↔ utilization ↔ latency),
+//! - the detailed engine's Figure 10 stall-attribution nesting, so the
+//!   synthesized [`CounterSet`] feeds `estimate::breakdown` unchanged.
+//!
+//! Accuracy contract: slowdowns derived from two interval runs (local
+//! vs. CXL) track detailed-engine slowdowns within the bound validated
+//! by `tests/fidelity.rs` (±15 % or 15 points, whichever is larger).
+//! Absolute cycle counts are *not* contractual — only ratios are.
+
+use melody_cpu::{CounterSet, Platform, RunResult};
+use melody_mem::{AnalyticProfile, DeviceStats};
+use melody_sim::queue_wait_estimate;
+use melody_stats::LatencyHistogram;
+use melody_workloads::{Pattern, Phase, WorkloadSpec};
+
+/// Per-phase stall ledger in cycles, accumulated across phases and then
+/// lowered into a [`CounterSet`] with the Figure 10 nesting.
+#[derive(Default)]
+struct Ledger {
+    /// Total time, cycles.
+    cycles: f64,
+    /// Retired instructions.
+    instructions: f64,
+    /// Non-retiring cycles of every kind (stall_cycles + compute
+    /// non-retirement).
+    retired_stalls: f64,
+    bound_on_loads: f64,
+    bound_on_stores: f64,
+    stalls_l1d: f64,
+    stalls_l2: f64,
+    stalls_l3: f64,
+    stalls_scoreboard: f64,
+    ports_1: f64,
+    ports_2: f64,
+    demand_l3_miss: f64,
+    l2pf_issued: f64,
+    l2pf_l3_miss: f64,
+    l2pf_dropped: f64,
+    /// Device reads / writes.
+    dev_reads: f64,
+    dev_writes: f64,
+    /// Σ read latency, ns.
+    dev_read_lat_ns: f64,
+    /// Demand misses reaching memory (histogram weight).
+    hist_mem: f64,
+    /// Dependent loads by observed level: (latency_ns, count).
+    dep_events: Vec<(f64, f64)>,
+}
+
+/// Probability that a line of a `ws`-byte uniform working set is resident
+/// in a cache of `cap` bytes at steady state. For skewed traffic the hot
+/// region is modelled as cache-resident first.
+fn residency(cap: f64, ws: f64) -> f64 {
+    if ws <= 0.0 {
+        return 1.0;
+    }
+    (cap / ws).min(1.0)
+}
+
+/// Per-access hit probability in a cache of `cap` bytes for one phase.
+fn hit_prob(p: &Phase, cap: f64) -> f64 {
+    let ws = p.working_set.max(64 * 64) as f64;
+    match p.pattern {
+        Pattern::Skewed {
+            hot_frac,
+            hot_bytes,
+        } => {
+            let hot = (hot_bytes.max(64)) as f64;
+            let hot_res = residency(cap, hot);
+            let cold_res = residency(cap, ws);
+            hot_frac * hot_res + (1.0 - hot_frac) * cold_res
+        }
+        _ => residency(cap, ws),
+    }
+}
+
+/// Fraction of the phase's accesses that walk prefetchable streams
+/// (sequential or fixed-stride).
+fn prefetchable_frac(p: &Phase) -> f64 {
+    match p.pattern {
+        Pattern::Sequential | Pattern::Strided(_) => 1.0,
+        _ => p.seq_frac.clamp(0.0, 1.0),
+    }
+}
+
+/// Runs the interval model. `platform` must already be SMP-scaled
+/// ([`Platform::smp_scaled`]) exactly as the detailed path scales it, so
+/// the two tiers see identical LFB/prefetch-slot/issue-width budgets.
+pub fn run_interval(
+    platform: &Platform,
+    profile: &AnalyticProfile,
+    workload: &WorkloadSpec,
+    mem_refs: u64,
+    prefetchers: bool,
+) -> RunResult {
+    let cycle_ns = platform.cycle_ps() as f64 / 1_000.0;
+    let ilp = (workload.ilp * workload.threads as f64).clamp(0.25, platform.ipc_peak);
+    let l1_cap = platform.l1d_kb as f64 * 1024.0;
+    let l2_cap = platform.l2_kb as f64 * 1024.0;
+    let l3_cap = platform.l3_mb * 1024.0 * 1024.0;
+    let lfb = platform.lfb_entries.max(1) as f64;
+    let sb = platform.store_buffer_entries.max(1) as f64;
+    let l1_lat = platform.l1_lat_cy as f64;
+    let l2_lat = platform.l2_lat_cy as f64;
+    let l3_lat = platform.l3_lat_cy as f64;
+
+    let tw: f64 = workload.phases.iter().map(|p| p.weight).sum();
+    let tw = if tw <= 0.0 { 1.0 } else { tw };
+
+    let mut led = Ledger::default();
+    // Loaded memory latency, ns: seeded at idle, closed per phase by the
+    // fixed point below. Carried across phases so a bandwidth-bound first
+    // phase informs the next phase's starting point.
+    let mut lat_mem_ns = profile.idle_latency_ns;
+
+    for p in &workload.phases {
+        let refs = ((p.weight / tw) * mem_refs as f64).round().max(1.0);
+        let dep = (p.dependence / workload.threads as f64).clamp(0.0, 1.0);
+        let stores = refs * p.store_frac.clamp(0.0, 1.0);
+        let loads = refs - stores;
+        let uops = refs * p.uops_per_mem.max(0.0);
+
+        // --- Compute side (mirrors `do_compute`).
+        let cy_compute = uops / ilp;
+        let nonretiring = (cy_compute - uops / platform.ipc_peak).max(0.0);
+        let fe = cy_compute * workload.frontend_bound.max(0.0);
+        let ser = cy_compute * workload.serialize_frac.max(0.0);
+        let w1 = ((2.5 - ilp) * 0.4).clamp(0.0, 0.8);
+        let w2 = ((3.5 - ilp) * 0.25).clamp(0.0, 0.5 - w1.min(0.4));
+
+        // --- Cache residency.
+        let h1 = hit_prob(p, l1_cap);
+        let h2 = hit_prob(p, l2_cap).max(h1);
+        let h3 = hit_prob(p, l3_cap).max(h2);
+        let miss = 1.0 - h3; // per-access DRAM/CXL probability
+        let pf_frac = if prefetchers {
+            prefetchable_frac(p)
+        } else {
+            0.0
+        };
+
+        // Load class populations.
+        let n_mem = loads * miss;
+        let n_mem_pf = n_mem * pf_frac; // stream misses: prefetch targets
+        let n_mem_rand = n_mem - n_mem_pf;
+        let n_l3 = loads * (h3 - h2);
+        let n_l2 = loads * (h2 - h1);
+        let n_l1 = loads * h1;
+        // Stores that must RFO (miss L1+L2 ownership).
+        let n_rfo = stores * (1.0 - h2);
+
+        // --- Fixed point: phase time ↔ device utilization ↔ latency.
+        let mut t_phase_cy = 0.0f64;
+        let mut cov = 0.0;
+        for _ in 0..4 {
+            let lat_cy = lat_mem_ns / cycle_ns;
+
+            // Prefetch timeliness: with `l2pf_slots` in flight and one
+            // line needed per demand inter-arrival, coverage falls as
+            // latency grows past slots × inter-arrival (Finding #4).
+            let t_ia_cy = if loads > 0.0 {
+                (t_phase_cy.max(cy_compute) / loads).max(1.0)
+            } else {
+                1.0
+            };
+            cov = if prefetchers && n_mem_pf > 0.0 {
+                ((platform.l2pf_slots as f64 * t_ia_cy) / lat_cy).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+
+            // Dependent-load stalls (full serialization).
+            let d_mem_uncov = n_mem_rand + n_mem_pf * (1.0 - cov);
+            let dep_stall = dep
+                * (n_l1 * l1_lat
+                    + n_l2 * l2_lat
+                    + n_l3 * l3_lat
+                    + n_mem_pf * cov * l2_lat // covered: delayed hit
+                    + d_mem_uncov * lat_cy);
+
+            // Independent misses: LFB-bounded MLP. Work in flight that
+            // must drain through `lfb` entries.
+            let ind = 1.0 - dep;
+            let w_inflight = ind * (n_l3 * l3_lat + (n_mem_rand + n_mem_pf * (1.0 - cov)) * lat_cy);
+            let t_available = cy_compute + dep_stall + fe + ser;
+            let lfb_stall = (w_inflight / lfb - t_available).max(0.0);
+
+            // Store-buffer pressure (RFOs drain at lat/sb).
+            let sb_stall = (n_rfo * lat_cy / sb - (t_available + lfb_stall)).max(0.0);
+
+            // Bandwidth floor: the device cannot move the phase's bytes
+            // faster than its peak, covered-by-prefetch or not. This is
+            // where streaming workloads (lbm-class) get their slowdown:
+            // coverage hides *latency*, never *bandwidth*.
+            let reads = n_mem + n_rfo;
+            let writes = stores * (1.0 - h3);
+            let t_bw_cy = 64.0 * (reads + writes) / profile.total_gbps.max(1e-9) / cycle_ns;
+            t_phase_cy = (t_available + lfb_stall + sb_stall).max(t_bw_cy);
+
+            // Device utilization over the phase: demand + prefetch +
+            // RFO reads plus writeback traffic.
+            let t_phase_ns = (t_phase_cy * cycle_ns).max(1.0);
+            let gbps = 64.0 * (reads + writes) / t_phase_ns;
+            let rho = (gbps / profile.total_gbps.max(1e-9)).min(1.5);
+            lat_mem_ns = profile.idle_latency_ns
+                + queue_wait_estimate(rho, profile.service_ns, profile.servers);
+        }
+
+        // --- Final per-phase accounting at the converged latency.
+        let lat_cy = lat_mem_ns / cycle_ns;
+        let d_mem_cov = n_mem_pf * cov;
+        let d_mem_uncov = n_mem_rand + n_mem_pf * (1.0 - cov);
+
+        let dep_l1 = dep * n_l1;
+        let dep_l2 = dep * (n_l2 + d_mem_cov);
+        let dep_l3 = dep * n_l3;
+        let dep_mem = dep * d_mem_uncov;
+        let dep_stall = dep_l1 * l1_lat + dep_l2 * l2_lat + dep_l3 * l3_lat + dep_mem * lat_cy;
+
+        let ind = 1.0 - dep;
+        let w_inflight = ind * (n_l3 * l3_lat + d_mem_uncov * lat_cy);
+        let t_available = cy_compute + dep_stall + fe + ser;
+        let lfb_stall = (w_inflight / lfb - t_available).max(0.0);
+        let sb_stall = (n_rfo * lat_cy / sb - (t_available + lfb_stall)).max(0.0);
+        let reads = n_mem + n_rfo;
+        let writes = stores * (1.0 - h3);
+        let t_bw_cy = 64.0 * (reads + writes) / profile.total_gbps.max(1e-9) / cycle_ns;
+        // Extra cycles the bandwidth floor adds beyond the latency model:
+        // the core sits with its miss buffers full while the device
+        // drains, which the detailed engine books as outstanding stalls.
+        let bw_stall = (t_bw_cy - (t_available + lfb_stall + sb_stall)).max(0.0);
+
+        led.cycles += t_available + lfb_stall + sb_stall + bw_stall;
+        led.instructions += uops + loads + stores;
+        led.retired_stalls += nonretiring + fe + ser + dep_stall + lfb_stall + sb_stall + bw_stall;
+        led.stalls_scoreboard += ser + dep_mem * lat_cy * workload.serialize_frac.max(0.0) * 0.05;
+        led.ports_1 += nonretiring * w1;
+        led.ports_2 += nonretiring * w2;
+
+        // Figure 10 nesting for dependent stalls (`load_stall`): each
+        // event's first l*_lat cycles stay at the shallower level.
+        led.bound_on_loads += dep_stall + lfb_stall + bw_stall;
+        led.stalls_l1d += dep_l2 * (l2_lat - l1_lat).max(0.0)
+            + dep_l3 * (l3_lat - l1_lat).max(0.0)
+            + dep_mem * (lat_cy - l1_lat).max(0.0);
+        led.stalls_l2 += dep_l3 * (l3_lat - l2_lat).max(0.0) + dep_mem * (lat_cy - l2_lat).max(0.0);
+        led.stalls_l3 += dep_mem * (lat_cy - l3_lat).max(0.0);
+        // Outstanding (LFB-full / drain) windows count in full at every
+        // level down to the deepest outstanding miss (`outstanding_stall`).
+        // Bandwidth-floor stalls are outstanding *memory* misses by
+        // construction (the device is the bottleneck).
+        if d_mem_uncov > 0.0 || bw_stall > 0.0 {
+            led.stalls_l1d += lfb_stall + bw_stall;
+            led.stalls_l2 += lfb_stall + bw_stall;
+            led.stalls_l3 += lfb_stall + bw_stall;
+        }
+        led.bound_on_stores += sb_stall;
+
+        // Event counters + device traffic.
+        led.demand_l3_miss += d_mem_uncov;
+        led.l2pf_issued += d_mem_cov;
+        led.l2pf_l3_miss += d_mem_cov;
+        led.l2pf_dropped += n_mem_pf * (1.0 - cov);
+        led.dev_reads += reads;
+        led.dev_writes += writes;
+        led.dev_read_lat_ns += reads * lat_mem_ns;
+        led.hist_mem += d_mem_uncov;
+
+        // Dependent-load observed-latency classes (Figure 6 histogram).
+        led.dep_events.push((l1_lat * cycle_ns, dep_l1));
+        led.dep_events.push((l2_lat * cycle_ns, dep_l2));
+        led.dep_events.push((l3_lat * cycle_ns, dep_l3));
+        led.dep_events.push((lat_mem_ns, dep_mem));
+    }
+
+    lower(led, platform, lat_mem_ns)
+}
+
+/// Converts the accumulated ledger into a [`RunResult`], enforcing the
+/// counter-containment invariants under float→int conversion.
+fn lower(led: Ledger, platform: &Platform, lat_mem_ns: f64) -> RunResult {
+    let cycles = led.cycles.ceil().max(1.0) as u64;
+    let mut c = CounterSet {
+        cycles,
+        instructions: led.instructions.round() as u64,
+        ..CounterSet::default()
+    };
+    // Round the nested stall counters from the deepest level up so each
+    // floor is taken once and containment is preserved exactly.
+    c.stalls_l3_miss = led.stalls_l3 as u64;
+    c.stalls_l2_miss = (led.stalls_l2 as u64).max(c.stalls_l3_miss);
+    c.stalls_l1d_miss = (led.stalls_l1d as u64).max(c.stalls_l2_miss);
+    c.bound_on_loads = (led.bound_on_loads as u64).max(c.stalls_l1d_miss);
+    c.bound_on_stores = led.bound_on_stores as u64;
+    c.retired_stalls = (led.retired_stalls as u64).max(c.bound_on_loads + c.bound_on_stores);
+    c.cycles = c.cycles.max(c.retired_stalls);
+    c.stalls_scoreboard = led.stalls_scoreboard as u64;
+    c.ports_1_util = led.ports_1 as u64;
+    c.ports_2_util = led.ports_2 as u64;
+    c.demand_l3_miss = led.demand_l3_miss.round() as u64;
+    c.l2pf_issued = led.l2pf_issued.round() as u64;
+    c.l2pf_l3_miss = led.l2pf_l3_miss.round() as u64;
+    c.l2pf_dropped = led.l2pf_dropped.round() as u64;
+
+    let wall_ns = (c.cycles as f64 * platform.cycle_ps() as f64 / 1_000.0) as u64;
+
+    let mut demand_lat_hist = LatencyHistogram::new();
+    if led.hist_mem >= 0.5 {
+        demand_lat_hist.record_n(lat_mem_ns as u64, led.hist_mem.round().max(1.0) as u64);
+    }
+    let mut dep_load_hist = LatencyHistogram::new();
+    for (lat_ns, n) in &led.dep_events {
+        if *n >= 0.5 {
+            dep_load_hist.record_n((*lat_ns).max(1.0) as u64, n.round() as u64);
+        }
+    }
+
+    let reads = led.dev_reads.round() as u64;
+    let writes = led.dev_writes.round() as u64;
+    let device_stats = DeviceStats {
+        reads,
+        writes,
+        total_read_latency_ps: (led.dev_read_lat_ns * 1_000.0) as u128,
+        first_issue: 0,
+        last_completion: if reads + writes > 0 {
+            wall_ns * 1_000
+        } else {
+            0
+        },
+        ras: Default::default(),
+    };
+
+    RunResult {
+        counters: c,
+        samples: Vec::new(),
+        latency_series: Vec::new(),
+        demand_lat_hist,
+        dep_load_hist,
+        wall_ns,
+        device_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melody_mem::presets;
+    use melody_workloads::registry;
+
+    fn run(name: &str, spec: &melody_mem::DeviceSpec) -> RunResult {
+        let w = registry::by_name(name).expect("workload");
+        let scaled = Platform::emr2s().smp_scaled(w.threads);
+        run_interval(&scaled, &spec.analytic_profile(), &w, 30_000, true)
+    }
+
+    #[test]
+    fn interval_results_satisfy_invariants() {
+        for name in ["605.mcf", "541.leela", "519.lbm", "bfs-web"] {
+            for spec in [presets::local_emr(), presets::cxl_a(), presets::cxl_c()] {
+                let r = run(name, &spec);
+                assert!(
+                    r.counters.invariants_hold(),
+                    "{name} on {}: {:?}",
+                    spec.name(),
+                    r.counters
+                );
+                assert!(r.counters.cycles > 0);
+                assert!(r.wall_ns > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn interval_is_deterministic_and_instant() {
+        let a = run("605.mcf", &presets::cxl_b());
+        let b = run("605.mcf", &presets::cxl_b());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.device_stats, b.device_stats);
+    }
+
+    #[test]
+    fn memory_bound_workload_slows_on_cxl() {
+        let local = run("605.mcf", &presets::local_emr());
+        let cxl = run("605.mcf", &presets::cxl_b());
+        let s = cxl.slowdown_vs(&local);
+        assert!(s > 0.15, "mcf should slow down on CXL-B: {s}");
+        // Identical instruction stream by construction.
+        assert_eq!(local.counters.instructions, cxl.counters.instructions);
+    }
+
+    #[test]
+    fn compute_bound_workload_tolerates_cxl() {
+        let local = run("541.leela", &presets::local_emr());
+        let cxl = run("541.leela", &presets::cxl_c());
+        let s = cxl.slowdown_vs(&local);
+        assert!(s < 0.15, "leela should tolerate CXL-C: {s}");
+    }
+
+    #[test]
+    fn breakdown_is_consistent_with_slowdown() {
+        let local = run("605.mcf", &presets::local_emr());
+        let cxl = run("605.mcf", &presets::cxl_a());
+        let b = crate::breakdown(&local.counters, &cxl.counters);
+        let s = cxl.slowdown_vs(&local);
+        assert!(
+            (b.total - s).abs() < 1e-9,
+            "breakdown total {} vs {s}",
+            b.total
+        );
+    }
+}

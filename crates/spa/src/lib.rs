@@ -41,6 +41,7 @@
 
 mod accuracy;
 mod estimate;
+pub mod interval;
 pub mod period;
 pub mod predict;
 pub mod prefetch;
@@ -48,5 +49,6 @@ mod stream;
 
 pub use accuracy::{accuracy, AccuracyReport};
 pub use estimate::{breakdown, estimates, Breakdown, SlowdownEstimates};
+pub use interval::run_interval;
 pub use predict::{evaluate, predict_slowdown, DeviceProfile, Measurement, PredictionQuality};
 pub use stream::{BreakdownStream, StreamWindow};

@@ -95,7 +95,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|campaign|degraded|trace|diff|report> [args]\n\
          \u{20}      [--jobs N] [--telemetry off|metrics|trace] [--cadence-ns N]\n\
-         \u{20}      [--cache DIR] [--no-cache]\n\
+         \u{20}      [--cache DIR] [--no-cache] [--fidelity detailed|sampled|fast]\n\
+         \u{20}      [--sample-warmup N] [--sample-window N] [--sample-period N]\n\
          see `src/bin/melody.rs` header or README for details"
     );
     std::process::exit(2);
@@ -111,6 +112,43 @@ fn take_jobs_flag(args: &mut Vec<String>) {
             .unwrap_or_else(|| usage());
         melody::exec::set_jobs(n);
         args.drain(i..i + 2);
+    }
+}
+
+/// Consumes the global fidelity flags. `--fidelity detailed|sampled|fast`
+/// selects the simulation tier for every run the command performs
+/// (default detailed — byte-identical to builds without the flag);
+/// `--sample-warmup/-window/-period N` override the sampled tier's
+/// schedule in slots. Campaign specs can still override per grid.
+fn take_fidelity_flags(args: &mut Vec<String>) {
+    if let Some(i) = args.iter().position(|a| a == "--fidelity") {
+        let f = args
+            .get(i + 1)
+            .and_then(|v| melody_cpu::Fidelity::parse(v))
+            .unwrap_or_else(|| usage());
+        melody::exec::set_fidelity(f);
+        args.drain(i..i + 2);
+    }
+    let (mut warmup, mut window, mut period) = (0u64, 0u64, 0u64);
+    for (flag, slot) in [
+        ("--sample-warmup", &mut warmup),
+        ("--sample-window", &mut window),
+        ("--sample-period", &mut period),
+    ] {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            *slot = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| usage());
+            args.drain(i..i + 2);
+        }
+    }
+    if warmup + window + period > 0 {
+        melody::exec::set_sampling(warmup, window, period);
+        if let Err(e) = melody::exec::sampling().validate() {
+            eprintln!("invalid sampling schedule: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -187,6 +225,7 @@ fn finish_telemetry() {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     take_jobs_flag(&mut args);
+    take_fidelity_flags(&mut args);
     take_telemetry_flags(&mut args);
     let no_cache = take_cache_flags(&mut args);
     let Some(cmd) = args.first() else { usage() };

@@ -9,7 +9,7 @@
 //! re-simulated with byte-identical downstream output.
 //!
 //! Layout: one JSON file per cell at
-//! `<root>/<key[0..2]>/<key>.json`, each a [`CacheEntry`] envelope
+//! `<root>/<key[0..2]>/<key>.json`, each a `CacheEntry` envelope
 //! `{"v": <schema>, "key": <fingerprint>, "payload": <cell JSON>}`.
 //! The two-character fan-out directories keep any single directory from
 //! accumulating hundreds of thousands of entries on full-scale grids.
@@ -45,7 +45,7 @@ use serde::{Deserialize, Serialize};
 /// outputs without touching [`melody_mem::SPEC_SCHEMA_VERSION`] /
 /// [`melody_workloads::SPEC_SCHEMA_VERSION`], or the envelope format
 /// itself changes — and note the bump in CHANGES.md.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over `bytes`, from an arbitrary offset basis.
 fn fnv64(mut h: u64, bytes: &[u8]) -> u64 {

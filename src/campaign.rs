@@ -43,7 +43,7 @@ use crate::runner::{run_pair, PairOutcome, RunOptions};
 /// cell fingerprint; bump it when the payload's shape or meaning changes
 /// so stale cache entries become unreachable (see EXPERIMENTS.md,
 /// "Campaigns and the result cache").
-pub const RESULT_SCHEMA_VERSION: u32 = 1;
+pub const RESULT_SCHEMA_VERSION: u32 = 2;
 
 /// Resolves a device keyword (`local`, `numa`, `cxl-a` … `cxl-d`,
 /// `skx-140`, `skx-190`, `skx-410`, with optional `+numa` / `+switch` /
@@ -218,6 +218,20 @@ pub struct CampaignSpec {
     /// Base RNG seed (default 42).
     #[serde(default)]
     pub seed: Option<u64>,
+    /// Fidelity tier for every cell in the grid:
+    /// `detailed` | `sampled` | `fast` (default: the process-wide
+    /// setting, i.e. the binary's `--fidelity` flag or `detailed`).
+    #[serde(default)]
+    pub fidelity: Option<String>,
+    /// Sampled-tier warmup slots per period (default 512).
+    #[serde(default)]
+    pub sample_warmup: Option<u64>,
+    /// Sampled-tier measurement-window slots per period (default 2048).
+    #[serde(default)]
+    pub sample_window: Option<u64>,
+    /// Sampled-tier period length in slots (default 16384).
+    #[serde(default)]
+    pub sample_period: Option<u64>,
 }
 
 impl CampaignSpec {
@@ -261,9 +275,27 @@ impl CampaignSpec {
         } else {
             self.faults.clone()
         };
+        let fidelity = match self.fidelity.as_deref() {
+            None => crate::exec::fidelity(),
+            Some(s) => melody_cpu::Fidelity::parse(s)
+                .ok_or_else(|| format!("unknown fidelity `{s}` (detailed|sampled|fast)"))?,
+        };
+        let mut sampling = crate::exec::sampling();
+        if let Some(w) = self.sample_warmup {
+            sampling.warmup_slots = w;
+        }
+        if let Some(w) = self.sample_window {
+            sampling.window_slots = w;
+        }
+        if let Some(p) = self.sample_period {
+            sampling.period_slots = p;
+        }
+        sampling.validate().map_err(|e| format!("sampling: {e}"))?;
         let opts = RunOptions {
             mem_refs: self.mem_refs.unwrap_or_else(|| scale.mem_refs()),
             seed: self.seed.unwrap_or(42),
+            fidelity,
+            sampling,
             ..Default::default()
         };
         let mut cells = Vec::new();
@@ -642,6 +674,10 @@ mod tests {
             scale: None,
             mem_refs: Some(4_000),
             seed: None,
+            fidelity: None,
+            sample_warmup: None,
+            sample_window: None,
+            sample_period: None,
         }
     }
 

@@ -1,7 +1,7 @@
 //! Workload execution: single runs, local-vs-target pairs, and
 //! populations.
 
-use melody_cpu::{Core, CoreConfig, Platform, RunResult};
+use melody_cpu::{Core, CoreConfig, Fidelity, Platform, RunResult, SamplingParams};
 use melody_mem::DeviceSpec;
 use melody_spa::{breakdown, Breakdown};
 use melody_workloads::{SlotStream, Suite, WorkloadSpec};
@@ -19,6 +19,15 @@ pub struct RunOptions {
     pub sample_interval_ns: Option<u64>,
     /// Hardware prefetchers on/off.
     pub prefetchers: bool,
+    /// Simulation fidelity tier (see [`Fidelity`]). Part of result
+    /// identity: campaign fingerprints include it, so a sampled or fast
+    /// result is never served from cache for a detailed request.
+    #[serde(default)]
+    pub fidelity: Fidelity,
+    /// Sampling schedule for the [`Fidelity::Sampled`] tier; ignored by
+    /// the other tiers.
+    #[serde(default)]
+    pub sampling: SamplingParams,
 }
 
 impl Default for RunOptions {
@@ -28,6 +37,8 @@ impl Default for RunOptions {
             seed: 42,
             sample_interval_ns: None,
             prefetchers: true,
+            fidelity: crate::exec::fidelity(),
+            sampling: crate::exec::sampling(),
         }
     }
 }
@@ -49,6 +60,17 @@ pub fn run_workload(
     opts: &RunOptions,
 ) -> RunResult {
     let scaled = platform.smp_scaled(workload.threads);
+    // The fast tier is a closed-form interval model: no core, no warming,
+    // no event loop (see [`melody_spa::run_interval`]).
+    if opts.fidelity == Fidelity::Fast {
+        return melody_spa::run_interval(
+            &scaled,
+            &device.analytic_profile(),
+            workload,
+            opts.mem_refs,
+            opts.prefetchers,
+        );
+    }
     let ipc_peak = scaled.ipc_peak;
     let mut cfg = CoreConfig::new(scaled);
     cfg.prefetchers = opts.prefetchers;
@@ -90,7 +112,12 @@ pub fn run_workload(
     }
     // Same stream seed regardless of device: local and target runs
     // execute the identical instruction sequence.
-    core.run(SlotStream::new(workload, opts.seed, opts.mem_refs))
+    let stream = SlotStream::new(workload, opts.seed, opts.mem_refs);
+    match opts.fidelity {
+        Fidelity::Detailed => core.run(stream),
+        Fidelity::Sampled => core.run_sampled(stream, opts.sampling),
+        Fidelity::Fast => unreachable!("fast tier returns above"),
+    }
 }
 
 /// Outcome of running one workload on a local baseline and a target

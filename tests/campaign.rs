@@ -27,6 +27,10 @@ fn tiny_spec() -> CampaignSpec {
         scale: None,
         mem_refs: Some(4_000),
         seed: None,
+        fidelity: None,
+        sample_warmup: None,
+        sample_window: None,
+        sample_period: None,
     }
 }
 
@@ -69,6 +73,84 @@ fn warm_run_is_byte_identical_to_cold_and_fully_cached() {
         to_json(&warm),
         "warm == cold, byte for byte"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fidelity_is_part_of_cell_identity() {
+    // A cache populated by a sampled (or fast) campaign must never serve
+    // a detailed request, and vice versa: fidelity and the sampling
+    // schedule are inside the cell fingerprint.
+    let dir = tmp_dir("fidelity-keys");
+    let detailed = tiny_spec();
+    let sampled = CampaignSpec {
+        fidelity: Some("sampled".into()),
+        ..tiny_spec()
+    };
+    let fast = CampaignSpec {
+        fidelity: Some("fast".into()),
+        ..tiny_spec()
+    };
+
+    let cache = ResultCache::open(&dir).expect("open");
+    let _ = run(&sampled, Shard::full(), Some(&cache));
+    assert_eq!(cache.stats().misses, 4, "cold sampled run misses all");
+
+    // Detailed request against the sampled-populated cache: all misses.
+    let c2 = ResultCache::open(&dir).expect("reopen");
+    let _ = run(&detailed, Shard::full(), Some(&c2));
+    assert_eq!(
+        c2.stats().hits,
+        0,
+        "a sampled cell must never satisfy a detailed request"
+    );
+    assert_eq!(c2.stats().misses, 4);
+
+    // Fast request likewise shares no keys with either prior tier.
+    let c3 = ResultCache::open(&dir).expect("reopen");
+    let _ = run(&fast, Shard::full(), Some(&c3));
+    assert_eq!(c3.stats().hits, 0, "fast keys are distinct too");
+
+    // A different sampling schedule is a different result: no hits even
+    // at the same tier.
+    let c4 = ResultCache::open(&dir).expect("reopen");
+    let resampled = CampaignSpec {
+        sample_window: Some(4096),
+        ..sampled.clone()
+    };
+    let _ = run(&resampled, Shard::full(), Some(&c4));
+    assert_eq!(c4.stats().hits, 0, "schedule change must re-simulate");
+
+    // And each tier is a warm hit for itself.
+    let c5 = ResultCache::open(&dir).expect("reopen");
+    let again = run(&sampled, Shard::full(), Some(&c5));
+    assert_eq!(c5.stats().hits, 4, "{:?}", c5.stats());
+    assert_eq!(again.rows.len(), 4);
+
+    // Cell keys differ pairwise across tiers at expansion time as well.
+    let kd: Vec<_> = detailed
+        .expand()
+        .expect("expand")
+        .into_iter()
+        .map(|c| c.key)
+        .collect();
+    let ks: Vec<_> = sampled
+        .expand()
+        .expect("expand")
+        .into_iter()
+        .map(|c| c.key)
+        .collect();
+    let kf: Vec<_> = fast
+        .expand()
+        .expect("expand")
+        .into_iter()
+        .map(|c| c.key)
+        .collect();
+    for i in 0..kd.len() {
+        assert_ne!(kd[i], ks[i]);
+        assert_ne!(kd[i], kf[i]);
+        assert_ne!(ks[i], kf[i]);
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
