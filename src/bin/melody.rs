@@ -14,6 +14,12 @@
 //! melody trace <device> [--out PATH] [--workloads N] [--refs N]
 //! melody diff <a.json> <b.json> [--rel-tol X] [--abs-tol X] [--json]
 //! melody report <run.json> [--out PATH]
+//! melody serve [--port N] [--state-dir DIR] [--queue-depth N]
+//!              [--admission-limit N] [--deadline-ms N] [--max-attempts N]
+//! melody submit <spec.json> [--server HOST:PORT] [--client NAME]
+//!               [--deadline-ms N] [--retries N] [--wait] [--json]
+//! melody status [job-id] [--server HOST:PORT] [--result] [--wait] [--json]
+//! melody drain [--server HOST:PORT]
 //! ```
 //!
 //! Devices: local, numa, cxl-a, cxl-b, cxl-c, cxl-d, cxl-a+numa, ...,
@@ -93,7 +99,7 @@ fn apply_faults(spec: DeviceSpec, args: &[String]) -> DeviceSpec {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|campaign|degraded|trace|diff|report> [args]\n\
+        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|campaign|degraded|trace|diff|report|serve|submit|status|drain> [args]\n\
          \u{20}      [--jobs N] [--telemetry off|metrics|trace] [--cadence-ns N]\n\
          \u{20}      [--cache DIR] [--no-cache] [--fidelity detailed|sampled|fast]\n\
          \u{20}      [--sample-warmup N] [--sample-window N] [--sample-period N]\n\
@@ -253,6 +259,10 @@ fn main() {
         "trace" => cmd_trace(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
         "report" => cmd_report(&args[1..]),
+        "serve" => cmd_serve(&args[1..], no_cache),
+        "submit" => cmd_submit(&args[1..]),
+        "status" => cmd_status(&args[1..]),
+        "drain" => cmd_drain(&args[1..]),
         _ => usage(),
     }
     // Cache effectiveness is diagnostic output: stderr only, never into
@@ -707,22 +717,80 @@ fn cmd_campaign(args: &[String]) {
             Journal::in_memory()
         }
     };
+    warn_torn_journal(&journal, resume);
     let policy = melody::exec::CellPolicy::default();
-    let report = melody::cache::with_global(|cache| {
+    let run = melody::cache::with_global(|cache| {
         run_campaign(&spec, shard, &mut journal, cache, &policy)
     })
     .unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    // Resolution provenance differs between warm/cold/resumed runs, so
+    // it goes to stderr; stdout stays byte-comparable.
+    eprintln!("{}", run.stats.render());
+    let report = run.report;
     if args.iter().any(|a| a == "--json") {
-        println!("{}", melody::report::to_json(&report));
+        if melody_telemetry::metrics_on() {
+            // Same document shape as `degraded --json --telemetry`: the
+            // report plus the telemetry export as one JSON object.
+            let c = melody_telemetry::collect();
+            let export = telemetry_export_with_exec_counters(&c.metrics);
+            println!(
+                "{{\"report\":{},\"telemetry\":{}}}",
+                melody::report::to_json(&report),
+                serde_json::to_string(&export).expect("telemetry export serialize")
+            );
+            if !c.profile.is_empty() {
+                eprint!("{}", c.profile.render());
+            }
+        } else {
+            println!("{}", melody::report::to_json(&report));
+        }
     } else {
         print!("{}", report.render());
     }
     if !report.errors.is_empty() {
         std::process::exit(1);
     }
+}
+
+/// Surfaces a journal's dropped torn tail as a counted warning on
+/// `--resume` (a fresh run truncates the journal, so there is nothing
+/// to warn about).
+fn warn_torn_journal(journal: &melody::journal::Journal, resume: bool) {
+    if resume && journal.torn_lines() > 0 {
+        let path = journal
+            .path()
+            .map_or_else(|| "<memory>".to_string(), |p| p.display().to_string());
+        eprintln!(
+            "warning: dropped {} torn trailing record(s) from {path} (those cells will re-run)",
+            journal.torn_lines()
+        );
+    }
+}
+
+/// The telemetry export with the process-global execution-robustness
+/// counters folded in: retries, watchdog deadline hits and
+/// cancellations are counted even for attempts whose in-capture
+/// telemetry buffers were dropped on failure, so the export is the one
+/// place `--json` consumers can read exact totals.
+fn telemetry_export_with_exec_counters(
+    metrics: &melody_telemetry::MetricsRegistry,
+) -> melody_telemetry::TelemetryExport {
+    let mut export = melody_telemetry::TelemetryExport::from_registry(metrics);
+    let rs = melody::exec::retry_stats();
+    export
+        .counters
+        .insert("exec.cell_retries_total".to_string(), rs.retries);
+    export.counters.insert(
+        "exec.cell_deadlines_total".to_string(),
+        rs.deadline_exceeded,
+    );
+    export
+        .counters
+        .insert("exec.cells_cancelled_total".to_string(), rs.cancelled);
+    export
 }
 
 fn cmd_degraded(args: &[String]) {
@@ -759,6 +827,7 @@ fn cmd_degraded(args: &[String]) {
             Journal::in_memory()
         }
     };
+    warn_torn_journal(&journal, resume);
     let limit = flag(args, "--limit").and_then(|v| v.parse::<usize>().ok());
     let report = degraded::run_with(
         scale,
@@ -776,7 +845,7 @@ fn cmd_degraded(args: &[String]) {
             // them without re-parsing rendered text. The profile still
             // goes to stderr: wall-clock values are nondeterministic.
             let c = melody_telemetry::collect();
-            let export = melody_telemetry::TelemetryExport::from_registry(&c.metrics);
+            let export = telemetry_export_with_exec_counters(&c.metrics);
             println!(
                 "{{\"report\":{},\"telemetry\":{}}}",
                 melody::report::to_json(&report),
@@ -837,5 +906,287 @@ fn cmd_trace(args: &[String]) {
     print!("{}", c.metrics.render());
     if !c.profile.is_empty() {
         eprint!("{}", c.profile.render());
+    }
+}
+
+/// First non-flag argument, skipping the *values* of flags that take
+/// one (so `status --server H:P job-000001` finds the job id, not the
+/// address).
+fn positional(args: &[String], value_flags: &[&str]) -> Option<String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if value_flags.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            return Some(a.clone());
+        }
+    }
+    None
+}
+
+/// Flags-with-values shared by the client subcommands, for
+/// [`positional`].
+const CLIENT_VALUE_FLAGS: &[&str] = &[
+    "--server",
+    "--client",
+    "--deadline-ms",
+    "--retries",
+    "--poll-ms",
+    "--timeout-s",
+];
+
+fn server_flag(args: &[String]) -> String {
+    flag(args, "--server").unwrap_or_else(|| melody::server::DEFAULT_ADDR.to_string())
+}
+
+/// `melody serve`: runs the campaign service in the foreground until it
+/// drains (SIGTERM, SIGINT or `POST /v1/drain`). See
+/// `melody::server` for the API and robustness model. The global
+/// `--cache DIR` flag selects the server's result cache (default
+/// `.melody-cache`; `--no-cache` disables warm starts).
+fn cmd_serve(args: &[String], no_cache: bool) {
+    use melody::server::{signal, ServeConfig, Server};
+
+    let mut cfg = ServeConfig::default();
+    if let Some(h) = flag(args, "--addr") {
+        cfg.host = h;
+    }
+    if let Some(p) = flag(args, "--port") {
+        cfg.port = p.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(d) = flag(args, "--state-dir") {
+        cfg.state_dir = d.into();
+    }
+    cfg.queue_depth = flag_u64(args, "--queue-depth", cfg.queue_depth as u64) as usize;
+    cfg.admission_limit = flag_u64(args, "--admission-limit", cfg.admission_limit);
+    if let Some(ms) = flag(args, "--deadline-ms") {
+        cfg.default_deadline_ms = Some(ms.parse().unwrap_or_else(|_| usage()));
+    }
+    cfg.max_attempts = flag_u64(args, "--max-attempts", u64::from(cfg.max_attempts)) as u32;
+    // The server owns a private cache handle: the process-global one is
+    // held locked for a whole campaign, which would block health and
+    // status queries while a job runs.
+    cfg.cache_dir = if no_cache {
+        None
+    } else {
+        melody::cache::with_global(|c| c.map(|c| c.root().to_path_buf()))
+            .or_else(|| Some(".melody-cache".into()))
+    };
+    melody::cache::set_global(None);
+    signal::install_drain_handler();
+    let handle = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(2);
+    });
+    // One parseable line so scripts can discover an ephemeral port.
+    println!("melody-serve: listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    eprintln!("melody-serve: drained cleanly");
+}
+
+/// `melody submit <spec.json>`: submits a campaign to a running server.
+/// Prints the job id (or the full reply with `--json`); `--retries N`
+/// retries `429 Busy` rejections with capped exponential backoff;
+/// `--wait` polls until the job finishes and prints its result — the
+/// exact bytes `melody campaign --json` would emit. Exit codes: 0
+/// accepted/succeeded, 1 the job itself failed or was interrupted, 2
+/// client/usage errors (unreachable server, bad spec, ...).
+fn cmd_submit(args: &[String]) {
+    use melody::server::client::{self, RetrySchedule};
+
+    let Some(spec_path) = positional(args, CLIENT_VALUE_FLAGS) else {
+        eprintln!("submit requires a spec file (see datasets/grid_quick.json)");
+        std::process::exit(2);
+    };
+    let spec_text = std::fs::read_to_string(&spec_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {spec_path}: {e}");
+        std::process::exit(2);
+    });
+    // Validate locally first: a bad spec should fail with a clear
+    // message even when the server is unreachable.
+    if let Err(e) = serde_json::from_str::<CampaignSpec>(&spec_text) {
+        eprintln!("{spec_path}: not a campaign spec: {e:?}");
+        std::process::exit(2);
+    }
+    let server = server_flag(args);
+    let client_name = flag(args, "--client");
+    let deadline_ms = flag(args, "--deadline-ms").map(|v| v.parse().unwrap_or_else(|_| usage()));
+    let schedule = RetrySchedule {
+        max_retries: flag_u64(args, "--retries", 0) as u32,
+        ..Default::default()
+    };
+    match client::submit_with_retry(
+        &server,
+        &spec_text,
+        client_name.as_deref(),
+        deadline_ms,
+        &schedule,
+    ) {
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        Ok((reply, retries)) => {
+            if retries > 0 {
+                eprintln!("submitted after {retries} backpressure retry(ies)");
+            }
+            eprintln!(
+                "accepted {}: {} cells, cost {}, {} job(s) ahead",
+                reply.job_id, reply.total_cells, reply.cost, reply.position
+            );
+            if args.iter().any(|a| a == "--wait") {
+                wait_and_print_result(&server, &reply.job_id, args);
+            } else if args.iter().any(|a| a == "--json") {
+                println!(
+                    "{}",
+                    serde_json::to_string(&reply).expect("reply serializes")
+                );
+            } else {
+                println!("{}", reply.job_id);
+            }
+        }
+    }
+}
+
+/// Waits for a job and streams its result to stdout. Exits 1 when the
+/// job failed or was interrupted, 2 on client errors.
+fn wait_and_print_result(server: &str, id: &str, args: &[String]) {
+    use melody::server::api::JobStatus;
+    use melody::server::client;
+
+    let poll = std::time::Duration::from_millis(flag_u64(args, "--poll-ms", 200));
+    let timeout = std::time::Duration::from_secs(flag_u64(args, "--timeout-s", 600));
+    let view = client::wait(server, id, poll, timeout).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if view.status == JobStatus::Interrupted {
+        eprintln!("job {id} was interrupted by a drain; restart the server to resume it");
+        std::process::exit(1);
+    }
+    match client::job_result(server, id) {
+        Ok(bytes) => {
+            use std::io::Write as _;
+            let mut out = std::io::stdout();
+            let _ = out.write_all(&bytes);
+            let _ = out.flush();
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+    if view.status == JobStatus::Failed {
+        eprintln!(
+            "job {id} failed: {}",
+            view.error
+                .unwrap_or_else(|| "cell errors in report".to_string())
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `melody status [job-id]`: without an id, prints the server health
+/// overview; with one, that job's status (`--json` for the machine
+/// form, `--result` for the finished report bytes, `--wait` to poll
+/// until it finishes). Unreachable servers, malformed responses and
+/// unknown job ids exit 2 with a clear message.
+fn cmd_status(args: &[String]) {
+    use melody::server::client;
+
+    let server = server_flag(args);
+    let Some(id) = positional(args, CLIENT_VALUE_FLAGS) else {
+        let health = client::health(&server).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        if args.iter().any(|a| a == "--json") {
+            println!(
+                "{}",
+                serde_json::to_string(&health).expect("health serializes")
+            );
+        } else {
+            println!(
+                "server {server}: {} ({} queued, {} running, {} done, {} failed, {} interrupted)",
+                health.status,
+                health.queued,
+                health.running,
+                health.done,
+                health.failed,
+                health.interrupted
+            );
+            println!(
+                "  submissions: {} accepted, {} busy-rejected, {} admission-rejected",
+                health.accepted, health.rejected_busy, health.rejected_admission
+            );
+            if let Some(cache) = health.cache {
+                println!("  {}", cache.render());
+            }
+        }
+        return;
+    };
+    if args.iter().any(|a| a == "--wait") {
+        wait_and_print_result(&server, &id, args);
+        return;
+    }
+    let view = client::job_status(&server, &id).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if args.iter().any(|a| a == "--result") {
+        match client::job_result(&server, &id) {
+            Ok(bytes) => {
+                use std::io::Write as _;
+                let mut out = std::io::stdout();
+                let _ = out.write_all(&bytes);
+                let _ = out.flush();
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string(&view).expect("view serializes"));
+    } else {
+        let mut line = format!(
+            "{} [{}] {}: {} — {}/{} cells journaled",
+            view.id,
+            view.client,
+            view.campaign,
+            view.status.label(),
+            view.cells_journaled,
+            view.total_cells
+        );
+        if let Some(stats) = &view.stats {
+            line.push_str(&format!(" ({})", stats.render()));
+        }
+        if let Some(err) = &view.error {
+            line.push_str(&format!(" — {err}"));
+        }
+        println!("{line}");
+    }
+}
+
+/// `melody drain`: asks the server to finish gracefully (stop accepting
+/// submissions, cancel unclaimed cells, checkpoint, exit) — the same
+/// path a SIGTERM takes.
+fn cmd_drain(args: &[String]) {
+    use melody::server::client;
+
+    let server = server_flag(args);
+    match client::drain(&server) {
+        Ok(()) => println!("drain requested"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     }
 }

@@ -212,7 +212,19 @@ impl ResultCache {
         };
         let json = serde_json::to_string(&entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
-        let tmp = dir.join(format!(".{key}.tmp-{}", std::process::id()));
+        // The temp name must be unique per *writer*, not just per
+        // process: two worker threads resolving the same fingerprint
+        // would otherwise interleave truncate/write/rename on one temp
+        // file and could rename a half-written entry into place. The
+        // (pid, global sequence) pair keeps concurrent threads and
+        // concurrent processes on disjoint temp files; whichever rename
+        // lands last wins with a complete envelope.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            ".{key}.tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         fs::write(&tmp, json.as_bytes())?;
         fs::rename(&tmp, &path)?;
         if melody_telemetry::metrics_on() {
@@ -326,6 +338,51 @@ mod tests {
         c.put(&key, "{\"data\":[1,2,3]}").expect("re-put");
         assert_eq!(c.get(&key).as_deref(), Some("{\"data\":[1,2,3]}"));
         let _ = fs::remove_dir_all(c.root());
+    }
+
+    #[test]
+    fn concurrent_writers_same_key_never_corrupt() {
+        // Two cache handles on one root (stand-ins for two processes),
+        // hammered from several threads resolving the *same*
+        // fingerprint: every put must succeed, and the surviving entry
+        // must always be a complete, valid envelope.
+        let a = tmp_cache("race");
+        let b = ResultCache::open(a.root()).expect("second handle");
+        let key = fingerprint(&["contended-cell"]);
+        let payload = format!("{{\"data\":{:?}}}", vec![1.25f64; 256]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                for c in [&a, &b] {
+                    let (key, payload) = (&key, &payload);
+                    s.spawn(move || {
+                        for _ in 0..50 {
+                            c.put(key, payload).expect("concurrent put succeeds");
+                        }
+                    });
+                }
+            }
+        });
+        // No temp litter left behind, and the entry reads back intact.
+        let shard_dir = a.root().join(&key[0..2]);
+        let leftovers: Vec<_> = fs::read_dir(&shard_dir)
+            .expect("shard dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        // Exact accounting on a fresh handle: one lookup, one hit,
+        // zero misses, zero corrupt envelopes.
+        let fresh = ResultCache::open(a.root()).expect("fresh handle");
+        assert_eq!(fresh.get(&key).as_deref(), Some(payload.as_str()));
+        assert_eq!(
+            fresh.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                corrupt: 0
+            }
+        );
+        let _ = fs::remove_dir_all(a.root());
     }
 
     #[test]

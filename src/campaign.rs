@@ -449,6 +449,54 @@ pub struct CampaignRow {
     pub target_p999_ns: u64,
 }
 
+/// How each owned cell of a campaign run was resolved. Kept *outside*
+/// [`CampaignReport`] deliberately: the report is byte-compared across
+/// warm/cold/resumed runs, and resolution provenance is exactly what
+/// differs between them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignRunStats {
+    /// Cells this shard owns.
+    pub owned: usize,
+    /// Cells restored from the journal (same-run resume).
+    pub journal_hits: usize,
+    /// Cells restored from the result cache (cross-run warm start).
+    pub cache_hits: usize,
+    /// Cells freshly simulated.
+    pub simulated: usize,
+    /// Cells skipped by a cancellation token (e.g. a server drain);
+    /// they are *not* failures — a resumed run completes them.
+    pub cancelled: usize,
+    /// Cells that failed (panic/deadline) and appear in
+    /// [`CampaignReport::errors`].
+    pub failed: usize,
+}
+
+impl CampaignRunStats {
+    /// One-line render for stderr diagnostics (never stdout: warm and
+    /// cold runs resolve differently, and stdout is byte-compared).
+    pub fn render(&self) -> String {
+        format!(
+            "campaign cells: {} owned = {} journal + {} cache + {} simulated ({} cancelled, {} failed)",
+            self.owned,
+            self.journal_hits,
+            self.cache_hits,
+            self.simulated,
+            self.cancelled,
+            self.failed
+        )
+    }
+}
+
+/// A finished campaign run: the byte-stable [`CampaignReport`] plus the
+/// run-specific resolution provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignRun {
+    /// The byte-stable report (identical however cells were resolved).
+    pub report: CampaignReport,
+    /// Where each owned cell came from on *this* run.
+    pub stats: CampaignRunStats,
+}
+
 /// The result of one campaign (or campaign shard).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -560,23 +608,33 @@ fn row_from(cell: &CampaignCell, o: &PairOutcome) -> CampaignRow {
 /// then simulation on the resilient worker pool. Fresh results are
 /// recorded to both, and every result passes through one compact-JSON
 /// round-trip so warm, cold, resumed and sharded runs serialize
-/// byte-identically.
+/// byte-identically. The returned [`CampaignRun`] pairs the byte-stable
+/// report with per-run resolution provenance ([`CampaignRunStats`]) —
+/// how many cells came from the journal, the cache, or fresh
+/// simulation, and how many were skipped by `policy`'s cancellation
+/// token (a drained run reports them as `cancelled`, not failed, so a
+/// restart can finish the campaign).
 pub fn run_campaign(
     spec: &CampaignSpec,
     shard: Shard,
     journal: &mut Journal,
     cache: Option<&ResultCache>,
     policy: &CellPolicy,
-) -> Result<CampaignReport, String> {
+) -> Result<CampaignRun, String> {
     let _span = melody_telemetry::span("campaign");
     let cells = spec.expand()?;
     let total_cells = cells.len();
     let owned: Vec<&CampaignCell> = cells.iter().filter(|c| shard.owns(c.index)).collect();
+    let mut stats = CampaignRunStats {
+        owned: owned.len(),
+        ..Default::default()
+    };
 
     // Pass 1 (serial): resolve journal and cache hits.
     let mut slots: Vec<Option<PairOutcome>> = Vec::with_capacity(owned.len());
     let mut todo: Vec<&CampaignCell> = Vec::new();
     for cell in &owned {
+        let mut from_journal = false;
         let restored = match journal.get(&cell.key) {
             Some(json) => {
                 // Cache-aware resume: a journaled cell warms the shared
@@ -584,18 +642,27 @@ pub fn run_campaign(
                 if let Some(c) = cache {
                     let _ = c.put(&cell.key, json);
                 }
+                from_journal = true;
                 Some(json.to_string())
             }
             None => cache.and_then(|c| c.get(&cell.key)),
         };
         match restored.and_then(|json| serde_json::from_str::<PairOutcome>(&json).ok()) {
-            Some(o) => slots.push(Some(o)),
+            Some(o) => {
+                slots.push(Some(o));
+                if from_journal {
+                    stats.journal_hits += 1;
+                } else {
+                    stats.cache_hits += 1;
+                }
+            }
             None => {
                 slots.push(None);
                 todo.push(cell);
             }
         }
     }
+    stats.simulated = todo.len();
     if melody_telemetry::metrics_on() {
         melody_telemetry::count("campaign.cells", owned.len() as u64);
         melody_telemetry::count("campaign.simulated", todo.len() as u64);
@@ -639,24 +706,35 @@ pub fn run_campaign(
     for ((slot, cell), r) in todo_slots.into_iter().zip(&todo).zip(results) {
         match r {
             Ok(o) => slots[slot] = Some(o),
+            Err(e) if e.kind == crate::exec::CellErrorKind::Cancelled => {
+                // A drained cell is pending, not broken: it was counted
+                // as `simulated` optimistically above; reclassify.
+                stats.simulated -= 1;
+                stats.cancelled += 1;
+            }
             Err(e) => errors.push(CellError {
                 index: cell.index,
                 ..e
             }),
         }
     }
+    stats.simulated -= errors.len();
+    stats.failed = errors.len();
 
     let rows = owned
         .iter()
         .zip(&slots)
         .filter_map(|(cell, s)| s.as_ref().map(|o| row_from(cell, o)))
         .collect();
-    Ok(CampaignReport {
-        name: spec.name.clone(),
-        shard: shard.to_string(),
-        total_cells,
-        rows,
-        errors,
+    Ok(CampaignRun {
+        report: CampaignReport {
+            name: spec.name.clone(),
+            shard: shard.to_string(),
+            total_cells,
+            rows,
+            errors,
+        },
+        stats,
     })
 }
 
@@ -779,16 +857,62 @@ mod tests {
         let mut j = Journal::in_memory();
         let a = run_campaign(&spec, Shard::full(), &mut j, None, &CellPolicy::default())
             .expect("campaign");
-        assert_eq!(a.rows.len(), 2);
-        assert!(a.errors.is_empty(), "{:?}", a.errors);
+        assert_eq!(a.report.rows.len(), 2);
+        assert!(a.report.errors.is_empty(), "{:?}", a.report.errors);
         assert_eq!(j.len(), 2);
+        assert_eq!(a.stats.owned, 2);
+        assert_eq!(a.stats.simulated, 2);
+        assert_eq!(a.stats.journal_hits, 0);
         // Rerun restores everything from the journal, byte-identically.
         let b = run_campaign(&spec, Shard::full(), &mut j, None, &CellPolicy::default())
             .expect("campaign");
         assert_eq!(
-            serde_json::to_string(&a).expect("a"),
-            serde_json::to_string(&b).expect("b"),
+            serde_json::to_string(&a.report).expect("a"),
+            serde_json::to_string(&b.report).expect("b"),
         );
-        assert!(a.render().contains("campaign summary"));
+        assert_eq!(b.stats.journal_hits, 2);
+        assert_eq!(b.stats.simulated, 0);
+        assert!(a.report.render().contains("campaign summary"));
+        assert!(b.stats.render().contains("2 journal"));
+    }
+
+    #[test]
+    fn cancellation_interrupts_and_resume_completes() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let spec = tiny_spec();
+        // Reference: an uninterrupted run.
+        let mut j_ref = Journal::in_memory();
+        let reference = run_campaign(
+            &spec,
+            Shard::full(),
+            &mut j_ref,
+            None,
+            &CellPolicy::default(),
+        )
+        .expect("reference campaign");
+
+        // Interrupted run: the token is already raised, so with the
+        // worker pool at any width at least zero cells run and the rest
+        // are reported cancelled, never failed.
+        let token = Arc::new(AtomicBool::new(true));
+        let policy = CellPolicy::default().with_cancel(token.clone());
+        let mut j = Journal::in_memory();
+        let drained =
+            run_campaign(&spec, Shard::full(), &mut j, None, &policy).expect("drained campaign");
+        assert!(drained.report.errors.is_empty(), "cancelled != failed");
+        assert_eq!(drained.stats.cancelled, 2);
+        assert_eq!(drained.stats.simulated, 0);
+
+        // Restart (token lowered) finishes the remaining cells and the
+        // final report is byte-identical to the uninterrupted run.
+        token.store(false, std::sync::atomic::Ordering::Relaxed);
+        let resumed =
+            run_campaign(&spec, Shard::full(), &mut j, None, &policy).expect("resumed campaign");
+        assert_eq!(
+            serde_json::to_string(&reference.report).expect("ref"),
+            serde_json::to_string(&resumed.report).expect("resumed"),
+        );
     }
 }

@@ -17,8 +17,10 @@
 //! - [`run_cells`] — resilient mapping for long sweeps: each cell runs
 //!   under `catch_unwind`, failures come back as structured
 //!   [`CellError`]s instead of unwinding, panicked cells are retried
-//!   under a bounded deterministic backoff, and an optional per-cell
-//!   watchdog deadline flags hung cells.
+//!   under capped exponential backoff with deterministic seeded jitter,
+//!   an optional per-cell watchdog deadline flags hung cells, and an
+//!   optional cancellation token lets a drain handler stop the sweep at
+//!   the next cell boundary without losing in-flight work.
 //!
 //! The worker count is a process-wide setting ([`set_jobs`] /
 //! [`jobs`]), wired to `--jobs N` on the `melody` binary and the
@@ -27,8 +29,8 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use melody_telemetry::CellTelemetry;
@@ -286,6 +288,36 @@ pub enum CellErrorKind {
     /// The cell exceeded its watchdog deadline (not retried: a hung cell
     /// is assumed to hang again).
     DeadlineExceeded,
+    /// The sweep's cancellation token was set before the cell ran (e.g.
+    /// a server drain); the cell was skipped, not attempted.
+    Cancelled,
+}
+
+/// Process-lifetime totals of retry/deadline/cancellation events across
+/// every [`run_cells`] sweep — the source of truth for the retry counts
+/// surfaced in `--json` telemetry objects (per-cell telemetry buffers
+/// are dropped for failed attempts, so in-capture counters undercount).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryStats {
+    /// Retry attempts actually executed (attempt ≥ 2 of any cell).
+    pub retries: u64,
+    /// Cells abandoned by the watchdog deadline.
+    pub deadline_exceeded: u64,
+    /// Cells skipped because the cancellation token was set.
+    pub cancelled: u64,
+}
+
+static RETRIES_TOTAL: AtomicU64 = AtomicU64::new(0);
+static DEADLINES_TOTAL: AtomicU64 = AtomicU64::new(0);
+static CANCELLED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide retry/deadline/cancellation totals.
+pub fn retry_stats() -> RetryStats {
+    RetryStats {
+        retries: RETRIES_TOTAL.load(Ordering::Relaxed),
+        deadline_exceeded: DEADLINES_TOTAL.load(Ordering::Relaxed),
+        cancelled: CANCELLED_TOTAL.load(Ordering::Relaxed),
+    }
 }
 
 /// A structured record of one failed experiment cell, serialisable into
@@ -321,10 +353,19 @@ pub struct CellPolicy {
     /// same way every time, so the default is a single attempt; sweeps
     /// with known-transient failures can allow more.
     pub max_attempts: u32,
-    /// Backoff before retry `k` (1-based): `backoff * k`. The schedule
-    /// is a deterministic function of the attempt number — no jitter —
-    /// so retry timing never varies between runs.
+    /// Base backoff before the first retry. Retry `k` (attempt `k + 1`)
+    /// sleeps `min(backoff * 2^(k-1), backoff_cap)` plus a deterministic
+    /// jitter of up to 25% drawn from `jitter_seed` and the cell index —
+    /// seeded, so retry timing is reproducible run-to-run, yet spread,
+    /// so retrying cells on a contended host do not stampede in phase.
     pub backoff: Duration,
+    /// Upper bound on the exponential backoff schedule (pre-jitter).
+    /// The old `backoff * k` linear schedule was unbounded; a sweep with
+    /// a large retry budget could sleep for minutes between attempts.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic retry jitter. Fixed by default so the
+    /// schedule is byte-reproducible; servers may vary it per job.
+    pub jitter_seed: u64,
     /// Per-attempt watchdog deadline. `None` disables the watchdog and
     /// runs the cell inline on the worker; `Some(d)` runs each attempt
     /// on a helper thread and abandons it after `d`. An abandoned
@@ -332,6 +373,12 @@ pub struct CellPolicy {
     /// joined when the sweep's scope exits, so a truly wedged cell
     /// delays only the final return, never other cells' results.
     pub deadline: Option<Duration>,
+    /// Cooperative cancellation token. When set to `true` (e.g. by a
+    /// drain handler), workers stop *claiming* new cells — each already
+    /// in-flight cell finishes normally (and reaches the journal), and
+    /// every unclaimed cell comes back as a
+    /// [`CellErrorKind::Cancelled`] error instead of running.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for CellPolicy {
@@ -339,7 +386,10 @@ impl Default for CellPolicy {
         Self {
             max_attempts: 1,
             backoff: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x6d65_6c6f_6479, // "melody"
             deadline: None,
+            cancel: None,
         }
     }
 }
@@ -355,6 +405,46 @@ impl CellPolicy {
     pub fn with_deadline(mut self, d: Duration) -> Self {
         self.deadline = Some(d);
         self
+    }
+
+    /// A policy observing `token` as a cooperative cancellation flag.
+    pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// True when the cancellation token (if any) has been raised.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// The sleep before retry `k` = `attempt - 1` (attempt is 2-based
+    /// here): capped exponential backoff plus deterministic seeded
+    /// jitter. Pure function of `(policy, cell_index, attempt)` — two
+    /// runs of the same sweep produce identical schedules.
+    pub fn retry_delay(&self, cell_index: usize, attempt: u32) -> Duration {
+        debug_assert!(attempt >= 2, "first attempt never sleeps");
+        let base = self.backoff.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cap = self.backoff_cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        // Exponent clamps at 2^32 doublings worth of saturation anyway;
+        // keep the shift in range.
+        let doublings = (attempt - 2).min(63);
+        let exp = base.saturating_mul(1u64.checked_shl(doublings).unwrap_or(u64::MAX));
+        let capped = exp.min(cap.max(base));
+        // splitmix64 over (seed, cell, attempt): high-quality, cheap,
+        // and — unlike wall-clock jitter — reproducible.
+        let mut h = self
+            .jitter_seed
+            .wrapping_add((cell_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        let jitter = if capped == 0 { 0 } else { h % (capped / 4 + 1) };
+        Duration::from_nanos(capped.saturating_add(jitter))
     }
 }
 
@@ -388,6 +478,23 @@ where
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
+                        // Cancellation is checked at claim time: cells
+                        // already running finish (and checkpoint); cells
+                        // not yet claimed are skipped as Cancelled.
+                        if policy.cancelled() {
+                            CANCELLED_TOTAL.fetch_add(1, Ordering::Relaxed);
+                            done.push((
+                                i,
+                                Err(CellError {
+                                    index: i,
+                                    label: label(i, item),
+                                    kind: CellErrorKind::Cancelled,
+                                    message: "sweep cancelled before cell ran".to_string(),
+                                    attempts: 0,
+                                }),
+                            ));
+                            continue;
+                        }
                         done.push((i, run_one_cell(scope, policy, i, item, label, f)));
                     }
                     done
@@ -436,7 +543,20 @@ where
     let mut last_panic = String::new();
     for attempt in 1..=max_attempts {
         if attempt > 1 {
-            std::thread::sleep(policy.backoff * (attempt - 1));
+            if policy.cancelled() {
+                // Draining: don't burn the retry budget of a cell whose
+                // result nobody will wait for.
+                CANCELLED_TOTAL.fetch_add(1, Ordering::Relaxed);
+                return Err(CellError {
+                    index,
+                    label: label(index, item),
+                    kind: CellErrorKind::Cancelled,
+                    message: format!("sweep cancelled before retry {attempt}"),
+                    attempts: attempt - 1,
+                });
+            }
+            RETRIES_TOTAL.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(policy.retry_delay(index, attempt));
         }
         // Telemetry is captured per attempt; only the successful
         // attempt's buffer survives, so retries cannot duplicate events.
@@ -472,6 +592,10 @@ where
             }
             Err(()) => {
                 // A hung cell is assumed to hang again: no retry.
+                DEADLINES_TOTAL.fetch_add(1, Ordering::Relaxed);
+                if melody_telemetry::metrics_on() {
+                    melody_telemetry::count("exec.cell_deadlines", 1);
+                }
                 return Err(CellError {
                     index,
                     label: label(index, item),
@@ -632,6 +756,118 @@ mod tests {
         assert_eq!(e.kind, CellErrorKind::DeadlineExceeded);
         assert_eq!(e.attempts, 1, "timeouts are not retried");
         assert_eq!(*out[1].as_ref().expect("cell 1 fine"), 1);
+    }
+
+    #[test]
+    fn retry_delay_is_capped_exponential_and_deterministic() {
+        let p = CellPolicy {
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+            ..CellPolicy::default()
+        };
+        // Deterministic: the same (cell, attempt) always sleeps the same.
+        for attempt in 2..=8 {
+            assert_eq!(p.retry_delay(3, attempt), p.retry_delay(3, attempt));
+        }
+        // Exponential up to the cap: pre-jitter delays are 10, 20, 40,
+        // 80, 80, ... ms; jitter adds at most 25%.
+        for (attempt, base_ms) in [(2u32, 10u64), (3, 20), (4, 40), (5, 80), (6, 80), (9, 80)] {
+            let d = p.retry_delay(0, attempt);
+            let base = Duration::from_millis(base_ms);
+            assert!(d >= base, "attempt {attempt}: {d:?} < {base:?}");
+            assert!(
+                d <= base + base / 4,
+                "attempt {attempt}: {d:?} exceeds base + 25% jitter"
+            );
+        }
+        // Jitter spreads cells: not every cell sleeps identically.
+        let delays: Vec<Duration> = (0..16).map(|cell| p.retry_delay(cell, 5)).collect();
+        assert!(
+            delays.iter().any(|d| *d != delays[0]),
+            "jitter must vary across cells: {delays:?}"
+        );
+        // A different seed reshuffles the jitter, still deterministically.
+        let reseeded = CellPolicy {
+            jitter_seed: 7,
+            ..p.clone()
+        };
+        assert_ne!(
+            (0..16).map(|c| p.retry_delay(c, 5)).collect::<Vec<_>>(),
+            (0..16)
+                .map(|c| reseeded.retry_delay(c, 5))
+                .collect::<Vec<_>>(),
+        );
+        // Degenerate zero-backoff policies must not divide by zero.
+        let zero = CellPolicy {
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            ..CellPolicy::default()
+        };
+        assert_eq!(zero.retry_delay(0, 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn cancellation_skips_unclaimed_cells() {
+        let token = Arc::new(AtomicBool::new(false));
+        let policy = CellPolicy::default().with_cancel(token.clone());
+        let ran = AtomicU32::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = run_cells(
+            &items,
+            &policy,
+            |i, _| format!("c{i}"),
+            |i| {
+                // The first executed cell raises the token: everything
+                // in flight completes, everything unclaimed is skipped.
+                ran.fetch_add(1, Ordering::Relaxed);
+                token.store(true, Ordering::Relaxed);
+                *i
+            },
+        );
+        let ok = out.iter().filter(|r| r.is_ok()).count();
+        let cancelled = out
+            .iter()
+            .filter(|r| matches!(r, Err(e) if e.kind == CellErrorKind::Cancelled))
+            .count();
+        assert_eq!(ok + cancelled, items.len());
+        assert_eq!(ok as u32, ran.load(Ordering::Relaxed));
+        assert!(ok >= 1, "at least the triggering cell completed");
+        assert!(cancelled >= 1, "later cells must be skipped");
+        // Completed cells kept their results (in item order).
+        for (i, r) in out.iter().enumerate() {
+            if let Ok(v) = r {
+                assert_eq!(*v, i);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_stats_accumulate() {
+        let before = retry_stats();
+        let tries = AtomicU32::new(0);
+        let policy = CellPolicy {
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..CellPolicy::default()
+        }
+        .with_attempts(3);
+        let out = run_cells(
+            &[0u32],
+            &policy,
+            |_, _| "flaky".into(),
+            |_| {
+                if tries.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                1u32
+            },
+        );
+        assert!(out[0].is_ok());
+        let after = retry_stats();
+        assert!(
+            after.retries >= before.retries + 2,
+            "two retries recorded: {before:?} -> {after:?}"
+        );
     }
 
     #[test]

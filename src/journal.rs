@@ -44,6 +44,7 @@ struct JournalLine {
 pub struct Journal {
     path: Option<PathBuf>,
     entries: BTreeMap<String, String>,
+    torn: u32,
 }
 
 impl Journal {
@@ -52,17 +53,21 @@ impl Journal {
         Self {
             path: None,
             entries: BTreeMap::new(),
+            torn: 0,
         }
     }
 
     /// Opens (creating if absent) a journal file and loads its entries.
     ///
     /// A truncated final line — the signature of a mid-append kill — is
-    /// dropped silently. Unparseable content before the final line is an
+    /// dropped and counted ([`torn_lines`](Journal::torn_lines)) so
+    /// `--resume` callers can warn instead of aborting. Unparseable
+    /// content before the final line is an
     /// [`io::ErrorKind::InvalidData`] error.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut entries = BTreeMap::new();
+        let mut torn = 0;
         match std::fs::read_to_string(&path) {
             Ok(text) => {
                 let lines: Vec<&str> = text.lines().collect();
@@ -74,10 +79,10 @@ impl Journal {
                         Ok(l) => {
                             entries.insert(l.key, l.json);
                         }
-                        Err(e) if i + 1 == lines.len() => {
+                        Err(_) if i + 1 == lines.len() => {
                             // Torn tail from a kill mid-append: the cell
-                            // re-runs. Deliberately not an error.
-                            let _ = e;
+                            // re-runs. Counted, not an error.
+                            torn += 1;
                         }
                         Err(e) => {
                             return Err(io::Error::new(
@@ -94,7 +99,20 @@ impl Journal {
         Ok(Self {
             path: Some(path),
             entries,
+            torn,
         })
+    }
+
+    /// Number of truncated trailing records dropped at load time (0 or
+    /// 1 for a journal this code wrote; each dropped record's cell
+    /// simply re-runs). Resume paths surface this as a counted warning.
+    pub fn torn_lines(&self) -> u32 {
+        self.torn
+    }
+
+    /// The backing file path, if this journal is persistent.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
     }
 
     /// The payload recorded for `key`, if any.
@@ -193,6 +211,41 @@ mod tests {
         let j = Journal::open(&path).expect("open tolerates torn tail");
         assert_eq!(j.len(), 1);
         assert_eq!(j.get("done"), Some("{}"));
+        assert_eq!(j.torn_lines(), 1, "the dropped record is counted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncating_a_record_mid_append_recovers_prior_entries() {
+        // Regression: crash mid-append at *any* byte offset of the final
+        // record must never abort the resume — only drop that record.
+        let path = tmp("torn-offsets");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path).expect("open");
+            j.record("k0", "{\"v\":0}").expect("record");
+            j.record("k1", "{\"v\":1}").expect("record");
+        }
+        let full = std::fs::read(&path).expect("read journal");
+        // The boundary after the first record's trailing newline.
+        let first_end = full
+            .iter()
+            .position(|b| *b == b'\n')
+            .expect("first newline")
+            + 1;
+        for cut in first_end + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).expect("truncate");
+            let j = Journal::open(&path)
+                .unwrap_or_else(|e| panic!("truncation at byte {cut} must not abort resume: {e}"));
+            assert_eq!(j.get("k0"), Some("{\"v\":0}"), "cut at {cut}");
+            if j.len() == 1 {
+                assert_eq!(j.torn_lines(), 1, "cut at {cut} drops one record");
+            } else {
+                // The cut landed exactly on the full second record.
+                assert_eq!(j.get("k1"), Some("{\"v\":1}"));
+                assert_eq!(j.torn_lines(), 0);
+            }
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -45,6 +45,7 @@ pub mod experiments;
 pub mod journal;
 pub mod report;
 mod runner;
+pub mod server;
 mod testbed;
 
 pub use runner::{
@@ -57,9 +58,10 @@ pub use testbed::{emr_cxl_setups, full_latency_spectrum, spr_cxl_setups, Setup};
 pub mod prelude {
     pub use crate::cache::{CacheStats, ResultCache};
     pub use crate::campaign::{
-        device_by_name, platform_by_name, run_campaign, CampaignReport, CampaignSpec, Shard,
+        device_by_name, platform_by_name, run_campaign, CampaignReport, CampaignRun,
+        CampaignRunStats, CampaignSpec, Shard,
     };
-    pub use crate::exec::{CellError, CellErrorKind, CellPolicy};
+    pub use crate::exec::{CellError, CellErrorKind, CellPolicy, RetryStats};
     pub use crate::experiments::Scale;
     pub use crate::journal::Journal;
     pub use crate::report::{Series, TableData};
@@ -67,6 +69,7 @@ pub mod prelude {
         run_pair, run_population, run_population_par, run_population_resilient, run_workload,
         PairOutcome, RunOptions,
     };
+    pub use crate::server::{ServeConfig, Server, ServerHandle};
     pub use crate::testbed::{emr_cxl_setups, full_latency_spectrum, Setup};
     pub use melody_cpu::{Core, CoreConfig, CounterSet, Platform, RunResult, Slot};
     pub use melody_mem::{presets, probe, DeviceSpec, MemoryDevice};

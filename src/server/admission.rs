@@ -1,0 +1,82 @@
+//! Admission control: reject campaigns too large to serve *before*
+//! queueing them.
+//!
+//! Cost model: `cells × fidelity weight`, where the weights encode the
+//! measured per-cell cost ratio between fidelity tiers (a detailed cell
+//! simulates every reference; a sampled cell ~1/10th; the analytical
+//! fast tier is near-free). The server compares the cost against its
+//! `--admission-limit` and answers `422` with the computed cost when a
+//! spec is over budget, so the client learns *how far* over it is and
+//! can resubmit at a cheaper tier or smaller grid.
+
+use melody_cpu::Fidelity;
+
+use crate::campaign::CampaignSpec;
+
+/// Outcome of admission assessment for a spec that parsed and expanded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Number of cells the campaign expands to.
+    pub cells: usize,
+    /// `cells × fidelity_weight` — compared against the server limit.
+    pub cost: u64,
+}
+
+/// Relative per-cell cost of a fidelity tier (detailed = 100).
+pub fn fidelity_weight(fidelity: Fidelity) -> u64 {
+    match fidelity {
+        Fidelity::Detailed => 100,
+        Fidelity::Sampled => 10,
+        Fidelity::Fast => 1,
+    }
+}
+
+/// Expands `spec` and computes its admission cost. Expansion errors
+/// (unknown platform/device/workload names, bad sampling parameters)
+/// are returned verbatim — the server maps them to `400 bad-spec`.
+pub fn assess(spec: &CampaignSpec) -> Result<Admission, String> {
+    let cells = spec.expand()?;
+    let weight = cells
+        .first()
+        .map_or(1, |c| fidelity_weight(c.opts.fidelity));
+    Ok(Admission {
+        cells: cells.len(),
+        cost: (cells.len() as u64).saturating_mul(weight),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(fidelity: Option<&str>) -> CampaignSpec {
+        // 1 platform × 2 devices × smoke workloads.
+        serde_json::from_str::<CampaignSpec>(&format!(
+            "{{\"name\":\"adm\",\"platforms\":[\"emr2s\"],\"devices\":[\"local\",\"cxl-b\"]{}}}",
+            match fidelity {
+                Some(f) => format!(",\"fidelity\":\"{f}\""),
+                None => String::new(),
+            }
+        ))
+        .expect("valid spec")
+    }
+
+    #[test]
+    fn cost_scales_with_fidelity_weight() {
+        let detailed = assess(&spec(Some("detailed"))).expect("assess");
+        let sampled = assess(&spec(Some("sampled"))).expect("assess");
+        let fast = assess(&spec(Some("fast"))).expect("assess");
+        assert_eq!(detailed.cells, sampled.cells);
+        assert_eq!(detailed.cost, fast.cost * 100);
+        assert_eq!(sampled.cost, fast.cost * 10);
+        assert_eq!(fast.cost, fast.cells as u64);
+    }
+
+    #[test]
+    fn expansion_errors_propagate() {
+        let mut bad = spec(None);
+        bad.devices = vec!["warp-drive".to_string()];
+        let err = assess(&bad).expect_err("unknown device");
+        assert!(err.contains("warp-drive"), "{err}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Wire types shared by the server and its built-in clients.
+//!
+//! Every response body is JSON. Errors are always a typed
+//! [`ApiError`] object so scripted clients can branch on `error`
+//! without scraping prose; transient rejections (`429 Busy`,
+//! `503 Draining`) carry a `retry_after_ms` hint mirrored in the
+//! `Retry-After` header.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+use crate::campaign::CampaignRunStats;
+
+/// Default server address used by `melody serve`/`submit`/`status`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7464";
+
+/// Lifecycle of one submitted campaign job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Accepted and waiting for the scheduler.
+    Queued,
+    /// Currently executing on the campaign engine.
+    Running,
+    /// Finished; every owned cell succeeded and the result is ready.
+    Done,
+    /// Finished with cell errors; the (error-bearing) result is ready.
+    Failed,
+    /// Interrupted by a drain; completed cells are journaled and the
+    /// job re-queues on the next server start.
+    Interrupted,
+}
+
+impl JobStatus {
+    /// True once the job has a result file (successful or not).
+    pub fn is_finished(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+
+    /// Lower-case label used in human-readable output.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Interrupted => "interrupted",
+        }
+    }
+}
+
+/// Typed error body accompanying every non-2xx response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApiError {
+    /// Stable machine-readable code: `busy`, `draining`, `admission`,
+    /// `bad-spec`, `bad-request`, `unknown-job`, `not-finished`, `io`,
+    /// `not-found`, `too-large`.
+    pub error: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// For transient rejections: how long to wait before retrying.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retry_after_ms: Option<u64>,
+}
+
+/// `202 Accepted` body for a submitted campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitReply {
+    /// Server-assigned job id (`job-000001`, ...).
+    pub job_id: String,
+    /// Initial status (always [`JobStatus::Queued`]).
+    pub status: JobStatus,
+    /// Cells the campaign will resolve (journal + cache + simulate).
+    pub total_cells: usize,
+    /// Admission cost charged against the server's limit.
+    pub cost: u64,
+    /// Jobs ahead of this one across all clients at submit time.
+    pub position: usize,
+}
+
+/// One job as reported by `GET /v1/jobs[/{id}]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobView {
+    /// Job id.
+    pub id: String,
+    /// Submitting client (from `X-Melody-Client`; `anonymous` if unset).
+    pub client: String,
+    /// Campaign name from the submitted spec.
+    pub campaign: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Total cells in the campaign.
+    pub total_cells: usize,
+    /// Cells already checkpointed in the job's journal.
+    pub cells_journaled: usize,
+    /// Per-job deadline (ms per cell attempt), if one was set.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
+    /// Resolution accounting from the finished (or interrupted) run.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stats: Option<CampaignRunStats>,
+    /// Failure summary for [`JobStatus::Failed`] jobs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+/// `GET /v1/healthz` body: liveness plus queue/counter snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthReply {
+    /// `"ok"` normally, `"draining"` after a drain began.
+    pub status: String,
+    /// True once a drain has been requested.
+    pub draining: bool,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Jobs currently running (0 or 1; the scheduler is serial).
+    pub running: usize,
+    /// Jobs finished successfully since the state dir was created.
+    pub done: usize,
+    /// Jobs finished with cell errors.
+    pub failed: usize,
+    /// Jobs interrupted by a drain, awaiting re-queue on restart.
+    pub interrupted: usize,
+    /// Submissions accepted this process lifetime.
+    pub accepted: u64,
+    /// Submissions rejected with `429 Busy` this process lifetime.
+    pub rejected_busy: u64,
+    /// Submissions rejected with `422` admission errors this lifetime.
+    pub rejected_admission: u64,
+    /// Result-cache accounting for this process lifetime, when a cache
+    /// is attached.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cache: Option<CacheStats>,
+}

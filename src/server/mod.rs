@@ -1,0 +1,778 @@
+//! `melody serve`: a fault-tolerant, multi-tenant campaign service.
+//!
+//! The server turns the batch campaign engine into a long-running
+//! daemon with *zero new dependencies*: a hand-rolled HTTP/1.1 layer
+//! ([`http`]) over `std::net::TcpListener`, per-client bounded queues
+//! ([`queue`]), admission control ([`admission`]), and a serial
+//! scheduler that executes each job on the existing
+//! [`run_campaign`] path — journal first, content-addressed cache
+//! second, simulation last.
+//!
+//! # Robustness model
+//!
+//! - **Backpressure**: each client may have at most `queue_depth` jobs
+//!   in flight; excess submissions get a typed `429 Busy` with a
+//!   `Retry-After` hint instead of unbounded queueing.
+//! - **Admission control**: campaigns whose estimated cost (cell count
+//!   × fidelity weight) exceeds `admission_limit` are rejected with
+//!   `422` *before* they occupy a queue slot.
+//! - **Deadlines**: a per-request `X-Melody-Deadline-Ms` header (or the
+//!   server-wide default) arms the existing per-cell watchdog, so one
+//!   wedged cell cannot hold a tenant's job forever.
+//! - **Graceful drain**: SIGTERM (or `POST /v1/drain`) stops accepting
+//!   submissions and raises the engine's cooperative cancellation
+//!   token; in-flight cells finish and reach the job's journal,
+//!   unclaimed cells are skipped, and the job is marked `Interrupted`.
+//! - **Crash recovery**: on restart every non-finished job re-queues in
+//!   submission order; its journal and the shared result cache resolve
+//!   all previously-completed cells, so nothing re-simulates and the
+//!   final report is byte-identical to an uninterrupted run.
+//!
+//! # State directory
+//!
+//! Everything lives under `state_dir` (default `.melody-serve`):
+//! `jobs/{id}.job.json` (spec + lifecycle, atomically rewritten),
+//! `jobs/{id}.journal.jsonl` (per-cell checkpoints, append-only), and
+//! `jobs/{id}.result.json` (the finished report, byte-identical to
+//! `melody campaign --json` output for the same spec).
+
+pub mod admission;
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod signal;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::ResultCache;
+use crate::campaign::{run_campaign, CampaignRunStats, CampaignSpec, Shard};
+use crate::exec::CellPolicy;
+use crate::journal::Journal;
+
+use api::{ApiError, HealthReply, JobStatus, JobView, SubmitReply};
+use http::{Request, Response};
+use queue::ClientQueues;
+
+pub use api::DEFAULT_ADDR;
+
+/// How often the accept and scheduler loops poll their stop flags.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Server configuration (the `melody serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind host (default `127.0.0.1`).
+    pub host: String,
+    /// Bind port; `0` picks an ephemeral port (reported by
+    /// [`ServerHandle::port`] and printed by the binary).
+    pub port: u16,
+    /// Root of all per-job state (default `.melody-serve`).
+    pub state_dir: PathBuf,
+    /// Result-cache directory shared across jobs and with batch runs;
+    /// `None` disables cross-run warm starts (journals still work).
+    pub cache_dir: Option<PathBuf>,
+    /// Per-client in-flight bound (queued + running) before `429 Busy`.
+    pub queue_depth: usize,
+    /// Maximum admission cost (cells × fidelity weight) per campaign.
+    pub admission_limit: u64,
+    /// Default per-cell-attempt watchdog deadline for jobs that do not
+    /// send `X-Melody-Deadline-Ms`; `None` leaves the watchdog off.
+    pub default_deadline_ms: Option<u64>,
+    /// Attempts per cell (retries use the capped exponential backoff).
+    pub max_attempts: u32,
+    /// Socket read/write timeout per connection.
+    pub io_timeout: Duration,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            host: "127.0.0.1".to_string(),
+            port: 7464,
+            state_dir: PathBuf::from(".melody-serve"),
+            cache_dir: None,
+            queue_depth: 4,
+            admission_limit: 500_000,
+            default_deadline_ms: None,
+            max_attempts: 1,
+            io_timeout: Duration::from_secs(10),
+            max_body_bytes: 4 << 20,
+        }
+    }
+}
+
+/// One job's full persisted state: lifecycle plus the submitted spec,
+/// atomically rewritten on every transition so a crash at any point
+/// leaves either the old or the new record, never a torn one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JobRecord {
+    id: String,
+    /// Monotonic submission sequence — recovery re-queues in this order.
+    seq: u64,
+    client: String,
+    campaign: String,
+    total_cells: usize,
+    cost: u64,
+    #[serde(default)]
+    deadline_ms: Option<u64>,
+    status: JobStatus,
+    #[serde(default)]
+    stats: Option<CampaignRunStats>,
+    #[serde(default)]
+    error: Option<String>,
+    spec: CampaignSpec,
+}
+
+struct ServerState {
+    cfg: ServeConfig,
+    /// The server's own cache handle — deliberately *not* the
+    /// process-global one, which `cmd_campaign` holds locked for a
+    /// whole run; status queries must never block on a running job.
+    cache: Option<ResultCache>,
+    jobs: Mutex<BTreeMap<String, JobRecord>>,
+    queues: Mutex<ClientQueues>,
+    draining: AtomicBool,
+    /// Set once the scheduler has fully stopped; the accept loop exits
+    /// after this so status queries keep working *during* the drain.
+    drained: AtomicBool,
+    /// Cooperative cancellation token shared with every job's
+    /// [`CellPolicy`]; raised by [`begin_drain`](Self::begin_drain).
+    cancel: Arc<AtomicBool>,
+    seq: AtomicU64,
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    rejected_admission: AtomicU64,
+}
+
+impl ServerState {
+    fn jobs_dir(&self) -> PathBuf {
+        self.cfg.state_dir.join("jobs")
+    }
+
+    fn job_path(&self, id: &str) -> PathBuf {
+        self.jobs_dir().join(format!("{id}.job.json"))
+    }
+
+    fn journal_path(&self, id: &str) -> PathBuf {
+        self.jobs_dir().join(format!("{id}.journal.jsonl"))
+    }
+
+    fn result_path(&self, id: &str) -> PathBuf {
+        self.jobs_dir().join(format!("{id}.result.json"))
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Atomic write via temp + rename (same discipline as the cache).
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let dir = path.parent().expect("state paths have a parent");
+        let name = path
+            .file_name()
+            .expect("state paths have a file name")
+            .to_string_lossy()
+            .into_owned();
+        let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Persists `record` and updates the in-memory registry.
+    fn store_job(&self, record: &JobRecord) -> io::Result<()> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        self.write_atomic(&self.job_path(&record.id), json.as_bytes())?;
+        self.jobs
+            .lock()
+            .expect("jobs registry lock")
+            .insert(record.id.clone(), record.clone());
+        Ok(())
+    }
+
+    /// Cells currently checkpointed in the job's journal (0 when the
+    /// journal does not exist yet). Reading tolerates a concurrent
+    /// append: a torn tail is simply not counted.
+    fn journaled_cells(&self, id: &str) -> usize {
+        match Journal::open(self.journal_path(id)) {
+            Ok(j) => j.len(),
+            Err(_) => 0,
+        }
+    }
+
+    fn view(&self, record: &JobRecord) -> JobView {
+        JobView {
+            id: record.id.clone(),
+            client: record.client.clone(),
+            campaign: record.campaign.clone(),
+            status: record.status,
+            total_cells: record.total_cells,
+            cells_journaled: self.journaled_cells(&record.id),
+            deadline_ms: record.deadline_ms,
+            stats: record.stats,
+            error: record.error.clone(),
+        }
+    }
+}
+
+/// A running server: join handle plus control surface.
+///
+/// Dropping the handle does *not* stop the server; call
+/// [`drain`](ServerHandle::drain) then [`join`](ServerHandle::join)
+/// for an orderly shutdown (a SIGTERM to the process does the same).
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    port: u16,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The port actually bound (resolves `port: 0`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// A connectable `host:port` address for clients.
+    pub fn addr(&self) -> String {
+        let host = match self.state.cfg.host.as_str() {
+            "0.0.0.0" => "127.0.0.1",
+            h => h,
+        };
+        format!("{host}:{}", self.port)
+    }
+
+    /// Requests a graceful drain of *this* server (equivalent to
+    /// `POST /v1/drain` or SIGTERM, but scoped to this instance).
+    pub fn drain(&self) {
+        self.state.begin_drain();
+    }
+
+    /// True once the scheduler and accept loop have both stopped.
+    pub fn drained(&self) -> bool {
+        self.state.drained.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the server to finish draining.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, recovers any interrupted jobs from the state directory,
+    /// and spawns the accept + scheduler threads. Returns once the
+    /// listener is live (a returned handle means clients can connect).
+    pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
+        let state = Arc::new(ServerState {
+            cache: match &cfg.cache_dir {
+                Some(dir) => Some(ResultCache::open(dir)?),
+                None => None,
+            },
+            jobs: Mutex::new(BTreeMap::new()),
+            queues: Mutex::new(ClientQueues::new(cfg.queue_depth)),
+            draining: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            cancel: Arc::new(AtomicBool::new(false)),
+            seq: AtomicU64::new(1),
+            accepted: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            rejected_admission: AtomicU64::new(0),
+            cfg,
+        });
+        std::fs::create_dir_all(state.jobs_dir())?;
+        recover_jobs(&state)?;
+        let listener = TcpListener::bind(format!("{}:{}", state.cfg.host, state.cfg.port))?;
+        let port = listener.local_addr()?.port();
+        listener.set_nonblocking(true)?;
+        let accept_state = Arc::clone(&state);
+        let accept = thread::Builder::new()
+            .name("melody-serve-accept".into())
+            .spawn(move || accept_loop(&accept_state, listener))?;
+        let sched_state = Arc::clone(&state);
+        let sched = thread::Builder::new()
+            .name("melody-serve-sched".into())
+            .spawn(move || scheduler_loop(&sched_state))?;
+        Ok(ServerHandle {
+            state,
+            port,
+            threads: vec![accept, sched],
+        })
+    }
+}
+
+/// Reloads every persisted job. Finished jobs (`Done`/`Failed`) are
+/// kept for status queries; everything else — `Queued`, `Running`
+/// (crash mid-run) or `Interrupted` (drained) — goes back to `Queued`
+/// and re-enqueues in original submission order. Their journals make
+/// the re-run incremental: completed cells restore, nothing
+/// re-simulates.
+fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
+    let mut records: Vec<JobRecord> = Vec::new();
+    for entry in std::fs::read_dir(state.jobs_dir())? {
+        let path = entry?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        let is_job = name.as_deref().is_some_and(|n| n.ends_with(".job.json"));
+        if !is_job {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        match serde_json::from_str::<JobRecord>(&text) {
+            Ok(r) => records.push(r),
+            Err(e) => {
+                // A foreign or half-schema file must not brick the
+                // server; skip it loudly.
+                eprintln!(
+                    "melody-serve: warning: skipping unreadable job file {}: {e:?}",
+                    path.display()
+                );
+            }
+        }
+    }
+    records.sort_by_key(|r| r.seq);
+    let max_seq = records.iter().map(|r| r.seq).max().unwrap_or(0);
+    state.seq.store(max_seq + 1, Ordering::SeqCst);
+    let mut requeued = 0usize;
+    for mut record in records {
+        if !record.status.is_finished() {
+            record.status = JobStatus::Queued;
+            record.error = None;
+            state.store_job(&record)?;
+            state
+                .queues
+                .lock()
+                .expect("queue lock")
+                .enqueue_recovered(&record.client, &record.id);
+            requeued += 1;
+        } else {
+            state
+                .jobs
+                .lock()
+                .expect("jobs registry lock")
+                .insert(record.id.clone(), record);
+        }
+    }
+    if requeued > 0 {
+        eprintln!("melody-serve: recovered {requeued} unfinished job(s) from the journal");
+    }
+    Ok(())
+}
+
+fn accept_loop(state: &Arc<ServerState>, listener: TcpListener) {
+    loop {
+        if signal::drain_requested() {
+            state.begin_drain();
+        }
+        // Keep answering status queries while the drain is in progress;
+        // exit only once the scheduler has stopped.
+        if state.drained.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => handle_conn(state, stream),
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+fn scheduler_loop(state: &Arc<ServerState>) {
+    loop {
+        if signal::drain_requested() {
+            state.begin_drain();
+        }
+        if state.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let next = state.queues.lock().expect("queue lock").next_job();
+        match next {
+            Some(id) => {
+                execute_job(state, &id);
+                state.queues.lock().expect("queue lock").finish(&id);
+            }
+            None => thread::sleep(POLL),
+        }
+    }
+    state.drained.store(true, Ordering::SeqCst);
+}
+
+/// Runs one job end to end on the campaign engine. Every transition is
+/// persisted before it is observable, so a crash between any two
+/// statements recovers cleanly.
+fn execute_job(state: &Arc<ServerState>, id: &str) {
+    let record = state
+        .jobs
+        .lock()
+        .expect("jobs registry lock")
+        .get(id)
+        .cloned();
+    let Some(mut record) = record else { return };
+    record.status = JobStatus::Running;
+    if let Err(e) = state.store_job(&record) {
+        eprintln!("melody-serve: cannot persist {id}: {e}");
+        return;
+    }
+    let journal_path = state.journal_path(id);
+    let mut journal = match Journal::open(&journal_path) {
+        Ok(j) => j,
+        Err(e) => {
+            record.status = JobStatus::Failed;
+            record.error = Some(format!("journal {}: {e}", journal_path.display()));
+            let _ = state.store_job(&record);
+            return;
+        }
+    };
+    if journal.torn_lines() > 0 {
+        eprintln!(
+            "melody-serve: warning: dropped {} torn trailing record(s) from {} (those cells re-run)",
+            journal.torn_lines(),
+            journal_path.display()
+        );
+    }
+    let mut policy = CellPolicy::default()
+        .with_attempts(state.cfg.max_attempts)
+        .with_cancel(Arc::clone(&state.cancel));
+    if let Some(ms) = record.deadline_ms.or(state.cfg.default_deadline_ms) {
+        policy = policy.with_deadline(Duration::from_millis(ms));
+    }
+    match run_campaign(
+        &record.spec,
+        Shard::full(),
+        &mut journal,
+        state.cache.as_ref(),
+        &policy,
+    ) {
+        Err(e) => {
+            record.status = JobStatus::Failed;
+            record.error = Some(e);
+        }
+        Ok(run) => {
+            record.stats = Some(run.stats);
+            if run.stats.cancelled > 0 {
+                // Drained mid-run: completed cells are journaled; the
+                // job re-queues on the next start and finishes from
+                // the journal.
+                record.status = JobStatus::Interrupted;
+            } else {
+                // The result file carries *exactly* the bytes `melody
+                // campaign --json` would print for this spec.
+                let mut json = crate::report::to_json(&run.report);
+                json.push('\n');
+                match state.write_atomic(&state.result_path(id), json.as_bytes()) {
+                    Err(e) => {
+                        record.status = JobStatus::Failed;
+                        record.error = Some(format!("writing result: {e}"));
+                    }
+                    Ok(()) => {
+                        if run.report.errors.is_empty() {
+                            record.status = JobStatus::Done;
+                        } else {
+                            record.status = JobStatus::Failed;
+                            record.error = Some(format!(
+                                "{} of {} cells failed",
+                                run.report.errors.len(),
+                                record.total_cells
+                            ));
+                        }
+                    }
+                }
+            }
+            eprintln!(
+                "melody-serve: {id} {}: {}",
+                record.status.label(),
+                run.stats.render()
+            );
+        }
+    }
+    if let Err(e) = state.store_job(&record) {
+        eprintln!("melody-serve: cannot persist {id}: {e}");
+    }
+}
+
+fn handle_conn(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.cfg.io_timeout));
+    let response = match http::read_request(&mut stream, state.cfg.max_body_bytes) {
+        Ok(req) => route(state, &req),
+        Err(e) if http::is_body_too_large(&e) => err_resp(413, "too-large", e.to_string(), None),
+        Err(e) => err_resp(400, "bad-request", format!("malformed request: {e}"), None),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn err_resp(status: u16, code: &str, message: String, retry_after_ms: Option<u64>) -> Response {
+    let body = serde_json::to_string(&ApiError {
+        error: code.to_string(),
+        message,
+        retry_after_ms,
+    })
+    .expect("ApiError serializes");
+    let mut resp = Response::json(status, body);
+    if let Some(ms) = retry_after_ms {
+        resp = resp.with_header("Retry-After", ms.div_ceil(1000).max(1).to_string());
+    }
+    resp
+}
+
+fn ok_json(status: u16, value: &impl Serialize) -> Response {
+    Response::json(
+        status,
+        serde_json::to_string(value).expect("API replies serialize"),
+    )
+}
+
+fn route(state: &Arc<ServerState>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/healthz") => health(state),
+        ("POST", "/v1/campaigns") => submit(state, req),
+        ("GET", "/v1/jobs") => list_jobs(state),
+        ("POST", "/v1/drain") => {
+            state.begin_drain();
+            Response::json(200, "{\"status\":\"draining\"}".to_string())
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            let rest = &path["/v1/jobs/".len()..];
+            match rest.strip_suffix("/result") {
+                Some(id) => job_result(state, id),
+                None => job_status(state, rest),
+            }
+        }
+        (method, path) => err_resp(
+            404,
+            "not-found",
+            format!("no route for {method} {path}"),
+            None,
+        ),
+    }
+}
+
+fn health(state: &Arc<ServerState>) -> Response {
+    let (done, failed, interrupted) = {
+        let jobs = state.jobs.lock().expect("jobs registry lock");
+        let count = |s: JobStatus| jobs.values().filter(|r| r.status == s).count();
+        (
+            count(JobStatus::Done),
+            count(JobStatus::Failed),
+            count(JobStatus::Interrupted),
+        )
+    };
+    let (queued, running) = {
+        let q = state.queues.lock().expect("queue lock");
+        (q.queued_total(), usize::from(q.has_running()))
+    };
+    let draining = state.draining.load(Ordering::SeqCst);
+    ok_json(
+        200,
+        &HealthReply {
+            status: if draining { "draining" } else { "ok" }.to_string(),
+            draining,
+            queued,
+            running,
+            done,
+            failed,
+            interrupted,
+            accepted: state.accepted.load(Ordering::Relaxed),
+            rejected_busy: state.rejected_busy.load(Ordering::Relaxed),
+            rejected_admission: state.rejected_admission.load(Ordering::Relaxed),
+            cache: state.cache.as_ref().map(|c| c.stats()),
+        },
+    )
+}
+
+fn valid_client_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
+    if state.draining.load(Ordering::SeqCst) {
+        return err_resp(
+            503,
+            "draining",
+            "server is draining; resubmit after it restarts".to_string(),
+            Some(1000),
+        );
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => {
+            return err_resp(400, "bad-request", "body is not UTF-8".to_string(), None);
+        }
+    };
+    let spec: CampaignSpec = match serde_json::from_str(body) {
+        Ok(s) => s,
+        Err(e) => {
+            return err_resp(400, "bad-spec", format!("not a campaign spec: {e:?}"), None);
+        }
+    };
+    let adm = match admission::assess(&spec) {
+        Ok(a) => a,
+        Err(e) => return err_resp(400, "bad-spec", e, None),
+    };
+    if adm.cost > state.cfg.admission_limit {
+        state.rejected_admission.fetch_add(1, Ordering::Relaxed);
+        return err_resp(
+            422,
+            "admission",
+            format!(
+                "campaign costs {} ({} cells × fidelity weight) but the admission limit is {}; \
+                 shrink the grid or use a cheaper fidelity tier",
+                adm.cost, adm.cells, state.cfg.admission_limit
+            ),
+            None,
+        );
+    }
+    let client = req.header("x-melody-client").unwrap_or("anonymous");
+    if !valid_client_name(client) {
+        return err_resp(
+            400,
+            "bad-request",
+            "X-Melody-Client must be 1-64 chars of [A-Za-z0-9._-]".to_string(),
+            None,
+        );
+    }
+    let deadline_ms = match req.header("x-melody-deadline-ms") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => Some(ms),
+            _ => {
+                return err_resp(
+                    400,
+                    "bad-request",
+                    format!("bad X-Melody-Deadline-Ms `{v}`"),
+                    None,
+                );
+            }
+        },
+    };
+    // Hold the queue lock across bound-check + persist + enqueue so two
+    // racing submissions cannot both squeeze into the last slot.
+    let mut queues = state.queues.lock().expect("queue lock");
+    let in_flight = queues.in_flight(client);
+    if in_flight >= queues.depth() {
+        state.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        let hint = (500 * (queues.queued_total() as u64 + 1)).clamp(500, 10_000);
+        return err_resp(
+            429,
+            "busy",
+            format!(
+                "client `{client}` has {in_flight} job(s) in flight (limit {}); retry later",
+                queues.depth()
+            ),
+            Some(hint),
+        );
+    }
+    let seq = state.seq.fetch_add(1, Ordering::SeqCst);
+    let id = format!("job-{seq:06}");
+    let record = JobRecord {
+        id: id.clone(),
+        seq,
+        client: client.to_string(),
+        campaign: spec.name.clone(),
+        total_cells: adm.cells,
+        cost: adm.cost,
+        deadline_ms,
+        status: JobStatus::Queued,
+        stats: None,
+        error: None,
+        spec,
+    };
+    if let Err(e) = state.store_job(&record) {
+        return err_resp(500, "io", format!("cannot persist job: {e}"), None);
+    }
+    let position = queues
+        .try_enqueue(client, &id)
+        .expect("bound checked under the same lock");
+    drop(queues);
+    state.accepted.fetch_add(1, Ordering::Relaxed);
+    ok_json(
+        202,
+        &SubmitReply {
+            job_id: id,
+            status: JobStatus::Queued,
+            total_cells: adm.cells,
+            cost: adm.cost,
+            position,
+        },
+    )
+}
+
+fn list_jobs(state: &Arc<ServerState>) -> Response {
+    let mut records: Vec<JobRecord> = {
+        let jobs = state.jobs.lock().expect("jobs registry lock");
+        jobs.values().cloned().collect()
+    };
+    records.sort_by_key(|r| r.seq);
+    let views: Vec<JobView> = records.iter().map(|r| state.view(r)).collect();
+    ok_json(200, &views)
+}
+
+fn job_status(state: &Arc<ServerState>, id: &str) -> Response {
+    let record = state
+        .jobs
+        .lock()
+        .expect("jobs registry lock")
+        .get(id)
+        .cloned();
+    match record {
+        Some(r) => ok_json(200, &state.view(&r)),
+        None => err_resp(404, "unknown-job", format!("no job `{id}`"), None),
+    }
+}
+
+fn job_result(state: &Arc<ServerState>, id: &str) -> Response {
+    let record = state
+        .jobs
+        .lock()
+        .expect("jobs registry lock")
+        .get(id)
+        .cloned();
+    let Some(record) = record else {
+        return err_resp(404, "unknown-job", format!("no job `{id}`"), None);
+    };
+    if !record.status.is_finished() {
+        let hint = match record.status {
+            JobStatus::Interrupted => "; restart the server to resume it",
+            _ => "",
+        };
+        return err_resp(
+            409,
+            "not-finished",
+            format!("job `{id}` is {}{hint}", record.status.label()),
+            None,
+        );
+    }
+    match std::fs::read(state.result_path(id)) {
+        Ok(bytes) => {
+            let mut resp = Response::json(200, String::new());
+            resp.body = bytes;
+            resp
+        }
+        Err(e) => err_resp(
+            500,
+            "io",
+            format!("result for `{id}` unreadable: {e}"),
+            None,
+        ),
+    }
+}

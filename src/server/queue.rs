@@ -1,0 +1,190 @@
+//! Per-client bounded job queues with round-robin fairness.
+//!
+//! Backpressure is per *client*, not global: each client may have at
+//! most `depth` jobs in flight (queued + running). A submission beyond
+//! that bound is rejected immediately — the caller answers `429 Busy`
+//! with a `Retry-After` hint — so one chatty tenant can slow only
+//! itself, never starve the queue, and never balloon server memory.
+//!
+//! Dispatch order is round-robin across clients (in first-seen order),
+//! FIFO within a client: with clients A and B both backlogged, the
+//! scheduler alternates A, B, A, B rather than draining A first.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bounded multi-client job queue. All methods are O(clients) or
+/// better; the owner wraps it in a mutex.
+#[derive(Debug)]
+pub struct ClientQueues {
+    depth: usize,
+    /// Clients in first-seen order (round-robin ring).
+    ring: Vec<String>,
+    queues: BTreeMap<String, VecDeque<String>>,
+    /// The job currently executing, if any: `(client, job_id)`.
+    running: Option<(String, String)>,
+    /// Next ring slot to offer the scheduler.
+    cursor: usize,
+}
+
+impl ClientQueues {
+    /// A queue set admitting at most `depth` in-flight jobs per client
+    /// (`depth` is clamped to ≥ 1).
+    pub fn new(depth: usize) -> Self {
+        Self {
+            depth: depth.max(1),
+            ring: Vec::new(),
+            queues: BTreeMap::new(),
+            running: None,
+            cursor: 0,
+        }
+    }
+
+    /// The per-client in-flight bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Jobs in flight (queued + running) for `client`.
+    pub fn in_flight(&self, client: &str) -> usize {
+        let queued = self.queues.get(client).map_or(0, VecDeque::len);
+        let running = match &self.running {
+            Some((c, _)) if c == client => 1,
+            _ => 0,
+        };
+        queued + running
+    }
+
+    /// Total queued jobs across all clients (excludes the running job).
+    pub fn queued_total(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// True when a job is currently marked running.
+    pub fn has_running(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// Enqueues `job_id` for `client`. Returns the number of jobs ahead
+    /// of it (its queue position across all clients), or — when the
+    /// client is already at its bound — `Err` with the client's current
+    /// in-flight count.
+    pub fn try_enqueue(&mut self, client: &str, job_id: &str) -> Result<usize, usize> {
+        let in_flight = self.in_flight(client);
+        if in_flight >= self.depth {
+            return Err(in_flight);
+        }
+        if !self.ring.iter().any(|c| c == client) {
+            self.ring.push(client.to_string());
+        }
+        let position = self.queued_total() + usize::from(self.running.is_some());
+        self.queues
+            .entry(client.to_string())
+            .or_default()
+            .push_back(job_id.to_string());
+        Ok(position)
+    }
+
+    /// Enqueues without the bound check. Crash recovery re-queues the
+    /// *entire* unfinished backlog — dropping jobs that were already
+    /// admitted would lose work; the bound applies to new submissions.
+    pub fn enqueue_recovered(&mut self, client: &str, job_id: &str) {
+        if !self.ring.iter().any(|c| c == client) {
+            self.ring.push(client.to_string());
+        }
+        self.queues
+            .entry(client.to_string())
+            .or_default()
+            .push_back(job_id.to_string());
+    }
+
+    /// Picks the next job round-robin and marks it running. Returns
+    /// `None` when everything is idle or a job is already running (the
+    /// scheduler is strictly serial).
+    pub fn next_job(&mut self) -> Option<String> {
+        if self.running.is_some() || self.ring.is_empty() {
+            return None;
+        }
+        for _ in 0..self.ring.len() {
+            let client = self.ring[self.cursor % self.ring.len()].clone();
+            self.cursor = (self.cursor + 1) % self.ring.len();
+            if let Some(q) = self.queues.get_mut(&client) {
+                if let Some(job) = q.pop_front() {
+                    self.running = Some((client, job.clone()));
+                    return Some(job);
+                }
+            }
+        }
+        None
+    }
+
+    /// Marks the running job finished, freeing its client's slot.
+    pub fn finish(&mut self, job_id: &str) {
+        if matches!(&self.running, Some((_, j)) if j == job_id) {
+            self.running = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_is_per_client_and_counts_the_running_job() {
+        let mut q = ClientQueues::new(2);
+        assert_eq!(q.try_enqueue("a", "j1"), Ok(0));
+        assert_eq!(q.try_enqueue("a", "j2"), Ok(1));
+        assert_eq!(q.try_enqueue("a", "j3"), Err(2), "a is at its bound");
+        assert_eq!(q.try_enqueue("b", "j4"), Ok(2), "b has its own bound");
+
+        // Dispatch one of a's jobs; a stays at the bound while it runs.
+        assert_eq!(q.next_job().as_deref(), Some("j1"));
+        assert_eq!(q.in_flight("a"), 2);
+        assert_eq!(q.try_enqueue("a", "j5"), Err(2));
+
+        // Finishing it frees the slot.
+        q.finish("j1");
+        assert_eq!(q.try_enqueue("a", "j5"), Ok(2));
+    }
+
+    #[test]
+    fn dispatch_alternates_between_backlogged_clients() {
+        let mut q = ClientQueues::new(8);
+        for j in ["a1", "a2", "a3"] {
+            q.try_enqueue("a", j).expect("enqueue");
+        }
+        for j in ["b1", "b2"] {
+            q.try_enqueue("b", j).expect("enqueue");
+        }
+        let mut order = Vec::new();
+        while let Some(j) = q.next_job() {
+            order.push(j.clone());
+            q.finish(&j);
+        }
+        assert_eq!(order, ["a1", "b1", "a2", "b2", "a3"]);
+    }
+
+    #[test]
+    fn scheduler_is_strictly_serial() {
+        let mut q = ClientQueues::new(4);
+        q.try_enqueue("a", "j1").expect("enqueue");
+        q.try_enqueue("a", "j2").expect("enqueue");
+        assert_eq!(q.next_job().as_deref(), Some("j1"));
+        assert_eq!(q.next_job(), None, "one job at a time");
+        q.finish("j1");
+        assert_eq!(q.next_job().as_deref(), Some("j2"));
+    }
+
+    #[test]
+    fn position_reports_jobs_ahead() {
+        let mut q = ClientQueues::new(8);
+        assert_eq!(q.try_enqueue("a", "j1"), Ok(0));
+        q.next_job();
+        assert_eq!(
+            q.try_enqueue("b", "j2"),
+            Ok(1),
+            "the running job counts as ahead"
+        );
+        assert_eq!(q.try_enqueue("b", "j3"), Ok(2));
+    }
+}

@@ -36,7 +36,9 @@ fn tiny_spec() -> CampaignSpec {
 
 fn run(spec: &CampaignSpec, shard: Shard, cache: Option<&ResultCache>) -> CampaignReport {
     let mut j = Journal::in_memory();
-    let r = run_campaign(spec, shard, &mut j, cache, &CellPolicy::default()).expect("campaign");
+    let r = run_campaign(spec, shard, &mut j, cache, &CellPolicy::default())
+        .expect("campaign")
+        .report;
     assert!(r.errors.is_empty(), "{:?}", r.errors);
     r
 }
@@ -232,8 +234,9 @@ fn journal_resume_backfills_the_cache() {
 
     // First run journals everything but has no cache.
     let mut j = Journal::in_memory();
-    let a =
-        run_campaign(&spec, Shard::full(), &mut j, None, &CellPolicy::default()).expect("campaign");
+    let a = run_campaign(&spec, Shard::full(), &mut j, None, &CellPolicy::default())
+        .expect("campaign")
+        .report;
     assert_eq!(j.len(), 4);
 
     // Resuming with the journal and an empty cache must not simulate
@@ -246,7 +249,8 @@ fn journal_resume_backfills_the_cache() {
         Some(&c),
         &CellPolicy::default(),
     )
-    .expect("campaign");
+    .expect("campaign")
+    .report;
     assert_eq!(to_json(&a), to_json(&b));
 
     let c2 = ResultCache::open(&dir).expect("reopen");
@@ -258,7 +262,8 @@ fn journal_resume_backfills_the_cache() {
         Some(&c2),
         &CellPolicy::default(),
     )
-    .expect("campaign");
+    .expect("campaign")
+    .report;
     assert_eq!(c2.stats().misses, 0, "journal hits were backfilled");
     assert_eq!(to_json(&a), to_json(&d));
     let _ = std::fs::remove_dir_all(&dir);

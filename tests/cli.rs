@@ -177,3 +177,255 @@ fn campaign_no_cache_runs_and_renders() {
     assert!(stdout.contains("541.leela"), "{stdout}");
     let _ = std::fs::remove_file(&spec);
 }
+
+// --- `melody submit` / `melody status` client error paths -----------
+//
+// The server-mode clients follow the same convention as the rest of
+// the CLI: usage and connectivity problems exit 2 with a one-line,
+// human-readable message on stderr.
+
+#[test]
+fn submit_requires_a_spec_file_with_exit_2() {
+    let out = melody().arg("submit").output().expect("run melody");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("requires a spec file"), "{stderr}");
+}
+
+#[test]
+fn submit_validates_the_spec_before_dialing_the_server() {
+    let spec = tmp("submit-bad-spec.json");
+    std::fs::write(&spec, "{\"definitely\":\"not a spec\"}").expect("write");
+    // `--server` points nowhere: the local validation must fire first.
+    let out = melody()
+        .args([
+            "submit",
+            spec.to_str().expect("utf8"),
+            "--server",
+            "127.0.0.1:9",
+        ])
+        .output()
+        .expect("run melody");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a campaign spec"), "{stderr}");
+    let _ = std::fs::remove_file(&spec);
+}
+
+#[test]
+fn submit_reports_unreachable_servers_with_exit_2() {
+    let spec = tmp("submit-unreachable.json");
+    std::fs::write(
+        &spec,
+        r#"{"name":"u","platforms":["emr2s"],"devices":["cxl-a"],"workloads":["541.leela"],"mem_refs":2000}"#,
+    )
+    .expect("write");
+    let out = melody()
+        .args([
+            "submit",
+            spec.to_str().expect("utf8"),
+            "--server",
+            "127.0.0.1:9",
+        ])
+        .output()
+        .expect("run melody");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot reach melody server"), "{stderr}");
+    let _ = std::fs::remove_file(&spec);
+}
+
+#[test]
+fn status_reports_unreachable_servers_with_exit_2() {
+    let out = melody()
+        .args(["status", "--server", "127.0.0.1:9"])
+        .output()
+        .expect("run melody");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot reach melody server"), "{stderr}");
+}
+
+#[test]
+fn status_reports_malformed_responses_with_exit_2() {
+    use std::io::{Read as _, Write as _};
+
+    // A fake "server" that answers valid HTTP framing with a body that
+    // is not the expected JSON shape.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let t = std::thread::spawn(move || {
+        if let Ok((mut conn, _)) = listener.accept() {
+            let mut buf = [0u8; 4096];
+            let _ = conn.read(&mut buf);
+            let _ = conn.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 8\r\n\r\nnot-json");
+        }
+    });
+    let out = melody()
+        .args(["status", "--server", &addr])
+        .output()
+        .expect("run melody");
+    t.join().expect("fake server thread");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed server response"), "{stderr}");
+}
+
+#[test]
+fn status_reports_unknown_job_ids_with_exit_2() {
+    use std::io::{BufRead as _, BufReader};
+    use std::process::Stdio;
+
+    let state = tmp("status-unknown-state");
+    let mut child = melody()
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--state-dir",
+            state.to_str().expect("utf8"),
+            "--no-cache",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn melody serve");
+    let mut banner = String::new();
+    BufReader::new(child.stdout.take().expect("stdout"))
+        .read_line(&mut banner)
+        .expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("melody-serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_string();
+
+    let out = melody()
+        .args(["status", "job-999999", "--server", &addr])
+        .output()
+        .expect("run melody");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown job"), "{stderr}");
+    assert!(stderr.contains("job-999999"), "{stderr}");
+
+    // `melody drain` shuts it down cleanly.
+    let drained = melody()
+        .args(["drain", "--server", &addr])
+        .output()
+        .expect("run melody drain");
+    assert_eq!(
+        drained.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&drained.stderr)
+    );
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "{status:?}");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn campaign_resume_warns_about_torn_journal_tails_and_still_matches() {
+    let spec = tmp("torn-resume-spec.json");
+    let journal = tmp("torn-resume.jsonl");
+    std::fs::write(
+        &spec,
+        r#"{"name":"torn","platforms":["emr2s"],"devices":["cxl-a","numa"],"workloads":["541.leela"],"mem_refs":2000}"#,
+    )
+    .expect("write spec");
+    let _ = std::fs::remove_file(&journal);
+    let first = melody()
+        .args([
+            "campaign",
+            spec.to_str().expect("utf8"),
+            "--json",
+            "--no-cache",
+            "--journal",
+            journal.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run melody");
+    assert_eq!(
+        first.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+
+    // Simulate a crash mid-append: a torn, unterminated half-record.
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal)
+        .expect("open journal");
+    f.write_all(b"{\"cell\":17,\"truncated")
+        .expect("append torn tail");
+    drop(f);
+
+    let resumed = melody()
+        .args([
+            "campaign",
+            spec.to_str().expect("utf8"),
+            "--json",
+            "--no-cache",
+            "--journal",
+            journal.to_str().expect("utf8"),
+            "--resume",
+        ])
+        .output()
+        .expect("run melody");
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("dropped 1 torn trailing record"),
+        "counted warning on --resume: {stderr}"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "torn tail does not change the report bytes"
+    );
+    let _ = std::fs::remove_file(&spec);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn campaign_json_with_telemetry_carries_exec_retry_counters() {
+    let spec = tmp("telemetry-counters-spec.json");
+    std::fs::write(
+        &spec,
+        r#"{"name":"tc","platforms":["emr2s"],"devices":["cxl-a"],"workloads":["541.leela"],"mem_refs":2000}"#,
+    )
+    .expect("write spec");
+    let out = melody()
+        .args([
+            "campaign",
+            spec.to_str().expect("utf8"),
+            "--json",
+            "--no-cache",
+            "--telemetry",
+            "metrics",
+        ])
+        .output()
+        .expect("run melody");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The telemetry document wraps the report and carries the retry,
+    // deadline, and cancellation counters from the execution layer.
+    assert!(stdout.contains("\"report\""), "{stdout}");
+    assert!(stdout.contains("exec.cell_retries_total"), "{stdout}");
+    assert!(stdout.contains("exec.cell_deadlines_total"), "{stdout}");
+    assert!(stdout.contains("exec.cells_cancelled_total"), "{stdout}");
+    let _ = std::fs::remove_file(&spec);
+}
