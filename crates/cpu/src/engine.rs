@@ -79,6 +79,19 @@ impl CoreConfig {
 /// microseconds; 10 µs is the conservative end.
 const MCE_RECOVERY_PS: u64 = 10_000_000;
 
+/// Per-fabric-node demand-miss counter names, indexed by the device's
+/// reported `AccessBreakdown::node` minus one.
+const NODE_DEMAND: [&str; 8] = [
+    "cpu.node1.demand",
+    "cpu.node2.demand",
+    "cpu.node3.demand",
+    "cpu.node4.demand",
+    "cpu.node5.demand",
+    "cpu.node6.demand",
+    "cpu.node7.demand",
+    "cpu.node8.demand",
+];
+
 /// Timing constants hoisted out of the per-slot hot path.
 ///
 /// `Platform` owns a `String` name, so cloning it inside `do_load` /
@@ -920,6 +933,14 @@ impl Core {
         if melody_telemetry::metrics_on() {
             melody_telemetry::count("cpu.demand_l3_miss", 1);
             melody_telemetry::record_ns("cpu.demand_lat_ns", lat_ps / 1_000);
+            if a.node > 0 {
+                // Per-fabric-node demand traffic (topology runs only;
+                // single devices report node 0). Metric names must be
+                // static, so fan-out is bounded: nodes past the eighth
+                // clamp onto the last counter.
+                let i = (a.node as usize - 1).min(NODE_DEMAND.len() - 1);
+                melody_telemetry::count(NODE_DEMAND[i], 1);
+            }
         }
         if dependent {
             self.record_dep_latency(lat_ps);

@@ -508,6 +508,7 @@ impl MemoryDevice for CxlDevice {
             spike_ps,
             row_hit: d.row_hit,
             poisoned,
+            node: 0,
         };
         self.stats.record(req, completion);
         if melody_telemetry::metrics_on() {

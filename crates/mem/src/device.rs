@@ -10,6 +10,10 @@ fn is_false(b: &bool) -> bool {
     !*b
 }
 
+fn is_zero_u16(n: &u16) -> bool {
+    *n == 0
+}
+
 /// Per-request timing breakdown returned by a device.
 ///
 /// `completion` is the instant the data is back at the requester (reads) or
@@ -38,6 +42,13 @@ pub struct AccessBreakdown {
     /// to the pre-fault-layer format.
     #[serde(default, skip_serializing_if = "is_false")]
     pub poisoned: bool,
+    /// 1-based index of the fabric node (interleave way or switch port)
+    /// that served the access; 0 when the device has no routing fabric.
+    /// The outermost routing layer wins, so for nested fabrics this is
+    /// the top-level port. Skipped when 0 so single-device
+    /// serializations stay byte-identical to the pre-topology format.
+    #[serde(default, skip_serializing_if = "is_zero_u16")]
+    pub node: u16,
 }
 
 impl AccessBreakdown {

@@ -98,6 +98,7 @@ impl MemoryDevice for ImcDevice {
             spike_ps: d.refresh_ps,
             row_hit: d.row_hit,
             poisoned: false,
+            node: 0,
         };
         self.stats.record(req, completion);
         if melody_telemetry::metrics_on() {

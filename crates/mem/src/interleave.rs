@@ -7,6 +7,27 @@
 use crate::device::{AccessBreakdown, DeviceStats, MemoryDevice};
 use crate::request::MemRequest;
 
+/// Maps an address to the 0-based index of the device that owns it in a
+/// `ways`-way interleave at `granularity` bytes.
+///
+/// This is the routing function hardware interleaving implements in the
+/// HDM decoders: consecutive `granularity`-sized blocks rotate
+/// round-robin across the members. It is shared by [`InterleavedDevice`]
+/// and the switch model ([`crate::SwitchDevice`]) so the property tests
+/// can check the partition invariant (every line maps to exactly one
+/// device) against the exact production math.
+pub fn route(addr: u64, granularity: u64, ways: usize) -> usize {
+    ((addr / granularity) % ways as u64) as usize
+}
+
+/// Collapses `addr` into the dense local address space of the device
+/// that owns it (strips the interleave bits), the inverse companion of
+/// [`route`]: `(route(a), local_addr(a))` is a bijection on addresses.
+pub fn local_addr(addr: u64, granularity: u64, ways: usize) -> u64 {
+    let block = addr / granularity / ways as u64;
+    block * granularity + addr % granularity
+}
+
 /// Round-robin address interleaving across a set of devices.
 pub struct InterleavedDevice {
     parts: Vec<Box<dyn MemoryDevice>>,
@@ -40,14 +61,15 @@ impl InterleavedDevice {
 
 impl MemoryDevice for InterleavedDevice {
     fn access(&mut self, req: &MemRequest) -> AccessBreakdown {
-        let idx = ((req.addr / self.granularity) % self.parts.len() as u64) as usize;
+        let idx = route(req.addr, self.granularity, self.parts.len());
         // Strip the interleave bits so each part sees a dense space.
-        let block = req.addr / self.granularity / self.parts.len() as u64;
         let local = MemRequest {
-            addr: block * self.granularity + req.addr % self.granularity,
+            addr: local_addr(req.addr, self.granularity, self.parts.len()),
             ..*req
         };
-        self.parts[idx].access(&local)
+        let mut out = self.parts[idx].access(&local);
+        out.node = idx as u16 + 1;
+        out
     }
 
     fn name(&self) -> &str {

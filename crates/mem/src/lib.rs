@@ -45,14 +45,16 @@ mod device;
 mod dram;
 pub mod faults;
 mod imc;
-mod interleave;
+pub mod interleave;
 mod numa;
 pub mod presets;
 pub mod probe;
 mod request;
 mod spec;
 mod split;
+mod switch;
 mod telemetry_hooks;
+pub mod topology;
 
 pub use cpmu::{CpmuDevice, CpmuReport};
 pub use cxl::{CxlConfig, CxlDevice, ThermalConfig};
@@ -65,3 +67,5 @@ pub use numa::{NumaHopConfig, NumaHopDevice};
 pub use request::{MemRequest, RequestKind};
 pub use spec::{AnalyticProfile, DeviceSpec, SPEC_SCHEMA_VERSION};
 pub use split::SplitDevice;
+pub use switch::{SwitchConfig, SwitchDevice};
+pub use topology::{Fabric, TopoEdge, TopoNode, TopologySpec};

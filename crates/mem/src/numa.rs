@@ -174,6 +174,7 @@ impl MemoryDevice for NumaHopDevice {
             spike_ps: inner.spike_ps + spike_ps,
             row_hit: inner.row_hit,
             poisoned: inner.poisoned,
+            node: inner.node,
         };
         self.stats.record(req, completion);
         out

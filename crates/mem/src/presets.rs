@@ -291,6 +291,32 @@ pub fn all_cxl() -> Vec<DeviceSpec> {
     vec![cxl_a(), cxl_b(), cxl_c(), cxl_d()]
 }
 
+/// Device-class names accepted by [`device_class`] — the vocabulary
+/// topology specs and campaign device axes resolve expander hardware
+/// from. Kept in one place so validation errors can list every valid
+/// spelling.
+pub const DEVICE_CLASSES: &[&str] = &[
+    "local", "numa", "cxl-a", "cxl-b", "cxl-c", "cxl-d", "skx-140", "skx-190", "skx-410",
+];
+
+/// Resolves a device-class name (see [`DEVICE_CLASSES`]) to its preset
+/// spec, or `None` for an unknown name. `local`/`numa` are the EMR2S
+/// baselines; `skx-*` are the NUMA-emulated latency points.
+pub fn device_class(name: &str) -> Option<DeviceSpec> {
+    match name {
+        "local" => Some(local_emr()),
+        "numa" => Some(numa_emr()),
+        "cxl-a" => Some(cxl_a()),
+        "cxl-b" => Some(cxl_b()),
+        "cxl-c" => Some(cxl_c()),
+        "cxl-d" => Some(cxl_d()),
+        "skx-140" => Some(skx_140()),
+        "skx-190" => Some(skx_190()),
+        "skx-410" => Some(skx8s_410()),
+        _ => None,
+    }
+}
+
 /// Calibrated thermal profile for CXL-C. The FPGA controller runs hot:
 /// throttling engages from 50% sustained utilization with long stall
 /// windows (its passive heatsink recovers slowly), which is why the §3.2
@@ -376,6 +402,15 @@ mod tests {
         // device (throttling only bites under sustained load).
         assert!((cxl_c_thermal().nominal_latency_ns() - 394.0).abs() < 1.0);
         assert!((cxl_d_thermal().nominal_latency_ns() - 239.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn every_device_class_resolves() {
+        for class in DEVICE_CLASSES {
+            let spec = device_class(class).unwrap_or_else(|| panic!("{class} must resolve"));
+            assert!(spec.nominal_latency_ns() > 0.0);
+        }
+        assert!(device_class("cxl-z").is_none());
     }
 
     #[test]

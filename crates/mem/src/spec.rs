@@ -9,6 +9,7 @@ use crate::imc::{ImcConfig, ImcDevice};
 use crate::interleave::InterleavedDevice;
 use crate::numa::{NumaHopConfig, NumaHopDevice};
 use crate::split::SplitDevice;
+use crate::switch::{SwitchConfig, SwitchDevice};
 
 /// A declarative, serialisable description of a memory backend.
 ///
@@ -60,6 +61,19 @@ pub enum DeviceSpec {
         /// Slow (CXL) tier.
         slow: Box<DeviceSpec>,
     },
+    /// Several devices behind a CXL switch: interleaved like
+    /// [`DeviceSpec::Interleaved`], but every request also crosses the
+    /// switch's shared, credit-limited upstream link, so siblings contend
+    /// (see [`crate::SwitchDevice`]). Produced by lowering topology specs
+    /// with `switch` nodes ([`crate::topology::TopologySpec`]).
+    Switch {
+        /// Shared upstream port parameters.
+        switch: SwitchConfig,
+        /// Interleave granularity across the downstream ports, bytes.
+        granularity: u64,
+        /// Downstream devices, one per switch port.
+        parts: Vec<DeviceSpec>,
+    },
 }
 
 /// Version stamp of the [`DeviceSpec`] serialization schema *and* of the
@@ -110,6 +124,18 @@ impl DeviceSpec {
                 slow.build(seed.wrapping_add(3)),
                 *boundary,
             )),
+            DeviceSpec::Switch {
+                switch,
+                granularity,
+                parts,
+            } => {
+                let built = parts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| p.build(seed.wrapping_add(200 + i as u64)))
+                    .collect();
+                Box::new(SwitchDevice::new(switch.clone(), *granularity, built))
+            }
         }
     }
 
@@ -125,6 +151,9 @@ impl DeviceSpec {
             DeviceSpec::Split { fast, slow, .. } => {
                 format!("{}|{}", fast.name(), slow.name())
             }
+            DeviceSpec::Switch { parts, .. } => {
+                format!("{}x{}+Switch", parts[0].name(), parts.len())
+            }
         }
     }
 
@@ -138,6 +167,10 @@ impl DeviceSpec {
                 parts.iter().map(|p| p.nominal_latency_ns()).sum::<f64>() / parts.len() as f64
             }
             DeviceSpec::Split { slow, .. } => slow.nominal_latency_ns(),
+            DeviceSpec::Switch { switch, parts, .. } => {
+                parts.iter().map(|p| p.nominal_latency_ns()).sum::<f64>() / parts.len() as f64
+                    + switch.latency_ns
+            }
         }
     }
 
@@ -223,6 +256,18 @@ impl DeviceSpec {
                 fast: Box::new(fast.with_faults(faults.clone())),
                 slow: Box::new(slow.with_faults(faults)),
             },
+            DeviceSpec::Switch {
+                switch,
+                granularity,
+                parts,
+            } => DeviceSpec::Switch {
+                switch,
+                granularity,
+                parts: parts
+                    .into_iter()
+                    .map(|p| p.with_faults(faults.clone()))
+                    .collect(),
+            },
         }
     }
 
@@ -288,6 +333,25 @@ impl DeviceSpec {
             // address space), so the analytical model prices every access
             // at the slow tier, consistent with `nominal_latency_ns`.
             DeviceSpec::Split { slow, .. } => slow.analytic_profile(),
+            DeviceSpec::Switch { switch, parts, .. } => {
+                let profiles: Vec<AnalyticProfile> =
+                    parts.iter().map(|p| p.analytic_profile()).collect();
+                let n = profiles.len().max(1) as f64;
+                AnalyticProfile {
+                    idle_latency_ns: profiles.iter().map(|p| p.idle_latency_ns).sum::<f64>() / n
+                        + switch.latency_ns,
+                    // Aggregate capacity is whichever is tighter: the sum
+                    // of the downstream devices or the shared upstream
+                    // port they all squeeze through.
+                    total_gbps: profiles
+                        .iter()
+                        .map(|p| p.total_gbps)
+                        .sum::<f64>()
+                        .min(switch.upstream_gbps),
+                    servers: profiles.iter().map(|p| p.servers).sum::<usize>().max(1),
+                    service_ns: profiles.iter().map(|p| p.service_ns).sum::<f64>() / n,
+                }
+            }
         }
     }
 }

@@ -3,13 +3,14 @@
 //! ```text
 //! melody devices                      # list device presets with specs
 //! melody workloads [--suite NAME]     # list the 265-workload registry
-//! melody probe <device>               # idle latency + peak bandwidth
+//! melody probe <device | --topology T> # idle latency + peak bandwidth
 //! melody mio <device> [--threads N] [--noise N] [--accesses N]
 //! melody mlc <device> [--rw R] [--delay CYCLES] [--requests N]
-//! melody run <workload> <device> [--refs N] [--platform NAME]
-//!            [--json] [--out PATH] [--windows N]
+//! melody run <workload> <device | --topology T> [--refs N]
+//!            [--platform NAME] [--json] [--out PATH] [--windows N]
 //! melody cpmu <device> [--accesses N] # white-box component attribution
-//! melody campaign <spec.json> [--shard i/N] [--journal PATH] [--resume] [--json]
+//! melody campaign <spec.json> [--shard i/N] [--journal PATH] [--resume]
+//!                 [--topology T] [--json]
 //! melody degraded [--scale S] [--journal PATH] [--resume] [--limit N] [--json]
 //! melody trace <device> [--out PATH] [--workloads N] [--refs N]
 //! melody diff <a.json> <b.json> [--rel-tol X] [--abs-tol X] [--json]
@@ -24,6 +25,13 @@
 //!
 //! Devices: local, numa, cxl-a, cxl-b, cxl-c, cxl-d, cxl-a+numa, ...,
 //! cxl-d-x2. Platforms: spr2s, emr2s, emr2s-prime, skx2s, skx8s.
+//!
+//! `--topology <spec.json>` replaces the device keyword with a
+//! declarative fabric topology (host / switch / expander nodes; see
+//! EXPERIMENTS.md "Topologies"). `probe` and `run` take it instead of
+//! the `<device>` positional; `melody campaign --topology T` appends the
+//! topology to the campaign spec's device axis. A single-expander
+//! topology is byte-identical to naming its device class directly.
 //!
 //! Global flags: `--jobs N` (worker threads), `--telemetry
 //! off|metrics|trace` (instrumentation level, default off — see
@@ -94,6 +102,33 @@ fn apply_faults(spec: DeviceSpec, args: &[String]) -> DeviceSpec {
         spec
     } else {
         spec.with_faults(fc)
+    }
+}
+
+/// Loads, validates and lowers a `--topology <spec.json>` fabric,
+/// exiting 2 with the validation error (which names the offending node
+/// and lists the valid spellings) on failure.
+fn load_topology_or_exit(path: &str) -> DeviceSpec {
+    match TopologySpec::load(path).and_then(|t| t.validate()) {
+        Ok(fabric) => fabric.lower(),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Loads and validates a `--topology <spec.json>` fabric for the
+/// campaign device axis, keeping the declarative spec (the campaign
+/// expander lowers it itself, so it lands in the report under the
+/// topology's name).
+fn load_topology_spec_or_exit(path: &str) -> TopologySpec {
+    match TopologySpec::load(path).and_then(|t| t.validate()) {
+        Ok(fabric) => fabric.spec().clone(),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -293,6 +328,7 @@ fn cmd_devices() {
             DeviceSpec::Hopped { .. } => "hopped",
             DeviceSpec::Interleaved { .. } => "interleave",
             DeviceSpec::Split { .. } => "tiered",
+            DeviceSpec::Switch { .. } => "switched",
         };
         println!(
             "{:12} {:>12.0} {:>10}",
@@ -329,8 +365,15 @@ fn cmd_workloads(args: &[String]) {
 }
 
 fn cmd_probe(args: &[String]) {
-    let Some(spec) = args.first().and_then(|n| device_by_name(n)) else {
-        usage()
+    let device = args.first().filter(|a| !a.starts_with("--"));
+    let spec = match (device, flag(args, "--topology")) {
+        (Some(_), Some(_)) => {
+            eprintln!("probe takes either a device keyword or --topology, not both");
+            std::process::exit(2);
+        }
+        (Some(n), None) => device_by_name(n).unwrap_or_else(|| usage()),
+        (None, Some(path)) => load_topology_or_exit(&path),
+        (None, None) => usage(),
     };
     let spec = apply_faults(spec, args);
     let mut dev = spec.build(1);
@@ -417,15 +460,20 @@ fn cmd_mlc(args: &[String]) {
 }
 
 fn cmd_run(args: &[String]) {
-    let (Some(wname), Some(dname)) = (args.first(), args.get(1)) else {
-        usage()
-    };
+    let Some(wname) = args.first() else { usage() };
     let Some(w) = registry::by_name(wname) else {
         eprintln!("unknown workload {wname} (try `melody workloads`)");
         std::process::exit(2);
     };
-    let Some(spec) = device_by_name(dname) else {
-        usage()
+    let device = args.get(1).filter(|a| !a.starts_with("--"));
+    let spec = match (device, flag(args, "--topology")) {
+        (Some(_), Some(_)) => {
+            eprintln!("run takes either a device keyword or --topology, not both");
+            std::process::exit(2);
+        }
+        (Some(dname), None) => device_by_name(dname).unwrap_or_else(|| usage()),
+        (None, Some(path)) => load_topology_or_exit(&path),
+        (None, None) => usage(),
     };
     let spec = apply_faults(spec, args);
     let platform = flag(args, "--platform")
@@ -681,14 +729,31 @@ fn cmd_cpmu(args: &[String]) {
 fn cmd_campaign(args: &[String]) {
     use melody::journal::Journal;
 
-    let Some(spec_path) = args.iter().find(|a| !a.starts_with("--")) else {
+    // The spec path is the first positional; values of valued flags
+    // (`--shard 0/2`, `--journal j.log`, `--topology t.json`) are not
+    // positionals and must be skipped.
+    let valued_flags = ["--shard", "--journal", "--topology"];
+    let mut spec_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if valued_flags.contains(&a.as_str()) {
+            it.next();
+        } else if !a.starts_with("--") {
+            spec_path = Some(a);
+            break;
+        }
+    }
+    let Some(spec_path) = spec_path else {
         eprintln!("campaign requires a spec file (see datasets/grid_quick.json)");
         std::process::exit(2);
     };
-    let spec = CampaignSpec::load(spec_path).unwrap_or_else(|e| {
+    let mut spec = CampaignSpec::load(spec_path).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    if let Some(tp) = flag(args, "--topology") {
+        spec.topologies.push(load_topology_spec_or_exit(&tp));
+    }
     let shard = match flag(args, "--shard") {
         Some(s) => Shard::parse(&s).unwrap_or_else(|| {
             eprintln!("bad --shard `{s}` (expected i/N with i < N)");

@@ -45,7 +45,11 @@ use serde::{Deserialize, Serialize};
 /// outputs without touching [`melody_mem::SPEC_SCHEMA_VERSION`] /
 /// [`melody_workloads::SPEC_SCHEMA_VERSION`], or the envelope format
 /// itself changes — and note the bump in CHANGES.md.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: topology-lowered device specs joined the campaign device axis
+/// (the `AccessBreakdown::node` field and switch contention model can
+/// shift results for composite devices), so all v2 entries are orphaned.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a over `bytes`, from an arbitrary offset basis.
 fn fnv64(mut h: u64, bytes: &[u8]) -> u64 {

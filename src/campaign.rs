@@ -49,20 +49,7 @@ pub const RESULT_SCHEMA_VERSION: u32 = 2;
 /// `skx-140`, `skx-190`, `skx-410`, with optional `+numa` / `+switch` /
 /// `-x2` suffixes) to its preset spec.
 pub fn device_by_name(name: &str) -> Option<DeviceSpec> {
-    let base = |n: &str| -> Option<DeviceSpec> {
-        Some(match n {
-            "local" => presets::local_emr(),
-            "numa" => presets::numa_emr(),
-            "cxl-a" => presets::cxl_a(),
-            "cxl-b" => presets::cxl_b(),
-            "cxl-c" => presets::cxl_c(),
-            "cxl-d" => presets::cxl_d(),
-            "skx-140" => presets::skx_140(),
-            "skx-190" => presets::skx_190(),
-            "skx-410" => presets::skx8s_410(),
-            _ => return None,
-        })
-    };
+    let base = presets::device_class;
     if let Some(stripped) = name.strip_suffix("+numa") {
         return base(stripped).map(|d| d.with_numa_hop());
     }
@@ -232,6 +219,13 @@ pub struct CampaignSpec {
     /// Sampled-tier period length in slots (default 16384).
     #[serde(default)]
     pub sample_period: Option<u64>,
+    /// Fabric topologies ([`melody_mem::TopologySpec`], inline in the
+    /// campaign JSON). Each validated topology joins the device axis
+    /// after `devices`, labelled by its topology name; a single-expander
+    /// topology lowers to exactly its preset device, so it shares cache
+    /// entries with the equivalent `devices` keyword by construction.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub topologies: Vec<melody_mem::TopologySpec>,
 }
 
 impl CampaignSpec {
@@ -256,8 +250,8 @@ impl CampaignSpec {
     /// then workload). Unknown names are errors, not panics.
     pub fn expand(&self) -> Result<Vec<CampaignCell>, String> {
         let scale = self.effective_scale()?;
-        if self.platforms.is_empty() || self.devices.is_empty() {
-            return Err("campaign needs at least one platform and one device".into());
+        if self.platforms.is_empty() || (self.devices.is_empty() && self.topologies.is_empty()) {
+            return Err("campaign needs at least one platform and one device or topology".into());
         }
         let workloads: Vec<WorkloadSpec> = if self.workloads.is_empty() {
             scale.select_workloads()
@@ -298,15 +292,35 @@ impl CampaignSpec {
             sampling,
             ..Default::default()
         };
+        // Unified device axis: explicit device keywords first, then
+        // topologies lowered to device specs, labelled by topology name.
+        let mut axis: Vec<(String, DeviceSpec)> = Vec::new();
+        for dname in &self.devices {
+            let device = device_by_name(dname).ok_or_else(|| {
+                format!(
+                    "unknown device `{dname}` (classes: {}; suffixes: +numa, +switch, -x2)",
+                    presets::DEVICE_CLASSES.join(", ")
+                )
+            })?;
+            axis.push((dname.clone(), device));
+        }
+        for t in &self.topologies {
+            let fabric = t.clone().validate()?;
+            if axis.iter().any(|(n, _)| n == fabric.name()) {
+                return Err(format!(
+                    "topology name `{}` duplicates another device-axis entry",
+                    fabric.name()
+                ));
+            }
+            axis.push((fabric.name().to_string(), fabric.lower()));
+        }
         let mut cells = Vec::new();
         for pname in &self.platforms {
             let platform = platform_by_name(pname).ok_or_else(|| {
                 format!("unknown platform `{pname}` (spr2s|emr2s|emr2s-prime|skx2s|skx8s)")
             })?;
             let local = local_for_platform(&platform);
-            for dname in &self.devices {
-                let device = device_by_name(dname)
-                    .ok_or_else(|| format!("unknown device `{dname}` (try `melody devices`)"))?;
+            for (dname, device) in &axis {
                 for fname in &faults {
                     let fc = FaultConfig::by_name(fname).ok_or_else(|| {
                         format!(
@@ -756,6 +770,7 @@ mod tests {
             sample_warmup: None,
             sample_window: None,
             sample_period: None,
+            topologies: vec![],
         }
     }
 
@@ -831,6 +846,75 @@ mod tests {
             ..tiny_spec()
         };
         assert!(bad_fault.expand().unwrap_err().contains("meteor"));
+    }
+
+    fn topo(name: &str, devices: &[&str]) -> melody_mem::TopologySpec {
+        let mut nodes = vec![r#"{"id": "h", "kind": "host"}"#.to_string()];
+        let mut edges = Vec::new();
+        for (i, d) in devices.iter().enumerate() {
+            nodes.push(format!(
+                r#"{{"id": "e{i}", "kind": "expander", "device": "{d}"}}"#
+            ));
+            edges.push(format!(r#"{{"from": "h", "to": "e{i}"}}"#));
+        }
+        let json = format!(
+            r#"{{"name": "{name}", "nodes": [{}], "edges": [{}]}}"#,
+            nodes.join(", "),
+            edges.join(", ")
+        );
+        serde_json::from_str(&json).expect("valid topology JSON")
+    }
+
+    #[test]
+    fn topologies_join_the_device_axis() {
+        let spec = CampaignSpec {
+            topologies: vec![topo("cxl-a-x2", &["cxl-a", "cxl-a"])],
+            ..tiny_spec()
+        };
+        let cells = spec.expand().expect("expand");
+        // Devices first, then topologies, same workload sweep each.
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].label(), "emr2s/cxl-a/none/605.mcf");
+        assert_eq!(cells[2].label(), "emr2s/cxl-a-x2/none/605.mcf");
+        assert_eq!(cells[2].target.name(), "CXL-Ax2");
+
+        // A topology-only campaign is valid.
+        let only = CampaignSpec {
+            devices: vec![],
+            topologies: vec![topo("solo", &["cxl-b"])],
+            ..tiny_spec()
+        };
+        assert_eq!(only.expand().expect("expand").len(), 2);
+
+        // A degenerate topology is the same cell as the plain keyword:
+        // identical fingerprint, so they share cache entries.
+        let plain = CampaignSpec {
+            devices: vec!["cxl-b".into()],
+            ..tiny_spec()
+        };
+        let via_topo = CampaignSpec {
+            devices: vec![],
+            topologies: vec![topo("cxl-b", &["cxl-b"])],
+            ..tiny_spec()
+        };
+        assert_eq!(
+            plain.expand().expect("expand")[0].key,
+            via_topo.expand().expect("expand")[0].key,
+        );
+
+        // Name collisions on the axis are rejected.
+        let dup = CampaignSpec {
+            devices: vec!["cxl-a".into()],
+            topologies: vec![topo("cxl-a", &["cxl-a"])],
+            ..tiny_spec()
+        };
+        assert!(dup.expand().unwrap_err().contains("duplicates"));
+        // Invalid topologies surface their validation error.
+        let bad = CampaignSpec {
+            topologies: vec![topo("bad", &["cxl-z"])],
+            ..tiny_spec()
+        };
+        assert!(bad.expand().unwrap_err().contains("cxl-z"));
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use crate::server::{ServeConfig, Server, ServerHandle};
     pub use crate::testbed::{emr_cxl_setups, full_latency_spectrum, Setup};
     pub use melody_cpu::{Core, CoreConfig, CounterSet, Platform, RunResult, Slot};
-    pub use melody_mem::{presets, probe, DeviceSpec, MemoryDevice};
+    pub use melody_mem::{presets, probe, DeviceSpec, Fabric, MemoryDevice, TopologySpec};
     pub use melody_spa::{breakdown, estimates, Breakdown};
     pub use melody_stats::{Cdf, LatencyHistogram};
     pub use melody_workloads::{registry, SlotStream, WorkloadSpec};

@@ -31,7 +31,27 @@ fn tiny_spec() -> CampaignSpec {
         sample_warmup: None,
         sample_window: None,
         sample_period: None,
+        topologies: vec![],
     }
+}
+
+/// A host with `n` expanders of device class `device`, as the campaign
+/// JSON layer would parse it.
+fn topology(name: &str, device: &str, n: usize) -> melody_mem::TopologySpec {
+    let mut nodes = vec![r#"{"id": "h", "kind": "host"}"#.to_string()];
+    let mut edges = Vec::new();
+    for i in 0..n {
+        nodes.push(format!(
+            r#"{{"id": "e{i}", "kind": "expander", "device": "{device}"}}"#
+        ));
+        edges.push(format!(r#"{{"from": "h", "to": "e{i}"}}"#));
+    }
+    let json = format!(
+        r#"{{"name": "{name}", "nodes": [{}], "edges": [{}]}}"#,
+        nodes.join(", "),
+        edges.join(", ")
+    );
+    serde_json::from_str(&json).expect("valid topology JSON")
 }
 
 fn run(spec: &CampaignSpec, shard: Shard, cache: Option<&ResultCache>) -> CampaignReport {
@@ -153,6 +173,70 @@ fn fidelity_is_part_of_cell_identity() {
         assert_ne!(kd[i], kf[i]);
         assert_ne!(ks[i], kf[i]);
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn topology_is_part_of_cell_identity() {
+    // Results simulated under one topology must never satisfy a request
+    // for another: the lowered device spec (and with it the whole fabric
+    // shape) is inside the cell fingerprint.
+    let dir = tmp_dir("topology-keys");
+    let base = CampaignSpec {
+        devices: vec![],
+        workloads: vec!["605.mcf".into()],
+        ..tiny_spec()
+    };
+    let two_way = CampaignSpec {
+        topologies: vec![topology("fabric", "cxl-b", 2)],
+        ..base.clone()
+    };
+    let single = CampaignSpec {
+        topologies: vec![topology("fabric", "cxl-b", 1)],
+        ..base.clone()
+    };
+
+    let cache = ResultCache::open(&dir).expect("open");
+    let _ = run(&two_way, Shard::full(), Some(&cache));
+    assert_eq!(cache.stats().misses, 1, "cold 2-way run misses");
+
+    // Same campaign name, same topology *name*, different shape: the
+    // single-expander request must not hit the 2-way result.
+    let c2 = ResultCache::open(&dir).expect("reopen");
+    let _ = run(&single, Shard::full(), Some(&c2));
+    assert_eq!(
+        c2.stats().hits,
+        0,
+        "a 2-way cell must never satisfy a 1-way request"
+    );
+
+    // The same topology is a warm hit for itself.
+    let c3 = ResultCache::open(&dir).expect("reopen");
+    let again = run(&two_way, Shard::full(), Some(&c3));
+    assert_eq!(c3.stats().hits, 1, "{:?}", c3.stats());
+    assert_eq!(again.rows.len(), 1);
+    assert_eq!(again.rows[0].device, "fabric");
+
+    // Intentional sharing: the degenerate single-expander topology *is*
+    // the plain device keyword — identical key, so a topology run warms
+    // the cache for a plain `devices: ["cxl-b"]` run and vice versa.
+    let plain = CampaignSpec {
+        devices: vec!["cxl-b".into()],
+        topologies: vec![],
+        ..base.clone()
+    };
+    assert_eq!(
+        plain.expand().expect("expand")[0].key,
+        single.expand().expect("expand")[0].key,
+        "degenerate topology shares the plain device's cell identity"
+    );
+    let c4 = ResultCache::open(&dir).expect("reopen");
+    let _ = run(&plain, Shard::full(), Some(&c4));
+    assert_eq!(
+        c4.stats().hits,
+        1,
+        "plain run warm-hits the degenerate-topology cell"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

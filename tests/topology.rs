@@ -1,0 +1,228 @@
+//! Property and differential tests for the topology subsystem: address
+//! routing is a partition, interleave bandwidth is bounded by its
+//! member count, switch sharing is bounded by the upstream port, and the
+//! degenerate one-expander topology is byte-identical to the plain
+//! device.
+
+use melody::campaign::{run_campaign, CampaignSpec, Shard};
+use melody::exec::CellPolicy;
+use melody::journal::Journal;
+use melody_mem::interleave::{local_addr, route};
+use melody_mem::{presets, probe, DeviceSpec, SwitchConfig, TopologySpec};
+use melody_sim::SimRng;
+
+fn parse_topology(json: &str) -> TopologySpec {
+    serde_json::from_str(json).expect("valid topology JSON")
+}
+
+fn two_way_json(extra: &str) -> String {
+    format!(
+        r#"{{
+            "name": "pair",
+            "nodes": [
+                {{"id": "h", "kind": "host"}},
+                {extra}
+                {{"id": "e0", "kind": "expander", "device": "cxl-b"}},
+                {{"id": "e1", "kind": "expander", "device": "cxl-b"}}
+            ],
+            "edges": []
+        }}"#
+    )
+}
+
+/// Every address maps to exactly one expander (the routing function is a
+/// partition of the address space), and `(route, local_addr)` is a
+/// bijection: the original address is reconstructible from the pair.
+#[test]
+fn interleaved_routing_is_a_partition() {
+    let mut rng = SimRng::seed_from(0x70B0);
+    for &granularity in &[64u64, 128, 256, 1024, 4096] {
+        for ways in 1..=8usize {
+            // Dense sweep around block boundaries plus random probes.
+            let boundary_addrs = (0..(4 * ways as u64))
+                .map(|b| b * granularity)
+                .flat_map(|base| [base, base + 1, base + 63, base + granularity - 1]);
+            let random_addrs = (0..2_000).map(|_| rng.next_u64() >> 1);
+            for addr in boundary_addrs.chain(random_addrs) {
+                let idx = route(addr, granularity, ways);
+                assert!(idx < ways, "route out of range: {idx} of {ways}");
+                let local = local_addr(addr, granularity, ways);
+                // Reconstruct: the interleave bits go back in exactly
+                // where route() took them out.
+                let block = local / granularity;
+                let rebuilt =
+                    (block * ways as u64 + idx as u64) * granularity + local % granularity;
+                assert_eq!(
+                    rebuilt, addr,
+                    "bijection broken at addr={addr} g={granularity} ways={ways}"
+                );
+            }
+        }
+    }
+}
+
+/// A campaign cell simulated under a topology is byte-identical at any
+/// worker count: routing (and everything downstream of it) must not
+/// depend on `--jobs`.
+#[test]
+fn topology_cells_are_stable_across_jobs() {
+    let spec = CampaignSpec {
+        name: "jobs-identity".into(),
+        platforms: vec!["emr2s".into()],
+        devices: vec![],
+        workloads: vec!["605.mcf".into(), "541.leela".into()],
+        faults: vec![],
+        scale: None,
+        mem_refs: Some(4_000),
+        seed: None,
+        fidelity: None,
+        sample_warmup: None,
+        sample_window: None,
+        sample_period: None,
+        topologies: vec![parse_topology(
+            r#"{
+                "name": "pair",
+                "nodes": [
+                    {"id": "h", "kind": "host"},
+                    {"id": "e0", "kind": "expander", "device": "cxl-b"},
+                    {"id": "e1", "kind": "expander", "device": "cxl-b"}
+                ],
+                "edges": [{"from": "h", "to": "e0"}, {"from": "h", "to": "e1"}]
+            }"#,
+        )],
+    };
+    let run_at = |jobs: usize| {
+        melody::exec::set_jobs(jobs);
+        let mut j = Journal::in_memory();
+        let r = run_campaign(&spec, Shard::full(), &mut j, None, &CellPolicy::default())
+            .expect("campaign")
+            .report;
+        assert!(r.errors.is_empty(), "{:?}", r.errors);
+        serde_json::to_string(&r).expect("report serializes")
+    };
+    let serial = run_at(1);
+    let parallel = run_at(4);
+    melody::exec::set_jobs(0); // restore default for other tests
+    assert_eq!(serial, parallel, "topology results depend on --jobs");
+}
+
+/// Differential bandwidth bounds: 2-way interleaving of identical
+/// expanders helps (>1×) but can never exceed 2× a single expander, and
+/// putting the same pair behind a switch can neither beat the direct
+/// interleave nor the switch's upstream port.
+#[test]
+fn interleave_and_switch_bandwidth_bounds() {
+    let bw = |spec: &DeviceSpec| {
+        let mut dev = spec.build(7);
+        probe::peak_bandwidth_gbps(dev.as_mut(), 1.0, 30_000, 128)
+    };
+    let single = bw(&presets::cxl_b());
+    let pair = bw(&presets::cxl_b().interleaved(2));
+    assert!(
+        pair <= 2.0 * single * 1.05,
+        "2-way interleave {pair} GB/s exceeds 2x single {single} GB/s"
+    );
+    assert!(
+        pair > single,
+        "2-way interleave {pair} GB/s should beat one expander {single} GB/s"
+    );
+
+    let upstream = 22.0;
+    let switched = bw(&DeviceSpec::Switch {
+        switch: SwitchConfig {
+            upstream_gbps: upstream,
+            ..SwitchConfig::default()
+        },
+        granularity: 256,
+        parts: vec![presets::cxl_b(), presets::cxl_b()],
+    });
+    assert!(
+        switched <= upstream * 1.05,
+        "switch-shared {switched} GB/s exceeds its {upstream} GB/s upstream port"
+    );
+    assert!(
+        switched < pair,
+        "switch sharing ({switched} GB/s) cannot beat direct interleave ({pair} GB/s)"
+    );
+}
+
+/// The degenerate one-expander topology lowers to exactly the plain
+/// preset spec: same canonical JSON, same built device behaviour.
+#[test]
+fn degenerate_topology_matches_plain_device() {
+    let lowered = parse_topology(
+        r#"{
+            "name": "cxl-b",
+            "nodes": [
+                {"id": "h", "kind": "host"},
+                {"id": "e0", "kind": "expander", "device": "cxl-b", "capacity_gib": 128}
+            ],
+            "edges": [{"from": "h", "to": "e0"}]
+        }"#,
+    )
+    .validate()
+    .expect("valid")
+    .lower();
+    let plain = presets::cxl_b();
+    assert_eq!(lowered, plain);
+    assert_eq!(lowered.canonical_json(), plain.canonical_json());
+
+    // Same seed, same traffic, same completions.
+    let mut a = lowered.build(42);
+    let mut b = plain.build(42);
+    let mut rng = SimRng::seed_from(9);
+    for i in 0..5_000u64 {
+        let addr = (rng.next_u64() >> 1) & !63;
+        let req = melody_mem::MemRequest::new(addr, melody_mem::RequestKind::DemandRead, i * 700);
+        assert_eq!(a.access(&req), b.access(&req), "diverged at request {i}");
+    }
+}
+
+/// Spec validation rejects unknown vocabulary with exit-2-quality
+/// errors that list the valid names.
+#[test]
+fn validation_errors_list_valid_names() {
+    // Unknown device class -> error lists the classes.
+    let bad_class = parse_topology(
+        r#"{
+            "name": "t",
+            "nodes": [
+                {"id": "h", "kind": "host"},
+                {"id": "e0", "kind": "expander", "device": "cxl-z"}
+            ],
+            "edges": [{"from": "h", "to": "e0"}]
+        }"#,
+    );
+    let err = bad_class.validate().unwrap_err();
+    assert!(err.contains("cxl-z"), "{err}");
+    for class in presets::DEVICE_CLASSES {
+        assert!(err.contains(class), "error must list `{class}`: {err}");
+    }
+
+    // Edge to an unknown node -> error lists the known node ids.
+    let mut bad_edge = two_way_json("");
+    bad_edge = bad_edge.replace(
+        "\"edges\": []",
+        r#""edges": [{"from": "h", "to": "e0"}, {"from": "h", "to": "ghost"}]"#,
+    );
+    let err = parse_topology(&bad_edge).validate().unwrap_err();
+    assert!(err.contains("ghost"), "{err}");
+    assert!(err.contains("e0") && err.contains("e1"), "{err}");
+
+    // Unknown fault regime -> error lists the regimes.
+    let bad_fault = parse_topology(
+        r#"{
+            "name": "t",
+            "nodes": [
+                {"id": "h", "kind": "host"},
+                {"id": "e0", "kind": "expander", "device": "cxl-b", "faults": "gremlins"}
+            ],
+            "edges": [{"from": "h", "to": "e0"}]
+        }"#,
+    );
+    let err = bad_fault.validate().unwrap_err();
+    assert!(err.contains("gremlins"), "{err}");
+    for regime in melody_mem::faults::REGIMES {
+        assert!(err.contains(regime), "error must list `{regime}`: {err}");
+    }
+}
