@@ -30,6 +30,7 @@ mod chrome;
 mod event;
 mod export;
 mod metrics;
+pub mod prom;
 mod span;
 
 pub use chrome::chrome_trace;
@@ -384,6 +385,17 @@ pub fn collect() -> Collected {
         metrics,
         profile,
     }
+}
+
+/// Runs `f` against the global sink's merged metrics registry without
+/// draining it — a read-only peek for live scrapes (`GET /metrics`).
+///
+/// Only sunk cells are visible; the calling thread's local context is
+/// not included (a scraping thread has none anyway). The sink lock is
+/// held for the duration of `f`, so keep it short.
+pub fn with_sink_metrics<R>(f: impl FnOnce(&MetricsRegistry) -> R) -> R {
+    let s = sink().lock().expect("telemetry sink lock");
+    f(&s.metrics)
 }
 
 /// Clears the calling thread's context and the global sink without

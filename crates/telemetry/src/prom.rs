@@ -1,0 +1,474 @@
+//! Prometheus text-exposition rendering and linting (format 0.0.4).
+//!
+//! [`PromText`] builds an exposition document sample by sample: each
+//! metric family gets its `# HELP` / `# TYPE` header exactly once, label
+//! values are escaped per the format, and a [`MetricsRegistry`] can be
+//! folded in wholesale with [`PromText::registry`] (counters become
+//! `_total` counters, histograms become summaries with `quantile`
+//! labels, gauge series become `_mean` / `_max` gauges). Because the
+//! registry's maps are `BTreeMap`s and callers emit server series in a
+//! fixed order, two scrapes of the same state render byte-identically.
+//!
+//! [`lint`] is the matching validator: it checks every line of an
+//! exposition against the grammar (metric/label name charsets, quoted
+//! and escaped label values, float-parseable sample values, `# TYPE`
+//! declared at most once and before the family's samples, families not
+//! interleaved). CI scrapes a live server and feeds the body through
+//! this linter, so the renderer and the checker are kept honest against
+//! each other in-repo.
+
+use std::collections::BTreeSet;
+
+use crate::MetricsRegistry;
+
+/// `Content-Type` a `/metrics` response should carry for this format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Sample kinds a family may declare in its `# TYPE` line.
+pub const TYPES: &[&str] = &["counter", "gauge", "histogram", "summary", "untyped"];
+
+/// Incremental builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    declared: BTreeSet<String>,
+}
+
+impl PromText {
+    /// Starts an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header for `name` once per document.
+    fn family(&mut self, name: &str, help: &str, kind: &str) {
+        if self.declared.insert(name.to_string()) {
+            self.out
+                .push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+            self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+        }
+    }
+
+    /// Appends one sample line under an already-started family.
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&fmt_value(value));
+        self.out.push('\n');
+    }
+
+    /// Adds an unlabelled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.family(name, help, "counter");
+        self.sample(name, &[], value as f64);
+    }
+
+    /// Adds a counter sample carrying labels (e.g. a per-client total).
+    pub fn counter_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.family(name, help, "counter");
+        self.sample(name, labels, value as f64);
+    }
+
+    /// Adds an unlabelled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.family(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// Adds a gauge sample carrying labels (e.g. a per-client depth).
+    pub fn gauge_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.family(name, help, "gauge");
+        self.sample(name, labels, value);
+    }
+
+    /// Folds a whole [`MetricsRegistry`] in under `prefix`.
+    ///
+    /// Counters render as `{prefix}_{name}_total`; histograms as
+    /// summaries (`quantile="0.5|0.99|0.999"` plus `_count`, quantiles
+    /// omitted when empty — the n/a convention, never fabricated
+    /// zeros); gauge series as `_mean` / `_max` gauges plus a
+    /// `_windows` count. Metric names are sanitized (`.` → `_`).
+    pub fn registry(&mut self, prefix: &str, reg: &MetricsRegistry) {
+        for (k, &v) in &reg.counters {
+            let name = format!("{prefix}_{}_total", sanitize(k));
+            self.counter(&name, &format!("simulator counter `{k}`"), v);
+        }
+        for (k, h) in &reg.hists {
+            let name = format!("{prefix}_{}", sanitize(k));
+            self.family(&name, &format!("simulator histogram `{k}` (ns)"), "summary");
+            if !h.is_empty() {
+                for (q, p) in [("0.5", 50.0), ("0.99", 99.0), ("0.999", 99.9)] {
+                    self.sample(&name, &[("quantile", q)], h.percentile(p) as f64);
+                }
+            }
+            let count = format!("{name}_count");
+            self.sample(&count, &[], h.count() as f64);
+        }
+        for (k, s) in &reg.series {
+            let base = format!("{prefix}_{}", sanitize(k));
+            let windows = s.windows.len();
+            if windows > 0 {
+                self.gauge(
+                    &format!("{base}_mean"),
+                    &format!("simulator gauge `{k}` mean over windows"),
+                    s.mean(),
+                );
+                self.gauge(
+                    &format!("{base}_max"),
+                    &format!("simulator gauge `{k}` max over windows"),
+                    s.max(),
+                );
+            }
+            self.gauge(
+                &format!("{base}_windows"),
+                &format!("simulator gauge `{k}` populated window count"),
+                windows as f64,
+            );
+        }
+    }
+
+    /// Finishes the document and returns the exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Maps an internal metric name onto the Prometheus charset: characters
+/// outside `[a-zA-Z0-9_:]` become `_` (so `campaign.cells` →
+/// `campaign_cells`), and a leading digit gains a `_` prefix.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphabetic() || c == '_' || c == ':' || (c.is_ascii_digit() && i > 0) {
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders a sample value the way Prometheus expects Go floats.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes `# HELP` text: `\` → `\\`, newline → `\n`.
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// The family a sample belongs to: summary/histogram child series drop
+/// their `_count` / `_sum` / `_bucket` suffix.
+fn family_of(sample_name: &str) -> &str {
+    for suffix in ["_count", "_sum", "_bucket"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    sample_name
+}
+
+/// Parses one `name{labels}` fragment; returns the name on success.
+fn check_series(series: &str, lineno: usize) -> Result<&str, String> {
+    let (name, labels) = match series.find('{') {
+        Some(open) => {
+            let rest = &series[open + 1..];
+            let close = rest
+                .rfind('}')
+                .ok_or_else(|| format!("line {lineno}: unclosed label brace"))?;
+            if !rest[close + 1..].is_empty() {
+                return Err(format!("line {lineno}: trailing text after labels"));
+            }
+            (&series[..open], &rest[..close])
+        }
+        None => (series, ""),
+    };
+    if !valid_metric_name(name) {
+        return Err(format!("line {lineno}: invalid metric name `{name}`"));
+    }
+    let mut rest = labels;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {lineno}: label without `=`"))?;
+        let lname = &rest[..eq];
+        if !valid_label_name(lname) {
+            return Err(format!("line {lineno}: invalid label name `{lname}`"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("line {lineno}: label value must be quoted"));
+        }
+        // Scan the quoted value honouring backslash escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in after.char_indices().skip(1) {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(format!("line {lineno}: bad escape `\\{c}` in label value"));
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
+        rest = &after[end + 1..];
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None if rest.is_empty() => {}
+            None => return Err(format!("line {lineno}: expected `,` between labels")),
+        }
+    }
+    Ok(name)
+}
+
+/// Validates a text-exposition document; `Err` names the first bad line.
+///
+/// Checks the 0.0.4 grammar: metric and label name charsets, quoted and
+/// escaped label values, float-parseable sample values (including
+/// `+Inf` / `-Inf` / `NaN`), optional integer timestamps, `# TYPE`
+/// declared at most once per family and before that family's samples,
+/// known type keywords, and no interleaving of families once another
+/// family's samples have started.
+pub fn lint(text: &str) -> Result<(), String> {
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    let mut current: Option<String> = None;
+    let mut closed: BTreeSet<String> = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without a metric name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without a type keyword"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: invalid metric name `{name}`"));
+                }
+                if !TYPES.contains(&kind) {
+                    return Err(format!("line {lineno}: unknown type `{kind}`"));
+                }
+                if !typed.insert(name.to_string()) {
+                    return Err(format!("line {lineno}: duplicate TYPE for `{name}`"));
+                }
+                if closed.contains(name) || current.as_deref() == Some(name) {
+                    return Err(format!(
+                        "line {lineno}: TYPE for `{name}` after its samples"
+                    ));
+                }
+            } else if let Some(decl) = comment.strip_prefix("HELP ") {
+                let name = decl.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: invalid metric name `{name}`"));
+                }
+            }
+            // Any other comment is free-form and legal.
+            continue;
+        }
+        // Sample line: series value [timestamp]. The value starts after
+        // the last space outside the label braces.
+        let series_end = match line.rfind('}') {
+            Some(close) => close + 1,
+            None => line
+                .find(' ')
+                .ok_or_else(|| format!("line {lineno}: sample line without a value"))?,
+        };
+        let series = &line[..series_end];
+        let tail = line[series_end..].trim_start();
+        let mut fields = tail.split_whitespace();
+        let value = fields
+            .next()
+            .ok_or_else(|| format!("line {lineno}: sample line without a value"))?;
+        if !matches!(value, "+Inf" | "-Inf" | "NaN") && value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: unparseable value `{value}`"));
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {lineno}: unparseable timestamp `{ts}`"));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {lineno}: trailing fields after timestamp"));
+        }
+        let name = check_series(series, lineno)?;
+        let family = family_of(name).to_string();
+        if current.as_deref() != Some(&family) {
+            if let Some(prev) = current.take() {
+                closed.insert(prev);
+            }
+            if closed.contains(&family) {
+                return Err(format!(
+                    "line {lineno}: family `{family}` interleaved with other families"
+                ));
+            }
+            current = Some(family);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_lints_round_trip() {
+        let mut reg = MetricsRegistry::default();
+        reg.count("campaign.cells", 32);
+        reg.record("mem.lat_ns", 250);
+        reg.record("mem.lat_ns", 900);
+        reg.gauge("mem.util", 1_000, 10, 0.5);
+
+        let mut p = PromText::new();
+        p.counter("melody_jobs_accepted_total", "jobs accepted", 3);
+        p.gauge_with(
+            "melody_queue_depth",
+            "queued jobs per client",
+            &[("client", "alice")],
+            2.0,
+        );
+        p.registry("melody_sim", &reg);
+        let text = p.finish();
+
+        lint(&text).expect("rendered exposition lints clean");
+        assert!(text.contains("# TYPE melody_jobs_accepted_total counter"));
+        assert!(text.contains("melody_jobs_accepted_total 3"));
+        assert!(text.contains("melody_queue_depth{client=\"alice\"} 2"));
+        assert!(text.contains("melody_sim_campaign_cells_total 32"));
+        assert!(text.contains("melody_sim_mem_lat_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("melody_sim_mem_lat_ns_count 2"));
+        assert!(text.contains("melody_sim_mem_util_mean 0.5"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_count_only() {
+        // The n/a convention: an empty histogram must not fabricate
+        // quantile samples, only an honest zero count.
+        let mut reg = MetricsRegistry::default();
+        reg.hists
+            .insert("empty.h".into(), melody_stats::LatencyHistogram::new());
+        let mut p = PromText::new();
+        p.registry("m", &reg);
+        let text = p.finish();
+        lint(&text).expect("lints clean");
+        assert!(
+            !text.contains("quantile"),
+            "no fabricated quantiles:\n{text}"
+        );
+        assert!(text.contains("m_empty_h_count 0"));
+    }
+
+    #[test]
+    fn family_header_emitted_once() {
+        let mut p = PromText::new();
+        p.gauge_with("g", "per-client", &[("client", "a")], 1.0);
+        p.gauge_with("g", "per-client", &[("client", "b")], 2.0);
+        let text = p.finish();
+        assert_eq!(text.matches("# TYPE g gauge").count(), 1);
+        lint(&text).expect("lints clean");
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut p = PromText::new();
+        p.gauge_with("g", "h", &[("client", "a\"b\\c\nd")], 1.0);
+        let text = p.finish();
+        assert!(text.contains(r#"client="a\"b\\c\nd""#), "{text}");
+        lint(&text).expect("escaped labels lint clean");
+    }
+
+    #[test]
+    fn sanitize_maps_to_charset() {
+        assert_eq!(sanitize("campaign.cells"), "campaign_cells");
+        assert_eq!(sanitize("mem.lat-ns"), "mem_lat_ns");
+        assert_eq!(sanitize("605.mcf"), "_605_mcf");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn lint_rejects_malformed_documents() {
+        let cases: &[(&str, &str)] = &[
+            ("9bad_name 1\n", "invalid metric name"),
+            ("ok{9lab=\"x\"} 1\n", "invalid label name"),
+            ("ok{l=unquoted} 1\n", "must be quoted"),
+            ("ok{l=\"open} 1\n", "unterminated"),
+            ("ok notanumber\n", "unparseable value"),
+            ("# TYPE ok widget\nok 1\n", "unknown type"),
+            (
+                "# TYPE ok counter\n# TYPE ok counter\nok 1\n",
+                "duplicate TYPE",
+            ),
+            ("ok 1\n# TYPE ok counter\nok 2\n", "after its samples"),
+            ("a 1\nb 1\na 2\n", "interleaved"),
+        ];
+        for (doc, needle) in cases {
+            let err = lint(doc).expect_err(doc);
+            assert!(err.contains(needle), "doc {doc:?} gave: {err}");
+        }
+    }
+
+    #[test]
+    fn lint_accepts_inf_nan_and_timestamps() {
+        lint("a +Inf\nb -Inf\nc NaN\nd 1.5 1712345678000\n").expect("valid");
+    }
+}

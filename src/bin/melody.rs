@@ -10,18 +10,28 @@
 //!            [--platform NAME] [--json] [--out PATH] [--windows N]
 //! melody cpmu <device> [--accesses N] # white-box component attribution
 //! melody campaign <spec.json> [--shard i/N] [--journal PATH] [--resume]
-//!                 [--topology T] [--json]
+//!                 [--topology T] [--json] [--progress]
 //! melody degraded [--scale S] [--journal PATH] [--resume] [--limit N] [--json]
 //! melody trace <device> [--out PATH] [--workloads N] [--refs N]
 //! melody diff <a.json> <b.json> [--rel-tol X] [--abs-tol X] [--json]
 //! melody report <run.json> [--out PATH]
 //! melody serve [--port N] [--state-dir DIR] [--queue-depth N]
 //!              [--admission-limit N] [--deadline-ms N] [--max-attempts N]
+//!              [--log text|json]
 //! melody submit <spec.json> [--server HOST:PORT] [--client NAME]
-//!               [--deadline-ms N] [--retries N] [--wait] [--json]
-//! melody status [job-id] [--server HOST:PORT] [--result] [--wait] [--json]
+//!               [--deadline-ms N] [--retries N] [--wait] [--poll-ms N] [--json]
+//! melody status [job-id] [--server HOST:PORT] [--result] [--wait] [--watch]
+//!               [--poll-ms N] [--json]
 //! melody drain [--server HOST:PORT]
 //! ```
+//!
+//! Observability: `--progress` on `campaign`/`run` prints a stderr
+//! heartbeat (cells done/total, resolution mix, moving-rate ETA —
+//! stdout stays byte-identical); a running server exposes Prometheus
+//! text exposition at `GET /metrics` and leveled structured logs via
+//! `serve --log json`; `status --watch` follows jobs live, and `--wait`
+//! polls with capped backoff starting from `--poll-ms`. See
+//! TELEMETRY.md "Live metrics and progress".
 //!
 //! Devices: local, numa, cxl-a, cxl-b, cxl-c, cxl-d, cxl-a+numa, ...,
 //! cxl-d-x2. Platforms: spr2s, emr2s, emr2s-prime, skx2s, skx8s.
@@ -62,6 +72,10 @@
 //! under optional tolerances and exits nonzero on divergence — the CI
 //! regression gate. `melody report` renders a document into a
 //! self-contained static HTML page with inline SVG charts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use melody::prelude::*;
 use melody_mem::{CpmuDevice, FaultConfig};
@@ -261,6 +275,82 @@ fn finish_telemetry() {
     if !c.profile.is_empty() {
         eprint!("{}", c.profile.render());
     }
+}
+
+/// RAII guard for the `--progress` stderr heartbeat thread: dropping it
+/// stops the thread and, when a cell sink is attached (campaigns),
+/// prints the final progress line so short runs still report once.
+struct HeartbeatGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    sink: Option<Arc<Progress>>,
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        if let Some(sink) = &self.sink {
+            eprintln!("progress: {}", sink.snapshot().render());
+        }
+    }
+}
+
+/// Spawns the `--progress` heartbeat: every `period` it re-renders the
+/// sink's snapshot (or, with no sink, the elapsed wall clock alone —
+/// single `run` invocations have no cell grid) and prints the line to
+/// stderr when it changed, so a stalled run stays quiet. All output is
+/// stderr: comparable stdout is untouched.
+fn spawn_heartbeat(sink: Option<Arc<Progress>>, period: Duration) -> HeartbeatGuard {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread_sink = sink.clone();
+    let started = std::time::Instant::now();
+    let handle = std::thread::spawn(move || {
+        let mut last = String::new();
+        while !stop2.load(Ordering::Relaxed) {
+            let line = match &thread_sink {
+                Some(p) => {
+                    let s = p.snapshot();
+                    // Quiet until begin() sizes the run.
+                    if s.total == 0 {
+                        String::new()
+                    } else {
+                        s.render()
+                    }
+                }
+                None => format!("elapsed {}s", started.elapsed().as_secs()),
+            };
+            if !line.is_empty() && line != last {
+                eprintln!("progress: {line}");
+                last = line;
+            }
+            // Sleep in short steps so drop() joins promptly.
+            let mut slept = Duration::ZERO;
+            while slept < period && !stop2.load(Ordering::Relaxed) {
+                let step = (period - slept).min(Duration::from_millis(25));
+                std::thread::sleep(step);
+                slept += step;
+            }
+        }
+    });
+    HeartbeatGuard {
+        stop,
+        handle: Some(handle),
+        sink,
+    }
+}
+
+/// Consumes the `--progress` flag shared by `campaign` and `run`,
+/// arming the process-wide heartbeat period (the flag is a boolean;
+/// the period is fixed at 500 ms).
+fn progress_requested(args: &[String]) -> bool {
+    if args.iter().any(|a| a == "--progress") {
+        melody::progress::set_heartbeat_ms(500);
+    }
+    melody::progress::heartbeat_ms().is_some()
 }
 
 fn main() {
@@ -483,6 +573,12 @@ fn cmd_run(args: &[String]) {
         mem_refs: flag_u64(args, "--refs", 30_000),
         ..Default::default()
     };
+    // A single run has no cell grid, so `--progress` reports elapsed
+    // wall clock only (no ETA — the n/a convention, not a guess).
+    let _heartbeat = progress_requested(args).then(|| {
+        let ms = melody::progress::heartbeat_ms().unwrap_or(500);
+        spawn_heartbeat(None, Duration::from_millis(ms))
+    });
     let local = melody::campaign::local_for_platform(&platform);
     if args.iter().any(|a| a == "--json") {
         run_json(args, &platform, &local, &spec, &w, &opts);
@@ -783,7 +879,15 @@ fn cmd_campaign(args: &[String]) {
         }
     };
     warn_torn_journal(&journal, resume);
-    let policy = melody::exec::CellPolicy::default();
+    let mut policy = melody::exec::CellPolicy::default();
+    let heartbeat = if progress_requested(args) {
+        let sink = Arc::new(Progress::default());
+        policy = policy.with_progress(Arc::clone(&sink));
+        let ms = melody::progress::heartbeat_ms().unwrap_or(500);
+        Some(spawn_heartbeat(Some(sink), Duration::from_millis(ms)))
+    } else {
+        None
+    };
     let run = melody::cache::with_global(|cache| {
         run_campaign(&spec, shard, &mut journal, cache, &policy)
     })
@@ -791,6 +895,9 @@ fn cmd_campaign(args: &[String]) {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    // Stop the heartbeat (printing its final line) before the stats
+    // render so the stderr stream reads in order.
+    drop(heartbeat);
     // Resolution provenance differs between warm/cold/resumed runs, so
     // it goes to stderr; stdout stays byte-comparable.
     eprintln!("{}", run.stats.render());
@@ -1031,6 +1138,12 @@ fn cmd_serve(args: &[String], no_cache: bool) {
         cfg.default_deadline_ms = Some(ms.parse().unwrap_or_else(|_| usage()));
     }
     cfg.max_attempts = flag_u64(args, "--max-attempts", u64::from(cfg.max_attempts)) as u32;
+    if let Some(fmt) = flag(args, "--log") {
+        match melody::server::log::LogFormat::parse(&fmt) {
+            Some(f) => melody::server::log::set_format(f),
+            None => usage(),
+        }
+    }
     // The server owns a private cache handle: the process-global one is
     // held locked for a whole campaign, which would block health and
     // status queries while a job runs.
@@ -1119,14 +1232,21 @@ fn cmd_submit(args: &[String]) {
 }
 
 /// Waits for a job and streams its result to stdout. Exits 1 when the
-/// job failed or was interrupted, 2 on client errors.
+/// job failed or was interrupted, 2 on client errors. The poll sleep
+/// starts at `--poll-ms` and backs off (doubling, capped at 5 s) while
+/// the job's state is unchanged, snapping back when it moves.
 fn wait_and_print_result(server: &str, id: &str, args: &[String]) {
     use melody::server::api::JobStatus;
-    use melody::server::client;
+    use melody::server::client::{self, RetrySchedule};
 
-    let poll = std::time::Duration::from_millis(flag_u64(args, "--poll-ms", 200));
-    let timeout = std::time::Duration::from_secs(flag_u64(args, "--timeout-s", 600));
-    let view = client::wait(server, id, poll, timeout).unwrap_or_else(|e| {
+    let poll = Duration::from_millis(flag_u64(args, "--poll-ms", 200));
+    let timeout = Duration::from_secs(flag_u64(args, "--timeout-s", 600));
+    let schedule = RetrySchedule {
+        max_retries: 0,
+        base: poll,
+        cap: poll.max(Duration::from_secs(5)),
+    };
+    let view = client::wait_with_backoff(server, id, &schedule, timeout).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -1156,16 +1276,107 @@ fn wait_and_print_result(server: &str, id: &str, args: &[String]) {
     }
 }
 
+/// One human status line for a job, shared by `status` and `--watch`:
+/// the lifecycle line, plus live progress and per-job result-cache
+/// accounting when the server reports them.
+fn status_line(view: &melody::server::api::JobView) -> String {
+    let mut line = format!(
+        "{} [{}] {}: {} — {}/{} cells journaled",
+        view.id,
+        view.client,
+        view.campaign,
+        view.status.label(),
+        view.cells_journaled,
+        view.total_cells
+    );
+    if let Some(p) = &view.progress {
+        line.push_str(&format!(" — {}", p.render()));
+    }
+    if let Some(stats) = &view.stats {
+        line.push_str(&format!(" ({})", stats.render()));
+    }
+    if let Some(cache) = &view.cache {
+        line.push_str(&format!(" ({})", cache.render()));
+    }
+    if let Some(err) = &view.error {
+        line.push_str(&format!(" — {err}"));
+    }
+    line
+}
+
+/// `melody status --watch`: live-refreshing job view. With a job id it
+/// follows that job; without one it follows every job the server
+/// knows. Returns once everything being watched has finished (or was
+/// interrupted). On a terminal the block redraws in place; on a pipe
+/// each changed line prints once, so captured logs read as a monotonic
+/// progress history.
+fn watch_status(server: &str, id: Option<&str>, poll: Duration) {
+    use melody::server::api::JobStatus;
+    use melody::server::client;
+    use std::io::{IsTerminal as _, Write as _};
+
+    let tty = std::io::stdout().is_terminal();
+    let mut prev_lines = 0usize;
+    let mut last_block = String::new();
+    loop {
+        let views = match id {
+            Some(id) => client::job_status(server, id).map(|v| vec![v]),
+            None => client::list_jobs(server),
+        }
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let mut lines: Vec<String> = views.iter().map(status_line).collect();
+        if lines.is_empty() {
+            lines.push("no jobs".to_string());
+        }
+        let block = lines.join("\n");
+        let mut out = std::io::stdout();
+        if tty {
+            if prev_lines > 0 {
+                // Cursor up over the previous block; each line is
+                // cleared before being rewritten.
+                let _ = write!(out, "\x1b[{prev_lines}A");
+            }
+            for line in &lines {
+                let _ = writeln!(out, "\x1b[2K{line}");
+            }
+            prev_lines = lines.len();
+        } else if block != last_block {
+            for line in &lines {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        let _ = out.flush();
+        last_block = block;
+        let all_finished = views
+            .iter()
+            .all(|v| v.status.is_finished() || v.status == JobStatus::Interrupted);
+        if all_finished {
+            return;
+        }
+        std::thread::sleep(poll);
+    }
+}
+
 /// `melody status [job-id]`: without an id, prints the server health
 /// overview; with one, that job's status (`--json` for the machine
 /// form, `--result` for the finished report bytes, `--wait` to poll
-/// until it finishes). Unreachable servers, malformed responses and
-/// unknown job ids exit 2 with a clear message.
+/// until it finishes, `--watch` for a live-refreshing view).
+/// Unreachable servers, malformed responses and unknown job ids exit 2
+/// with a clear message.
 fn cmd_status(args: &[String]) {
     use melody::server::client;
 
     let server = server_flag(args);
-    let Some(id) = positional(args, CLIENT_VALUE_FLAGS) else {
+    let id = positional(args, CLIENT_VALUE_FLAGS);
+    if args.iter().any(|a| a == "--watch") {
+        let poll = Duration::from_millis(flag_u64(args, "--poll-ms", 500));
+        watch_status(&server, id.as_deref(), poll);
+        return;
+    }
+    let Some(id) = id else {
         let health = client::health(&server).unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
@@ -1189,6 +1400,10 @@ fn cmd_status(args: &[String]) {
                 "  submissions: {} accepted, {} busy-rejected, {} admission-rejected",
                 health.accepted, health.rejected_busy, health.rejected_admission
             );
+            println!("  uptime: {}s", health.uptime_ms / 1_000);
+            if let Some(p) = &health.progress {
+                println!("  running job: {}", p.render());
+            }
             if let Some(cache) = health.cache {
                 println!("  {}", cache.render());
             }
@@ -1221,22 +1436,7 @@ fn cmd_status(args: &[String]) {
     if args.iter().any(|a| a == "--json") {
         println!("{}", serde_json::to_string(&view).expect("view serializes"));
     } else {
-        let mut line = format!(
-            "{} [{}] {}: {} — {}/{} cells journaled",
-            view.id,
-            view.client,
-            view.campaign,
-            view.status.label(),
-            view.cells_journaled,
-            view.total_cells
-        );
-        if let Some(stats) = &view.stats {
-            line.push_str(&format!(" ({})", stats.render()));
-        }
-        if let Some(err) = &view.error {
-            line.push_str(&format!(" — {err}"));
-        }
-        println!("{line}");
+        println!("{}", status_line(&view));
     }
 }
 

@@ -643,6 +643,9 @@ pub fn run_campaign(
         owned: owned.len(),
         ..Default::default()
     };
+    if let Some(p) = &policy.progress {
+        p.begin(owned.len());
+    }
 
     // Pass 1 (serial): resolve journal and cache hits.
     let mut slots: Vec<Option<PairOutcome>> = Vec::with_capacity(owned.len());
@@ -664,6 +667,13 @@ pub fn run_campaign(
         match restored.and_then(|json| serde_json::from_str::<PairOutcome>(&json).ok()) {
             Some(o) => {
                 slots.push(Some(o));
+                if let Some(p) = &policy.progress {
+                    p.tick(if from_journal {
+                        crate::progress::Resolution::Journal
+                    } else {
+                        crate::progress::Resolution::Cache
+                    });
+                }
                 if from_journal {
                     stats.journal_hits += 1;
                 } else {

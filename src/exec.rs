@@ -379,6 +379,11 @@ pub struct CellPolicy {
     /// every unclaimed cell comes back as a
     /// [`CellErrorKind::Cancelled`] error instead of running.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Live progress sink. When attached, [`run_cells`] ticks it once
+    /// per successfully simulated cell (failed and cancelled cells are
+    /// not "done"); observers snapshot it concurrently. `None` (the
+    /// default) costs one branch per cell and changes no output.
+    pub progress: Option<Arc<crate::progress::Progress>>,
 }
 
 impl Default for CellPolicy {
@@ -390,6 +395,7 @@ impl Default for CellPolicy {
             jitter_seed: 0x6d65_6c6f_6479, // "melody"
             deadline: None,
             cancel: None,
+            progress: None,
         }
     }
 }
@@ -410,6 +416,12 @@ impl CellPolicy {
     /// A policy observing `token` as a cooperative cancellation flag.
     pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// A policy reporting per-cell completions into `sink`.
+    pub fn with_progress(mut self, sink: Arc<crate::progress::Progress>) -> Self {
+        self.progress = Some(sink);
         self
     }
 
@@ -495,7 +507,13 @@ where
                             ));
                             continue;
                         }
-                        done.push((i, run_one_cell(scope, policy, i, item, label, f)));
+                        let r = run_one_cell(scope, policy, i, item, label, f);
+                        if r.is_ok() {
+                            if let Some(p) = &policy.progress {
+                                p.tick(crate::progress::Resolution::Simulated);
+                            }
+                        }
+                        done.push((i, r));
                     }
                     done
                 })

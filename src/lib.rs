@@ -43,6 +43,7 @@ pub mod campaign;
 pub mod exec;
 pub mod experiments;
 pub mod journal;
+pub mod progress;
 pub mod report;
 mod runner;
 pub mod server;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::exec::{CellError, CellErrorKind, CellPolicy, RetryStats};
     pub use crate::experiments::Scale;
     pub use crate::journal::Journal;
+    pub use crate::progress::{Progress, ProgressSnapshot};
     pub use crate::report::{Series, TableData};
     pub use crate::runner::{
         run_pair, run_population, run_population_par, run_population_resilient, run_workload,

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
 use crate::campaign::CampaignRunStats;
+use crate::progress::ProgressSnapshot;
 
 /// Default server address used by `melody serve`/`submit`/`status`.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7464";
@@ -98,6 +99,16 @@ pub struct JobView {
     /// Resolution accounting from the finished (or interrupted) run.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub stats: Option<CampaignRunStats>,
+    /// Live progress of a running job (cells done/total, resolution
+    /// counts, moving-rate ETA); after the run it holds the final
+    /// snapshot until the server restarts.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub progress: Option<ProgressSnapshot>,
+    /// Result-cache hits/misses/corrupt attributable to this job's run
+    /// (a delta of the server cache's counters across the run; the
+    /// scheduler is serial, so attribution is exact).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cache: Option<CacheStats>,
     /// Failure summary for [`JobStatus::Failed`] jobs.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
@@ -126,6 +137,12 @@ pub struct HealthReply {
     pub rejected_busy: u64,
     /// Submissions rejected with `422` admission errors this lifetime.
     pub rejected_admission: u64,
+    /// Milliseconds since this server process started.
+    #[serde(default)]
+    pub uptime_ms: u64,
+    /// Progress of the job currently mid-run, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub progress: Option<ProgressSnapshot>,
     /// Result-cache accounting for this process lifetime, when a cache
     /// is attached.
     #[serde(default, skip_serializing_if = "Option::is_none")]

@@ -310,14 +310,41 @@ pub fn job_result(server: &str, id: &str) -> Result<Vec<u8>, ClientError> {
 /// [`JobStatus::Interrupted`] (the caller decides whether to restart
 /// the server). Transient connection failures are tolerated: the
 /// server may be mid-restart, which is precisely when waiting matters.
+///
+/// The sleep between polls is fixed at `poll`; callers that want the
+/// sleep to grow while the job sits unchanged use
+/// [`wait_with_backoff`] (this is that function with `cap == base`).
 pub fn wait(
     server: &str,
     id: &str,
     poll: Duration,
     timeout: Duration,
 ) -> Result<JobView, ClientError> {
+    let schedule = RetrySchedule {
+        max_retries: 0,
+        base: poll,
+        cap: poll,
+    };
+    wait_with_backoff(server, id, &schedule, timeout)
+}
+
+/// [`wait`] with capped exponential poll backoff: the sleep starts at
+/// `schedule.base` and doubles up to `schedule.cap` while the job's
+/// observable state (status, journaled cells, progress) is unchanged,
+/// snapping back to the base the moment anything moves. Long quiet
+/// waits stop hammering the server; active jobs stay responsive.
+pub fn wait_with_backoff(
+    server: &str,
+    id: &str,
+    schedule: &RetrySchedule,
+    timeout: Duration,
+) -> Result<JobView, ClientError> {
     let start = Instant::now();
     let mut last: Option<ClientError> = None;
+    // (status, cells journaled, progress ticks) — any movement resets
+    // the backoff so a briskly-running job is polled at the base rate.
+    let mut fingerprint: Option<(JobStatus, usize, usize)> = None;
+    let mut unchanged = 0u32;
     loop {
         if start.elapsed() >= timeout {
             let detail = match last {
@@ -331,12 +358,26 @@ pub fn wait(
                 if view.status.is_finished() || view.status == JobStatus::Interrupted {
                     return Ok(view);
                 }
+                let fp = (
+                    view.status,
+                    view.cells_journaled,
+                    view.progress.as_ref().map_or(0, |p| p.done),
+                );
+                if fingerprint == Some(fp) {
+                    unchanged = unchanged.saturating_add(1);
+                } else {
+                    fingerprint = Some(fp);
+                    unchanged = 0;
+                }
                 last = None;
             }
-            Err(e @ ClientError::Unreachable(_)) => last = Some(e),
+            Err(e @ ClientError::Unreachable(_)) => {
+                last = Some(e);
+                unchanged = unchanged.saturating_add(1);
+            }
             Err(e) => return Err(e),
         }
-        std::thread::sleep(poll);
+        std::thread::sleep(backoff_delay(schedule, unchanged + 1, None));
     }
 }
 
@@ -345,6 +386,18 @@ pub fn drain(server: &str) -> Result<(), ClientError> {
     let resp = request(server, "POST", "/v1/drain", &[], &[])?;
     if resp.status == 200 {
         Ok(())
+    } else {
+        Err(decode_error(&resp))
+    }
+}
+
+/// Fetches the Prometheus text exposition from `GET /metrics` (the
+/// raw document, ready to lint or print).
+pub fn metrics(server: &str) -> Result<String, ClientError> {
+    let resp = request(server, "GET", "/metrics", &[], &[])?;
+    if resp.status == 200 {
+        String::from_utf8(resp.body)
+            .map_err(|_| ClientError::Malformed("non-UTF-8 metrics body".to_string()))
     } else {
         Err(decode_error(&resp))
     }

@@ -67,6 +67,17 @@ impl Response {
         }
     }
 
+    /// A plain-text response with an explicit content type (e.g. the
+    /// Prometheus exposition served from `GET /metrics`).
+    pub fn text(status: u16, body: String, content_type: &'static str) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type,
+        }
+    }
+
     /// Adds a header (e.g. `Retry-After`).
     pub fn with_header(mut self, name: &str, value: String) -> Self {
         self.headers.push((name.to_string(), value));

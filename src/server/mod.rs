@@ -40,6 +40,7 @@ pub mod admission;
 pub mod api;
 pub mod client;
 pub mod http;
+pub mod log;
 pub mod queue;
 pub mod signal;
 
@@ -50,17 +51,19 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheStats, ResultCache};
 use crate::campaign::{run_campaign, CampaignRunStats, CampaignSpec, Shard};
 use crate::exec::CellPolicy;
 use crate::journal::Journal;
+use crate::progress::Progress;
 
 use api::{ApiError, HealthReply, JobStatus, JobView, SubmitReply};
 use http::{Request, Response};
+use log::Level;
 use queue::ClientQueues;
 
 pub use api::DEFAULT_ADDR;
@@ -130,6 +133,10 @@ struct JobRecord {
     status: JobStatus,
     #[serde(default)]
     stats: Option<CampaignRunStats>,
+    /// Cache hits/misses/corrupt attributable to this job's run (a
+    /// delta of the server cache's counters across the serial run).
+    #[serde(default)]
+    cache: Option<CacheStats>,
     #[serde(default)]
     error: Option<String>,
     spec: CampaignSpec,
@@ -154,6 +161,13 @@ struct ServerState {
     accepted: AtomicU64,
     rejected_busy: AtomicU64,
     rejected_admission: AtomicU64,
+    /// Process start, for the `/metrics` uptime gauge.
+    started: Instant,
+    /// Live progress sinks by job id. The scheduler inserts a sink
+    /// before running a job and leaves it in place afterwards (the
+    /// final snapshot keeps serving status queries); lock order when
+    /// both are needed is `jobs` then `progress`.
+    progress: Mutex<BTreeMap<String, Arc<Progress>>>,
 }
 
 impl ServerState {
@@ -174,8 +188,16 @@ impl ServerState {
     }
 
     fn begin_drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
+        let already = self.draining.swap(true, Ordering::SeqCst);
         self.cancel.store(true, Ordering::SeqCst);
+        if !already {
+            log::log(
+                Level::Info,
+                "drain.begin",
+                "drain requested; finishing in-flight cells",
+                &[],
+            );
+        }
     }
 
     /// Atomic write via temp + rename (same discipline as the cache).
@@ -223,6 +245,13 @@ impl ServerState {
             cells_journaled: self.journaled_cells(&record.id),
             deadline_ms: record.deadline_ms,
             stats: record.stats,
+            progress: self
+                .progress
+                .lock()
+                .expect("progress lock")
+                .get(&record.id)
+                .map(|p| p.snapshot()),
+            cache: record.cache,
             error: record.error.clone(),
         }
     }
@@ -295,6 +324,8 @@ impl Server {
             accepted: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             rejected_admission: AtomicU64::new(0),
+            started: Instant::now(),
+            progress: Mutex::new(BTreeMap::new()),
             cfg,
         });
         std::fs::create_dir_all(state.jobs_dir())?;
@@ -339,9 +370,11 @@ fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
             Err(e) => {
                 // A foreign or half-schema file must not brick the
                 // server; skip it loudly.
-                eprintln!(
-                    "melody-serve: warning: skipping unreadable job file {}: {e:?}",
-                    path.display()
+                log::log(
+                    Level::Warn,
+                    "recover.skip",
+                    &format!("skipping unreadable job file {}: {e:?}", path.display()),
+                    &[("path", path.display().to_string())],
                 );
             }
         }
@@ -370,7 +403,12 @@ fn recover_jobs(state: &Arc<ServerState>) -> io::Result<()> {
         }
     }
     if requeued > 0 {
-        eprintln!("melody-serve: recovered {requeued} unfinished job(s) from the journal");
+        log::log(
+            Level::Info,
+            "recover",
+            &format!("recovered {requeued} unfinished job(s) from the journal"),
+            &[("jobs", requeued.to_string())],
+        );
     }
     Ok(())
 }
@@ -426,9 +464,28 @@ fn execute_job(state: &Arc<ServerState>, id: &str) {
     let Some(mut record) = record else { return };
     record.status = JobStatus::Running;
     if let Err(e) = state.store_job(&record) {
-        eprintln!("melody-serve: cannot persist {id}: {e}");
+        log::log(
+            Level::Error,
+            "job.persist",
+            &format!("cannot persist {id}: {e}"),
+            &[("job", id.to_string())],
+        );
         return;
     }
+    log::log(
+        Level::Info,
+        "job.start",
+        &format!(
+            "{id} started: {} ({} cells) for {}",
+            record.campaign, record.total_cells, record.client
+        ),
+        &[
+            ("job", id.to_string()),
+            ("client", record.client.clone()),
+            ("cells", record.total_cells.to_string()),
+        ],
+    );
+    let job_started = Instant::now();
     let journal_path = state.journal_path(id);
     let mut journal = match Journal::open(&journal_path) {
         Ok(j) => j,
@@ -440,15 +497,31 @@ fn execute_job(state: &Arc<ServerState>, id: &str) {
         }
     };
     if journal.torn_lines() > 0 {
-        eprintln!(
-            "melody-serve: warning: dropped {} torn trailing record(s) from {} (those cells re-run)",
-            journal.torn_lines(),
-            journal_path.display()
+        log::log(
+            Level::Warn,
+            "journal.torn",
+            &format!(
+                "dropped {} torn trailing record(s) from {} (those cells re-run)",
+                journal.torn_lines(),
+                journal_path.display()
+            ),
+            &[("job", id.to_string())],
         );
     }
+    // Attach a live progress sink so status queries and `/metrics`
+    // scrapes can watch the run; it stays in the map afterwards as the
+    // final snapshot.
+    let sink = Arc::new(Progress::default());
+    state
+        .progress
+        .lock()
+        .expect("progress lock")
+        .insert(id.to_string(), Arc::clone(&sink));
+    let cache_before = state.cache.as_ref().map(|c| c.stats());
     let mut policy = CellPolicy::default()
         .with_attempts(state.cfg.max_attempts)
-        .with_cancel(Arc::clone(&state.cancel));
+        .with_cancel(Arc::clone(&state.cancel))
+        .with_progress(sink);
     if let Some(ms) = record.deadline_ms.or(state.cfg.default_deadline_ms) {
         policy = policy.with_deadline(Duration::from_millis(ms));
     }
@@ -465,6 +538,14 @@ fn execute_job(state: &Arc<ServerState>, id: &str) {
         }
         Ok(run) => {
             record.stats = Some(run.stats);
+            record.cache = state.cache.as_ref().zip(cache_before).map(|(c, before)| {
+                let after = c.stats();
+                CacheStats {
+                    hits: after.hits - before.hits,
+                    misses: after.misses - before.misses,
+                    corrupt: after.corrupt - before.corrupt,
+                }
+            });
             if run.stats.cancelled > 0 {
                 // Drained mid-run: completed cells are journaled; the
                 // job re-queues on the next start and finishes from
@@ -494,15 +575,33 @@ fn execute_job(state: &Arc<ServerState>, id: &str) {
                     }
                 }
             }
-            eprintln!(
-                "melody-serve: {id} {}: {}",
-                record.status.label(),
-                run.stats.render()
+            let duration_ms = job_started.elapsed().as_millis();
+            log::log(
+                match record.status {
+                    JobStatus::Failed => Level::Error,
+                    _ => Level::Info,
+                },
+                match record.status {
+                    JobStatus::Failed => "job.fail",
+                    JobStatus::Interrupted => "job.interrupt",
+                    _ => "job.finish",
+                },
+                &format!("{id} {}: {}", record.status.label(), run.stats.render()),
+                &[
+                    ("job", id.to_string()),
+                    ("status", record.status.label().to_string()),
+                    ("duration_ms", duration_ms.to_string()),
+                ],
             );
         }
     }
     if let Err(e) = state.store_job(&record) {
-        eprintln!("melody-serve: cannot persist {id}: {e}");
+        log::log(
+            Level::Error,
+            "job.persist",
+            &format!("cannot persist {id}: {e}"),
+            &[("job", id.to_string())],
+        );
     }
 }
 
@@ -541,6 +640,7 @@ fn ok_json(status: u16, value: &impl Serialize) -> Response {
 fn route(state: &Arc<ServerState>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/healthz") => health(state),
+        ("GET", "/metrics") => metrics(state),
         ("POST", "/v1/campaigns") => submit(state, req),
         ("GET", "/v1/jobs") => list_jobs(state),
         ("POST", "/v1/drain") => {
@@ -564,13 +664,21 @@ fn route(state: &Arc<ServerState>, req: &Request) -> Response {
 }
 
 fn health(state: &Arc<ServerState>) -> Response {
-    let (done, failed, interrupted) = {
+    let (done, failed, interrupted, progress) = {
         let jobs = state.jobs.lock().expect("jobs registry lock");
         let count = |s: JobStatus| jobs.values().filter(|r| r.status == s).count();
+        let progress = {
+            let sinks = state.progress.lock().expect("progress lock");
+            jobs.values()
+                .find(|r| r.status == JobStatus::Running)
+                .and_then(|r| sinks.get(&r.id))
+                .map(|p| p.snapshot())
+        };
         (
             count(JobStatus::Done),
             count(JobStatus::Failed),
             count(JobStatus::Interrupted),
+            progress,
         )
     };
     let (queued, running) = {
@@ -591,9 +699,165 @@ fn health(state: &Arc<ServerState>) -> Response {
             accepted: state.accepted.load(Ordering::Relaxed),
             rejected_busy: state.rejected_busy.load(Ordering::Relaxed),
             rejected_admission: state.rejected_admission.load(Ordering::Relaxed),
+            uptime_ms: state
+                .started
+                .elapsed()
+                .as_millis()
+                .min(u128::from(u64::MAX)) as u64,
+            progress,
             cache: state.cache.as_ref().map(|c| c.stats()),
         },
     )
+}
+
+/// `GET /metrics`: the server's operational state as Prometheus text
+/// exposition (format 0.0.4). Server-level series come first in a fixed
+/// order; when process telemetry is enabled (`--telemetry metrics`),
+/// the global sink's simulator registry follows under `melody_sim_*`.
+fn metrics(state: &Arc<ServerState>) -> Response {
+    use melody_telemetry::prom::{PromText, CONTENT_TYPE};
+    let mut p = PromText::new();
+    p.gauge(
+        "melody_uptime_seconds",
+        "seconds since this server process started",
+        state.started.elapsed().as_secs_f64(),
+    );
+    p.gauge(
+        "melody_draining",
+        "1 once a graceful drain has been requested",
+        f64::from(u8::from(state.draining.load(Ordering::SeqCst))),
+    );
+    // Jobs by status, and the campaign cells behind them. A job mid-run
+    // reports its live progress sink; finished jobs (including ones
+    // finished before a restart) derive the same numbers from their
+    // persisted stats, so the counters survive recovery.
+    let (by_status, cells) = {
+        let jobs = state.jobs.lock().expect("jobs registry lock");
+        let sinks = state.progress.lock().expect("progress lock");
+        let mut by_status = BTreeMap::new();
+        let mut cells = CellTotals::default();
+        for r in jobs.values() {
+            *by_status.entry(r.status.label()).or_insert(0u64) += 1;
+            cells.total += r.total_cells as u64;
+            if let Some(sink) = sinks.get(&r.id) {
+                let s = sink.snapshot();
+                cells.done += s.done as u64;
+                cells.journal += s.journal as u64;
+                cells.cache += s.cache as u64;
+                cells.simulated += s.simulated as u64;
+            } else if let Some(s) = r.stats {
+                let done = s.journal_hits + s.cache_hits + s.simulated;
+                cells.done += done as u64;
+                cells.journal += s.journal_hits as u64;
+                cells.cache += s.cache_hits as u64;
+                cells.simulated += s.simulated as u64;
+            }
+        }
+        (by_status, cells)
+    };
+    for status in ["queued", "running", "done", "failed", "interrupted"] {
+        p.gauge_with(
+            "melody_jobs",
+            "jobs by lifecycle status",
+            &[("status", status)],
+            by_status.get(status).copied().unwrap_or(0) as f64,
+        );
+    }
+    p.counter(
+        "melody_jobs_accepted_total",
+        "submissions accepted this process lifetime",
+        state.accepted.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "melody_jobs_rejected_busy_total",
+        "submissions rejected with 429 Busy",
+        state.rejected_busy.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "melody_jobs_rejected_admission_total",
+        "submissions rejected by admission control (422)",
+        state.rejected_admission.load(Ordering::Relaxed),
+    );
+    {
+        let q = state.queues.lock().expect("queue lock");
+        for (client, depth) in q.per_client_queued() {
+            p.gauge_with(
+                "melody_queue_depth",
+                "queued jobs per client (excludes the running job)",
+                &[("client", &client)],
+                depth as f64,
+            );
+        }
+        p.gauge(
+            "melody_queue_depth_limit",
+            "per-client in-flight bound before 429",
+            q.depth() as f64,
+        );
+    }
+    p.gauge(
+        "melody_cells",
+        "campaign cells across all known jobs",
+        cells.total as f64,
+    );
+    p.counter(
+        "melody_cells_done_total",
+        "campaign cells resolved (journal + cache + simulated)",
+        cells.done,
+    );
+    p.counter(
+        "melody_cells_journal_total",
+        "cells replayed from job journals",
+        cells.journal,
+    );
+    p.counter(
+        "melody_cells_cache_total",
+        "cells served from the shared result cache",
+        cells.cache,
+    );
+    p.counter(
+        "melody_cells_simulated_total",
+        "cells actually simulated",
+        cells.simulated,
+    );
+    let retry = crate::exec::retry_stats();
+    p.counter(
+        "melody_cell_retries_total",
+        "cell retry attempts across all sweeps",
+        retry.retries,
+    );
+    p.counter(
+        "melody_cell_deadlines_total",
+        "cells abandoned by the watchdog deadline",
+        retry.deadline_exceeded,
+    );
+    p.counter(
+        "melody_cells_cancelled_total",
+        "cells skipped by drain cancellation",
+        retry.cancelled,
+    );
+    if let Some(c) = state.cache.as_ref().map(|c| c.stats()) {
+        p.counter("melody_cache_hits_total", "result-cache hits", c.hits);
+        p.counter("melody_cache_misses_total", "result-cache misses", c.misses);
+        p.counter(
+            "melody_cache_corrupt_total",
+            "result-cache entries dropped as corrupt",
+            c.corrupt,
+        );
+    }
+    if melody_telemetry::metrics_on() {
+        melody_telemetry::with_sink_metrics(|reg| p.registry("melody_sim", reg));
+    }
+    Response::text(200, p.finish(), CONTENT_TYPE)
+}
+
+/// Cell totals aggregated across jobs for `/metrics`.
+#[derive(Default)]
+struct CellTotals {
+    total: u64,
+    done: u64,
+    journal: u64,
+    cache: u64,
+    simulated: u64,
 }
 
 fn valid_client_name(name: &str) -> bool {
@@ -694,6 +958,7 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
         deadline_ms,
         status: JobStatus::Queued,
         stats: None,
+        cache: None,
         error: None,
         spec,
     };
@@ -705,6 +970,20 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
         .expect("bound checked under the same lock");
     drop(queues);
     state.accepted.fetch_add(1, Ordering::Relaxed);
+    log::log(
+        Level::Info,
+        "job.submit",
+        &format!(
+            "{id} submitted by {client}: {} ({} cells, cost {}, position {position})",
+            record.campaign, record.total_cells, record.cost
+        ),
+        &[
+            ("job", id.clone()),
+            ("client", client.to_string()),
+            ("cells", record.total_cells.to_string()),
+            ("cost", record.cost.to_string()),
+        ],
+    );
     ok_json(
         202,
         &SubmitReply {

@@ -64,6 +64,17 @@ impl ClientQueues {
         self.running.is_some()
     }
 
+    /// Queued depth per client (excludes the running job), in
+    /// deterministic client-name order — feeds the `/metrics`
+    /// per-client queue-depth gauge, so two scrapes of the same state
+    /// render byte-identically.
+    pub fn per_client_queued(&self) -> Vec<(String, usize)> {
+        self.queues
+            .iter()
+            .map(|(client, q)| (client.clone(), q.len()))
+            .collect()
+    }
+
     /// Enqueues `job_id` for `client`. Returns the number of jobs ahead
     /// of it (its queue position across all clients), or — when the
     /// client is already at its bound — `Err` with the client's current
@@ -173,6 +184,21 @@ mod tests {
         assert_eq!(q.next_job(), None, "one job at a time");
         q.finish("j1");
         assert_eq!(q.next_job().as_deref(), Some("j2"));
+    }
+
+    #[test]
+    fn per_client_queued_is_deterministic_and_excludes_running() {
+        let mut q = ClientQueues::new(8);
+        q.try_enqueue("zeta", "z1").expect("enqueue");
+        q.try_enqueue("alpha", "a1").expect("enqueue");
+        q.try_enqueue("alpha", "a2").expect("enqueue");
+        assert_eq!(
+            q.per_client_queued(),
+            vec![("alpha".to_string(), 2), ("zeta".to_string(), 1)]
+        );
+        q.next_job();
+        let total: usize = q.per_client_queued().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, q.queued_total(), "running job is not queued");
     }
 
     #[test]

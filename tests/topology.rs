@@ -146,6 +146,83 @@ fn interleave_and_switch_bandwidth_bounds() {
     );
 }
 
+/// Multi-level switch cascades: a switch nested under another switch
+/// lowers recursively, and the aggregate bandwidth of the whole tree
+/// stays bounded by the *root* upstream port — the narrowest shared
+/// link on every path — even when the inner switch's own port is wider.
+#[test]
+fn switch_cascade_bounded_by_root_upstream() {
+    let bw = |spec: &DeviceSpec| {
+        let mut dev = spec.build(7);
+        probe::peak_bandwidth_gbps(dev.as_mut(), 1.0, 30_000, 128)
+    };
+    let root_upstream = 18.0;
+    let inner = DeviceSpec::Switch {
+        switch: SwitchConfig {
+            upstream_gbps: 40.0,
+            ..SwitchConfig::default()
+        },
+        granularity: 256,
+        parts: vec![presets::cxl_b(), presets::cxl_b()],
+    };
+    let cascade = DeviceSpec::Switch {
+        switch: SwitchConfig {
+            upstream_gbps: root_upstream,
+            ..SwitchConfig::default()
+        },
+        granularity: 256,
+        parts: vec![inner, presets::cxl_b()],
+    };
+    let cascaded = bw(&cascade);
+    assert!(
+        cascaded <= root_upstream * 1.05,
+        "cascade {cascaded} GB/s exceeds its {root_upstream} GB/s root upstream port"
+    );
+
+    // The second hop adds forwarding latency and a second credit
+    // domain: the cascade cannot beat a flat switch over the same
+    // three expanders behind the same root port.
+    let flat = bw(&DeviceSpec::Switch {
+        switch: SwitchConfig {
+            upstream_gbps: root_upstream,
+            ..SwitchConfig::default()
+        },
+        granularity: 256,
+        parts: vec![presets::cxl_b(), presets::cxl_b(), presets::cxl_b()],
+    });
+    assert!(
+        cascaded <= flat * 1.05,
+        "two-level cascade ({cascaded} GB/s) should not beat the flat switch ({flat} GB/s)"
+    );
+
+    // The declarative switch-under-switch spelling lowers to exactly
+    // the hand-built nested spec.
+    let lowered = parse_topology(
+        r#"{
+            "name": "cascade",
+            "nodes": [
+                {"id": "h", "kind": "host"},
+                {"id": "root", "kind": "switch", "upstream_gbps": 18.0},
+                {"id": "leaf-sw", "kind": "switch", "upstream_gbps": 40.0},
+                {"id": "e0", "kind": "expander", "device": "cxl-b"},
+                {"id": "e1", "kind": "expander", "device": "cxl-b"},
+                {"id": "e2", "kind": "expander", "device": "cxl-b"}
+            ],
+            "edges": [
+                {"from": "h", "to": "root"},
+                {"from": "root", "to": "leaf-sw"},
+                {"from": "root", "to": "e2"},
+                {"from": "leaf-sw", "to": "e0"},
+                {"from": "leaf-sw", "to": "e1"}
+            ]
+        }"#,
+    )
+    .validate()
+    .expect("nested switches are a valid topology")
+    .lower();
+    assert_eq!(lowered, cascade, "declarative cascade lowering diverged");
+}
+
 /// The degenerate one-expander topology lowers to exactly the plain
 /// preset spec: same canonical JSON, same built device behaviour.
 #[test]
