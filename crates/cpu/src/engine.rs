@@ -235,6 +235,10 @@ pub struct Core {
     cap_demand_ns: Vec<u64>,
     /// Dependent-load latencies (ns) observed in the open window.
     cap_dep_ns: Vec<u64>,
+    /// True when the device asked to observe every executed memory
+    /// reference (tiering hot/cold trackers), not just cache misses.
+    /// Cached once at construction so ordinary devices pay one branch.
+    tap: bool,
 }
 
 /// Snapshot taken at the start of a sampled measurement window.
@@ -346,6 +350,7 @@ impl Core {
             cap_demand_ns: Vec::new(),
             cap_dep_ns: Vec::new(),
             cfg,
+            tap: device.wants_slot_observations(),
             device,
         }
     }
@@ -834,6 +839,9 @@ impl Core {
         let line = addr / 64;
         self.counters.instructions += 1;
         self.settle();
+        if self.tap {
+            self.device.observe_slot(addr, false, self.t_ps);
+        }
 
         // Hardware prefetch hooks observe the demand stream first so they
         // can run ahead of it.
@@ -1001,6 +1009,9 @@ impl Core {
         let line = addr / 64;
         self.counters.instructions += 1;
         self.settle();
+        if self.tap {
+            self.device.observe_slot(addr, true, self.t_ps);
+        }
 
         // Already own the line: write hits the cache.
         if self.l1.mark_dirty(line) || self.l2.mark_dirty(line) {

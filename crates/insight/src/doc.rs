@@ -39,6 +39,11 @@ pub struct RunMeta {
     /// Fault regime applied to the target device (empty = none).
     #[serde(default)]
     pub faults: String,
+    /// Tiering policy wrapped around the target device (empty = none;
+    /// the inert `static` spelling lowers to empty so the document
+    /// stays byte-identical to a policy-free run).
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub policy: String,
 }
 
 /// Summary of one run (one side of the pair).

@@ -185,6 +185,34 @@ pub fn render_run_html(doc: &RunDoc) -> String {
         &[],
     ));
 
+    // Tiering section: only for runs with an adaptive policy wrapped
+    // around the target (policy-free documents render without it, so
+    // existing reports are byte-identical).
+    if !m.policy.is_empty() {
+        out.push_str("<h2>Tiering</h2>\n<table>\n");
+        out.push_str(&format!(
+            "<tr><td>policy</td><td>{}</td></tr>\n",
+            esc(&m.policy)
+        ));
+        let counter = |key: &str| doc.telemetry.counters.get(key).copied().unwrap_or(0);
+        let migrated = counter("tier.migrated_bytes");
+        out.push_str(&format!(
+            "<tr><td>pages migrated</td><td>{}</td></tr>\n\
+             <tr><td>bytes migrated</td><td>{:.1} MiB</td></tr>\n\
+             <tr><td>migration link occupancy</td><td>{:.1} &micro;s</td></tr>\n",
+            counter("tier.migrations_total"),
+            migrated as f64 / (1u64 << 20) as f64,
+            counter("tier.migration_stall_ns") as f64 / 1_000.0
+        ));
+        out.push_str("</table>\n");
+        if migrated == 0 {
+            out.push_str(
+                "<p class=\"quiet\">No pages moved (budget, guide, or hotness \
+                 threshold kept the tracker idle).</p>\n",
+            );
+        }
+    }
+
     // Anomaly table.
     out.push_str("<h2>Anomalies</h2>\n");
     if doc.anomalies.is_empty() {
@@ -316,6 +344,7 @@ mod tests {
                 seed: 42,
                 mem_refs: 30_000,
                 faults: "link-retrain".into(),
+                policy: String::new(),
             },
             slowdown: 0.42,
             breakdown: Breakdown {
@@ -381,6 +410,27 @@ mod tests {
     #[test]
     fn identical_documents_render_identical_bytes() {
         assert_eq!(render_run_html(&doc()), render_run_html(&doc()));
+    }
+
+    #[test]
+    fn tiering_section_renders_only_for_policy_runs() {
+        let plain = render_run_html(&doc());
+        assert!(
+            !plain.contains("<h2>Tiering</h2>"),
+            "policy-free reports carry no tiering section"
+        );
+        let mut d = doc();
+        d.meta.policy = "lru-hotness".into();
+        d.telemetry
+            .counters
+            .insert("tier.migrations_total".into(), 12);
+        d.telemetry
+            .counters
+            .insert("tier.migrated_bytes".into(), 12 * 4096);
+        let tiered = render_run_html(&d);
+        assert!(tiered.contains("<h2>Tiering</h2>"));
+        assert!(tiered.contains("lru-hotness"));
+        assert!(tiered.contains("<td>12</td>"), "migration count rendered");
     }
 
     #[test]

@@ -154,6 +154,25 @@ pub trait MemoryDevice {
     /// `access`. The default is a no-op for devices with no clocks of
     /// their own.
     fn fast_forward(&mut self, _now: SimTime) {}
+
+    /// True when this device wants [`MemoryDevice::observe_slot`] calls
+    /// for *every* executed memory reference, not just the cache misses
+    /// that reach [`MemoryDevice::access`]. The CPU engine caches this
+    /// answer once per run and taps its load/store stream only when it
+    /// is `true`, so ordinary devices pay nothing. Only the outermost
+    /// device of a composite is asked.
+    fn wants_slot_observations(&self) -> bool {
+        false
+    }
+
+    /// Observes one executed memory reference (load or store) at
+    /// simulated time `now`, *before* the cache hierarchy filters it.
+    /// Hot/cold page trackers ([`crate::TieredDevice`]) use this full
+    /// address stream for residency decisions; observation must never
+    /// change the timing of the observed reference itself. Called with
+    /// nondecreasing `now`, interleaved consistently with `access`
+    /// issue times. Default: ignore.
+    fn observe_slot(&mut self, _addr: u64, _is_store: bool, _now: SimTime) {}
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@ pub mod faults;
 mod imc;
 pub mod interleave;
 mod numa;
+pub mod policy;
 pub mod presets;
 pub mod probe;
 mod request;
@@ -54,6 +55,7 @@ mod spec;
 mod split;
 mod switch;
 mod telemetry_hooks;
+mod tiering;
 pub mod topology;
 
 pub use cpmu::{CpmuDevice, CpmuReport};
@@ -64,8 +66,10 @@ pub use faults::{FaultConfig, FaultSchedule, RasCounters};
 pub use imc::{ImcConfig, ImcDevice};
 pub use interleave::InterleavedDevice;
 pub use numa::{NumaHopConfig, NumaHopDevice};
+pub use policy::{GuideWindow, PolicyKind, TieringConfig, POLICIES};
 pub use request::{MemRequest, RequestKind};
 pub use spec::{AnalyticProfile, DeviceSpec, SPEC_SCHEMA_VERSION};
 pub use split::SplitDevice;
 pub use switch::{SwitchConfig, SwitchDevice};
+pub use tiering::{TierCounters, TieredDevice};
 pub use topology::{Fabric, TopoEdge, TopoNode, TopologySpec};

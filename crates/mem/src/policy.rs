@@ -1,0 +1,209 @@
+//! Tiering migration policies and their serialisable configuration.
+//!
+//! A [`TieringConfig`] describes how a [`crate::TieredDevice`] decides
+//! which pages to promote from the slow (CXL) tier into the fast (local
+//! DRAM) tier mid-run. Policies are named so CLIs and campaign specs can
+//! select them by keyword; `static` is special — it attaches no tiering
+//! layer at all, so a static-policy spec is byte-identical (and hashes
+//! identically) to a policy-free one.
+
+use serde::{Deserialize, Serialize};
+
+/// The pluggable migration policies (ROADMAP item 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No migration: today's static placement, byte-identical to not
+    /// configuring a policy at all (no tiering layer is attached).
+    Static,
+    /// Promote the hottest slow pages each epoch (touch count ≥
+    /// threshold), evicting the least-recently-touched fast pages.
+    LruHotness,
+    /// Second-chance CLOCK: promote pages touched in consecutive epochs,
+    /// evict via a clock hand that clears reference bits.
+    Clock,
+    /// [`PolicyKind::LruHotness`] with the per-epoch migration budget
+    /// scaled down by the slow link's measured utilization, so migration
+    /// backs off exactly when it would hurt demand traffic most.
+    BandwidthAware,
+    /// Migration gated by an externally computed guide schedule (Spa
+    /// windowed bottleneck labels): aggressive inside memory-bound
+    /// windows, idle elsewhere.
+    SpaGuided,
+}
+
+/// Every policy keyword, in the order error messages list them.
+pub const POLICIES: &[&str] = &[
+    "static",
+    "lru-hotness",
+    "clock",
+    "bandwidth-aware",
+    "spa-guided",
+];
+
+impl PolicyKind {
+    /// Parses a policy keyword (`static`, `lru-hotness`, `clock`,
+    /// `bandwidth-aware`, `spa-guided`).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "static" => PolicyKind::Static,
+            "lru-hotness" => PolicyKind::LruHotness,
+            "clock" => PolicyKind::Clock,
+            "bandwidth-aware" => PolicyKind::BandwidthAware,
+            "spa-guided" => PolicyKind::SpaGuided,
+            _ => return None,
+        })
+    }
+
+    /// The keyword form of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::LruHotness => "lru-hotness",
+            PolicyKind::Clock => "clock",
+            PolicyKind::BandwidthAware => "bandwidth-aware",
+            PolicyKind::SpaGuided => "spa-guided",
+        }
+    }
+}
+
+/// One window of an externally supplied guide schedule (the Spa
+/// breakdown stream's windowed labels, serialized so the mem crate
+/// stays independent of the spa crate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuideWindow {
+    /// Window start, simulated picoseconds.
+    pub start_ps: u64,
+    /// Memory-bound score in `[0, 1]` (the DRAM share of the window's
+    /// stall breakdown); migration runs when it exceeds the threshold.
+    pub mem_score: f64,
+}
+
+/// Configuration of one tiered device: which policy runs, at what page
+/// granularity, how much fast-tier capacity it manages, and how much
+/// link bandwidth migration may consume per epoch.
+///
+/// Every tuning field serializes explicitly (configs are built in code
+/// via [`TieringConfig::new`], never hand-written), so the canonical
+/// JSON that enters cache fingerprints always carries the full knob set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TieringConfig {
+    /// The migration policy.
+    pub policy: PolicyKind,
+    /// Page granularity in bytes (default 4 KiB).
+    pub page_bytes: u64,
+    /// Epoch length in simulated ns between migration decisions.
+    pub epoch_ns: u64,
+    /// Fast-tier capacity in bytes the policy may fill.
+    pub fast_bytes: u64,
+    /// Migration bandwidth budget in GB/s, averaged per epoch.
+    pub migrate_budget_gbps: f64,
+    /// Touches per epoch before a slow page counts as hot.
+    pub hot_touches: u64,
+    /// Guide schedule for [`PolicyKind::SpaGuided`]; empty for the
+    /// other policies (and skipped in serialization, so guide-free
+    /// configs hash like pre-guide ones).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub guide: Vec<GuideWindow>,
+}
+
+impl TieringConfig {
+    /// A config for `policy` with every tuning knob at its default.
+    pub fn new(policy: PolicyKind) -> Self {
+        Self {
+            policy,
+            page_bytes: 4096,
+            epoch_ns: 20_000,
+            fast_bytes: 1 << 30,
+            migrate_budget_gbps: 8.0,
+            hot_touches: 2,
+            guide: Vec::new(),
+        }
+    }
+
+    /// Migration budget per epoch in bytes (never zero: a positive
+    /// budget floor keeps degenerate configs from deadlocking hot pages
+    /// on the slow tier forever).
+    pub fn budget_bytes_per_epoch(&self) -> u64 {
+        let bytes = self.migrate_budget_gbps * self.epoch_ns as f64;
+        (bytes as u64).max(self.page_bytes)
+    }
+
+    /// Validates the knobs a JSON spec or CLI could set badly.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.page_bytes.is_power_of_two() || self.page_bytes < 64 {
+            return Err(format!(
+                "page_bytes {} must be a power of two >= 64",
+                self.page_bytes
+            ));
+        }
+        if self.epoch_ns == 0 {
+            return Err("epoch_ns must be positive".into());
+        }
+        if self.fast_bytes < self.page_bytes {
+            return Err(format!(
+                "fast_bytes {} must hold at least one page ({})",
+                self.fast_bytes, self.page_bytes
+            ));
+        }
+        if self.migrate_budget_gbps.is_nan() || self.migrate_budget_gbps <= 0.0 {
+            return Err("migrate_budget_gbps must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The error message for an unknown policy keyword: names the offender
+/// and every valid spelling, the same convention topology validation
+/// errors use (clients print it verbatim and exit 2).
+pub fn unknown_policy_error(name: &str) -> String {
+    format!("unknown policy `{name}` (known: {})", POLICIES.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for kw in POLICIES {
+            let p = PolicyKind::parse(kw).expect("known keyword");
+            assert_eq!(p.name(), *kw);
+        }
+        assert_eq!(PolicyKind::parse("mru"), None);
+        assert!(unknown_policy_error("mru").contains("lru-hotness"));
+    }
+
+    #[test]
+    fn defaults_validate_and_serialize_compactly() {
+        let cfg = TieringConfig::new(PolicyKind::LruHotness);
+        cfg.validate().expect("defaults valid");
+        let json = serde_json::to_string(&cfg).expect("serializes");
+        assert!(!json.contains("guide"), "empty guide is skipped: {json}");
+        let back: TieringConfig = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected() {
+        let mut cfg = TieringConfig::new(PolicyKind::Clock);
+        cfg.page_bytes = 100;
+        assert!(cfg.validate().is_err());
+        cfg.page_bytes = 4096;
+        cfg.fast_bytes = 64;
+        assert!(cfg.validate().is_err());
+        cfg.fast_bytes = 1 << 20;
+        cfg.migrate_budget_gbps = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn budget_floor_is_one_page() {
+        let mut cfg = TieringConfig::new(PolicyKind::LruHotness);
+        cfg.migrate_budget_gbps = 1e-9;
+        assert_eq!(cfg.budget_bytes_per_epoch(), cfg.page_bytes);
+        cfg.migrate_budget_gbps = 8.0;
+        cfg.epoch_ns = 20_000;
+        // 8 GB/s = 8 bytes/ns over 20 µs = 160 KB.
+        assert_eq!(cfg.budget_bytes_per_epoch(), 160_000);
+    }
+}

@@ -8,8 +8,10 @@ use crate::faults::FaultConfig;
 use crate::imc::{ImcConfig, ImcDevice};
 use crate::interleave::InterleavedDevice;
 use crate::numa::{NumaHopConfig, NumaHopDevice};
+use crate::policy::{PolicyKind, TieringConfig};
 use crate::split::SplitDevice;
 use crate::switch::{SwitchConfig, SwitchDevice};
+use crate::tiering::TieredDevice;
 
 /// A declarative, serialisable description of a memory backend.
 ///
@@ -59,6 +61,21 @@ pub enum DeviceSpec {
         /// Fast (local) tier.
         fast: Box<DeviceSpec>,
         /// Slow (CXL) tier.
+        slow: Box<DeviceSpec>,
+    },
+    /// Two tiers under online page migration: the whole address space
+    /// starts on `slow` and a [`TieringConfig`] policy promotes hot
+    /// pages into `fast` at epoch boundaries, costing the copies on the
+    /// simulated links (see [`crate::TieredDevice`]). A `static` policy
+    /// never constructs this variant — [`DeviceSpec::with_tiering`]
+    /// returns the slow spec unchanged, so static-policy specs hash and
+    /// simulate byte-identically to policy-free ones.
+    Tiered {
+        /// Policy and tuning knobs.
+        tiering: TieringConfig,
+        /// Fast (local DRAM) tier.
+        fast: Box<DeviceSpec>,
+        /// Slow (CXL) tier, the initial home of every page.
         slow: Box<DeviceSpec>,
     },
     /// Several devices behind a CXL switch: interleaved like
@@ -124,6 +141,16 @@ impl DeviceSpec {
                 slow.build(seed.wrapping_add(3)),
                 *boundary,
             )),
+            DeviceSpec::Tiered {
+                tiering,
+                fast,
+                slow,
+            } => Box::new(TieredDevice::new(
+                tiering.clone(),
+                fast.build(seed.wrapping_add(4)),
+                slow.build(seed.wrapping_add(5)),
+                slow.analytic_profile().total_gbps,
+            )),
             DeviceSpec::Switch {
                 switch,
                 granularity,
@@ -151,6 +178,11 @@ impl DeviceSpec {
             DeviceSpec::Split { fast, slow, .. } => {
                 format!("{}|{}", fast.name(), slow.name())
             }
+            DeviceSpec::Tiered {
+                tiering,
+                fast,
+                slow,
+            } => format!("{}>{}[{}]", fast.name(), slow.name(), tiering.policy.name()),
             DeviceSpec::Switch { parts, .. } => {
                 format!("{}x{}+Switch", parts[0].name(), parts.len())
             }
@@ -167,6 +199,7 @@ impl DeviceSpec {
                 parts.iter().map(|p| p.nominal_latency_ns()).sum::<f64>() / parts.len() as f64
             }
             DeviceSpec::Split { slow, .. } => slow.nominal_latency_ns(),
+            DeviceSpec::Tiered { slow, .. } => slow.nominal_latency_ns(),
             DeviceSpec::Switch { switch, parts, .. } => {
                 parts.iter().map(|p| p.nominal_latency_ns()).sum::<f64>() / parts.len() as f64
                     + switch.latency_ns
@@ -256,6 +289,15 @@ impl DeviceSpec {
                 fast: Box::new(fast.with_faults(faults.clone())),
                 slow: Box::new(slow.with_faults(faults)),
             },
+            DeviceSpec::Tiered {
+                tiering,
+                fast,
+                slow,
+            } => DeviceSpec::Tiered {
+                tiering,
+                fast: Box::new(fast.with_faults(faults.clone())),
+                slow: Box::new(slow.with_faults(faults)),
+            },
             DeviceSpec::Switch {
                 switch,
                 granularity,
@@ -277,6 +319,23 @@ impl DeviceSpec {
     pub fn with_fast_tier(self, fast: DeviceSpec, boundary: u64) -> DeviceSpec {
         DeviceSpec::Split {
             boundary,
+            fast: Box::new(fast),
+            slow: Box::new(self),
+        }
+    }
+
+    /// Puts this device (as the slow tier) under an online migration
+    /// policy with `fast` local memory (ROADMAP item 4). The `static`
+    /// policy attaches nothing — the spec comes back unchanged, so a
+    /// static-policy campaign cell hashes and simulates byte-identically
+    /// to a policy-free one (the same convention as inert fault
+    /// regimes).
+    pub fn with_tiering(self, tiering: TieringConfig, fast: DeviceSpec) -> DeviceSpec {
+        if tiering.policy == PolicyKind::Static {
+            return self;
+        }
+        DeviceSpec::Tiered {
+            tiering,
             fast: Box::new(fast),
             slow: Box::new(self),
         }
@@ -333,6 +392,11 @@ impl DeviceSpec {
             // address space), so the analytical model prices every access
             // at the slow tier, consistent with `nominal_latency_ns`.
             DeviceSpec::Split { slow, .. } => slow.analytic_profile(),
+            // Same argument as Split: the slow tier holds the bulk of
+            // the address space, so the closed-form model prices every
+            // access there — the adaptive policies only ever improve on
+            // that, consistent with `nominal_latency_ns`.
+            DeviceSpec::Tiered { slow, .. } => slow.analytic_profile(),
             DeviceSpec::Switch { switch, parts, .. } => {
                 let profiles: Vec<AnalyticProfile> =
                     parts.iter().map(|p| p.analytic_profile()).collect();

@@ -12,6 +12,7 @@
 //! melody campaign <spec.json> [--shard i/N] [--journal PATH] [--resume]
 //!                 [--topology T] [--json] [--progress]
 //! melody degraded [--scale S] [--journal PATH] [--resume] [--limit N] [--json]
+//! melody tiering [--scale S] [--json]    # per-policy migration comparison
 //! melody trace <device> [--out PATH] [--workloads N] [--refs N]
 //! melody diff <a.json> <b.json> [--rel-tol X] [--abs-tol X] [--json]
 //! melody report <run.json> [--out PATH]
@@ -65,6 +66,19 @@
 //! finished cell to `--journal` so a killed sweep restarted with
 //! `--resume` skips finished cells and emits byte-identical output.
 //!
+//! `probe`, `run` and `campaign` accept `--policy <name>` (static,
+//! lru-hotness, clock, bandwidth-aware, spa-guided) to put an online
+//! page-migration tier in front of the device: pages start on the slow
+//! (target) tier and the policy promotes hot pages into local DRAM at
+//! epoch boundaries, with migration traffic costed on the simulated
+//! link. `--page-bytes N` and `--migrate-budget-gbps X` tune the page
+//! size and the migration pacing budget. `--policy static` never
+//! migrates and is byte-identical to omitting the flag. On `campaign`
+//! the policy joins the spec's grid as an extra axis (and the cell's
+//! cache identity). `melody tiering` runs the standing per-policy
+//! comparison on a phased hot/cold workload (see EXPERIMENTS.md
+//! "Tiering policies").
+//!
 //! `run --json` emits a `melody-run` insight document: the whole-run
 //! breakdown plus the windowed attribution timeline, flagged anomaly
 //! windows, and the full telemetry export (see TELEMETRY.md). `melody
@@ -78,7 +92,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use melody::prelude::*;
-use melody_mem::{CpmuDevice, FaultConfig};
+use melody_mem::{CpmuDevice, FaultConfig, PolicyKind, TieringConfig};
 use melody_workloads::mlc::{loaded_latency, MlcConfig};
 use melody_workloads::Suite;
 
@@ -119,6 +133,38 @@ fn apply_faults(spec: DeviceSpec, args: &[String]) -> DeviceSpec {
     }
 }
 
+/// Attaches a `--policy <name>` adaptive tiering layer to a device
+/// spec, with `local` (the platform's local DRAM) as the fast tier.
+/// The `static` keyword — and an absent flag — attaches nothing, so
+/// output stays byte-identical to a policy-free invocation.
+/// `--page-bytes N` and `--migrate-budget-gbps X` tune the config;
+/// an unknown policy or invalid knob exits 2 naming every valid
+/// spelling, the same convention fault and topology validation use.
+fn apply_policy(spec: DeviceSpec, args: &[String], local: &DeviceSpec) -> DeviceSpec {
+    let Some(name) = flag(args, "--policy") else {
+        return spec;
+    };
+    let Some(kind) = PolicyKind::parse(&name) else {
+        eprintln!("{}", melody_mem::policy::unknown_policy_error(&name));
+        std::process::exit(2);
+    };
+    if kind == PolicyKind::Static {
+        return spec;
+    }
+    let mut tc = TieringConfig::new(kind);
+    if let Some(p) = flag(args, "--page-bytes").and_then(|v| v.parse().ok()) {
+        tc.page_bytes = p;
+    }
+    if let Some(b) = flag(args, "--migrate-budget-gbps").and_then(|v| v.parse().ok()) {
+        tc.migrate_budget_gbps = b;
+    }
+    if let Err(e) = tc.validate() {
+        eprintln!("tiering: {e}");
+        std::process::exit(2);
+    }
+    spec.with_tiering(tc, local.clone())
+}
+
 /// Loads, validates and lowers a `--topology <spec.json>` fabric,
 /// exiting 2 with the validation error (which names the offending node
 /// and lists the valid spellings) on failure.
@@ -148,7 +194,7 @@ fn load_topology_spec_or_exit(path: &str) -> TopologySpec {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|campaign|degraded|trace|diff|report|serve|submit|status|drain> [args]\n\
+        "usage: melody <devices|workloads|probe|mio|mlc|run|cpmu|campaign|degraded|tiering|trace|diff|report|serve|submit|status|drain> [args]\n\
          \u{20}      [--jobs N] [--telemetry off|metrics|trace] [--cadence-ns N]\n\
          \u{20}      [--cache DIR] [--no-cache] [--fidelity detailed|sampled|fast]\n\
          \u{20}      [--sample-warmup N] [--sample-window N] [--sample-period N]\n\
@@ -381,6 +427,7 @@ fn main() {
         "cpmu" => cmd_cpmu(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
         "degraded" => cmd_degraded(&args[1..]),
+        "tiering" => cmd_tiering(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
         "report" => cmd_report(&args[1..]),
@@ -418,6 +465,7 @@ fn cmd_devices() {
             DeviceSpec::Hopped { .. } => "hopped",
             DeviceSpec::Interleaved { .. } => "interleave",
             DeviceSpec::Split { .. } => "tiered",
+            DeviceSpec::Tiered { .. } => "migrating",
             DeviceSpec::Switch { .. } => "switched",
         };
         println!(
@@ -466,6 +514,9 @@ fn cmd_probe(args: &[String]) {
         (None, None) => usage(),
     };
     let spec = apply_faults(spec, args);
+    // Probe has no platform axis; the tiering fast tier is the default
+    // platform's local DRAM.
+    let spec = apply_policy(spec, args, &presets::local_emr());
     let mut dev = spec.build(1);
     let idle = probe::idle_latency_ns(dev.as_mut(), 5_000);
     let mut dev2 = spec.build(1);
@@ -580,6 +631,7 @@ fn cmd_run(args: &[String]) {
         spawn_heartbeat(None, Duration::from_millis(ms))
     });
     let local = melody::campaign::local_for_platform(&platform);
+    let spec = apply_policy(spec, args, &local);
     if args.iter().any(|a| a == "--json") {
         run_json(args, &platform, &local, &spec, &w, &opts);
         return;
@@ -641,6 +693,9 @@ fn run_json(
         seed: opts.seed,
         mem_refs: opts.mem_refs,
         faults: flag(args, "--faults").unwrap_or_default(),
+        policy: flag(args, "--policy")
+            .filter(|p| p != "static")
+            .unwrap_or_default(),
     };
     let doc = melody_insight::build_run_doc(
         meta,
@@ -826,9 +881,17 @@ fn cmd_campaign(args: &[String]) {
     use melody::journal::Journal;
 
     // The spec path is the first positional; values of valued flags
-    // (`--shard 0/2`, `--journal j.log`, `--topology t.json`) are not
-    // positionals and must be skipped.
-    let valued_flags = ["--shard", "--journal", "--topology"];
+    // (`--shard 0/2`, `--journal j.log`, `--topology t.json`,
+    // `--policy lru-hotness`, ...) are not positionals and must be
+    // skipped.
+    let valued_flags = [
+        "--shard",
+        "--journal",
+        "--topology",
+        "--policy",
+        "--page-bytes",
+        "--migrate-budget-gbps",
+    ];
     let mut spec_path = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -849,6 +912,18 @@ fn cmd_campaign(args: &[String]) {
     });
     if let Some(tp) = flag(args, "--topology") {
         spec.topologies.push(load_topology_spec_or_exit(&tp));
+    }
+    // `--policy NAME` appends to the spec's tiering-policy axis (the
+    // expander validates the name; an unknown one exits 2 listing the
+    // valid spellings). Knob flags override the spec's values.
+    if let Some(p) = flag(args, "--policy") {
+        spec.policies.push(p);
+    }
+    if let Some(p) = flag(args, "--page-bytes").and_then(|v| v.parse().ok()) {
+        spec.page_bytes = Some(p);
+    }
+    if let Some(b) = flag(args, "--migrate-budget-gbps").and_then(|v| v.parse().ok()) {
+        spec.migrate_budget_gbps = Some(b);
     }
     let shard = match flag(args, "--shard") {
         Some(s) => Shard::parse(&s).unwrap_or_else(|| {
@@ -1034,6 +1109,33 @@ fn cmd_degraded(args: &[String]) {
     }
     if !report.errors.is_empty() {
         std::process::exit(1);
+    }
+}
+
+/// `melody tiering [--scale S] [--json]`: runs the per-policy online
+/// migration comparison (every [`melody_mem::POLICIES`] entry on the
+/// phased hot/cold workload over CXL-B) and renders the slowdown /
+/// migration-traffic table, or the JSON document with `--json`.
+fn cmd_tiering(args: &[String]) {
+    use melody::experiments::tiering;
+
+    let scale = match flag(args, "--scale").as_deref() {
+        None | Some("smoke") => Scale::Smoke,
+        Some("quick") => Scale::Quick,
+        Some("full") => Scale::Full,
+        Some(other) => {
+            eprintln!("unknown scale `{other}` (smoke|quick|full)");
+            std::process::exit(2);
+        }
+    };
+    let data = tiering::run(scale);
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&data).expect("tiering data serializes")
+        );
+    } else {
+        print!("{}", data.render());
     }
 }
 

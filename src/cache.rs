@@ -49,7 +49,11 @@ use serde::{Deserialize, Serialize};
 /// v3: topology-lowered device specs joined the campaign device axis
 /// (the `AccessBreakdown::node` field and switch contention model can
 /// shift results for composite devices), so all v2 entries are orphaned.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: tiering policies joined the campaign grid (`policies` axis,
+/// `CampaignRow::policy`) and the CPU engine grew the full-stream
+/// slot tap for tiered devices, so all v3 entries are orphaned.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// 64-bit FNV-1a over `bytes`, from an arbitrary offset basis.
 fn fnv64(mut h: u64, bytes: &[u8]) -> u64 {

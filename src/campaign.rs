@@ -26,7 +26,7 @@
 use std::sync::Mutex;
 
 use melody_cpu::Platform;
-use melody_mem::{presets, DeviceSpec, FaultConfig};
+use melody_mem::{presets, DeviceSpec, FaultConfig, PolicyKind, TieringConfig};
 use melody_spa::Breakdown;
 use melody_workloads::{registry, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -226,6 +226,21 @@ pub struct CampaignSpec {
     /// entries with the equivalent `devices` keyword by construction.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub topologies: Vec<melody_mem::TopologySpec>,
+    /// Tiering migration policies ([`melody_mem::POLICIES`]): each
+    /// policy joins the grid as its own axis between faults and
+    /// workloads. Empty (or the `static` keyword) attaches no tiering
+    /// layer, so policy-free campaigns hash and render identically to
+    /// ones written before policies existed.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub policies: Vec<String>,
+    /// Tiering page granularity in bytes (default 4096); only read by
+    /// non-static policies.
+    #[serde(default)]
+    pub page_bytes: Option<u64>,
+    /// Tiering migration bandwidth budget in GB/s (default 8.0); only
+    /// read by non-static policies.
+    #[serde(default)]
+    pub migrate_budget_gbps: Option<f64>,
 }
 
 impl CampaignSpec {
@@ -247,7 +262,8 @@ impl CampaignSpec {
 
     /// Expands the grid into fully-resolved cells, in deterministic
     /// platform-major order (platform, then device, then fault regime,
-    /// then workload). Unknown names are errors, not panics.
+    /// then tiering policy, then workload). Unknown names are errors,
+    /// not panics.
     pub fn expand(&self) -> Result<Vec<CampaignCell>, String> {
         let scale = self.effective_scale()?;
         if self.platforms.is_empty() || (self.devices.is_empty() && self.topologies.is_empty()) {
@@ -269,6 +285,32 @@ impl CampaignSpec {
         } else {
             self.faults.clone()
         };
+        // The `static` spelling lowers to absence (like the inert fault
+        // regime and degenerate topologies), so its cells share
+        // fingerprints, labels and rendering with policy-free ones.
+        let mut policies: Vec<(String, Option<TieringConfig>)> = Vec::new();
+        let default_policies = [String::new()];
+        for pol in if self.policies.is_empty() {
+            &default_policies[..]
+        } else {
+            &self.policies[..]
+        } {
+            if pol.is_empty() || pol == "static" {
+                policies.push((String::new(), None));
+                continue;
+            }
+            let kind = PolicyKind::parse(pol)
+                .ok_or_else(|| melody_mem::policy::unknown_policy_error(pol))?;
+            let mut tc = TieringConfig::new(kind);
+            if let Some(p) = self.page_bytes {
+                tc.page_bytes = p;
+            }
+            if let Some(b) = self.migrate_budget_gbps {
+                tc.migrate_budget_gbps = b;
+            }
+            tc.validate().map_err(|e| format!("tiering: {e}"))?;
+            policies.push((pol.clone(), Some(tc)));
+        }
         let fidelity = match self.fidelity.as_deref() {
             None => crate::exec::fidelity(),
             Some(s) => melody_cpu::Fidelity::parse(s)
@@ -331,29 +373,41 @@ impl CampaignSpec {
                     // The inert regime attaches no fault layer, so a
                     // faultless campaign hashes (and simulates)
                     // identically to one written before regimes existed.
-                    let target = if fc.is_inert() {
+                    let faulted = if fc.is_inert() {
                         device.clone()
                     } else {
                         device.clone().with_faults(fc)
                     };
-                    for w in &workloads {
-                        // Same domain as the drivers' pair runs: a cell
-                        // simulated by `run_population_par` or a grid is
-                        // a warm hit for an equivalent campaign cell.
-                        let config = pair_config_json(&platform, &local, &target, w, &opts);
-                        let key = cell_fingerprint("pair", &config);
-                        cells.push(CampaignCell {
-                            index: cells.len(),
-                            key,
-                            platform_name: pname.clone(),
-                            device_name: dname.clone(),
-                            fault_name: fname.clone(),
-                            platform: platform.clone(),
-                            local: local.clone(),
-                            target: target.clone(),
-                            workload: w.clone(),
-                            opts: opts.clone(),
-                        });
+                    for (polname, tiering) in &policies {
+                        // Tiering wraps the (faulted) target with the
+                        // platform's local DRAM as the fast tier; the
+                        // wrapper spec enters the cell fingerprint via
+                        // the target, so policies are cell identity.
+                        let target = match tiering {
+                            None => faulted.clone(),
+                            Some(tc) => faulted.clone().with_tiering(tc.clone(), local.clone()),
+                        };
+                        for w in &workloads {
+                            // Same domain as the drivers' pair runs: a
+                            // cell simulated by `run_population_par` or
+                            // a grid is a warm hit for an equivalent
+                            // campaign cell.
+                            let config = pair_config_json(&platform, &local, &target, w, &opts);
+                            let key = cell_fingerprint("pair", &config);
+                            cells.push(CampaignCell {
+                                index: cells.len(),
+                                key,
+                                platform_name: pname.clone(),
+                                device_name: dname.clone(),
+                                fault_name: fname.clone(),
+                                policy_name: polname.clone(),
+                                platform: platform.clone(),
+                                local: local.clone(),
+                                target: target.clone(),
+                                workload: w.clone(),
+                                opts: opts.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -375,6 +429,9 @@ pub struct CampaignCell {
     pub device_name: String,
     /// Fault regime name from the spec.
     pub fault_name: String,
+    /// Tiering policy keyword; empty for static/no-policy cells (which
+    /// carry no tiering layer at all).
+    pub policy_name: String,
     /// Resolved platform.
     pub platform: Platform,
     /// Local-DRAM baseline for this platform.
@@ -388,12 +445,25 @@ pub struct CampaignCell {
 }
 
 impl CampaignCell {
-    /// Human-readable cell label for error reports.
+    /// Human-readable cell label for error reports. The policy segment
+    /// appears only for adaptive-policy cells, so policy-free campaigns
+    /// keep their pre-policy labels.
     pub fn label(&self) -> String {
-        format!(
-            "{}/{}/{}/{}",
-            self.platform_name, self.device_name, self.fault_name, self.workload.name
-        )
+        if self.policy_name.is_empty() {
+            format!(
+                "{}/{}/{}/{}",
+                self.platform_name, self.device_name, self.fault_name, self.workload.name
+            )
+        } else {
+            format!(
+                "{}/{}/{}/{}/{}",
+                self.platform_name,
+                self.device_name,
+                self.fault_name,
+                self.policy_name,
+                self.workload.name
+            )
+        }
     }
 }
 
@@ -447,6 +517,11 @@ pub struct CampaignRow {
     pub device: String,
     /// Fault regime.
     pub faults: String,
+    /// Tiering policy keyword; empty (and skipped in serialization) for
+    /// static/no-policy cells, so policy-free reports stay
+    /// byte-identical to the pre-policy format.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub policy: String,
     /// Workload name.
     pub workload: String,
     /// Suite label.
@@ -531,6 +606,15 @@ impl CampaignReport {
     /// Renders the per-cell table plus per-(platform, device, faults)
     /// aggregates.
     pub fn render(&self) -> String {
+        // The Policy column appears only when some cell actually runs an
+        // adaptive policy, so policy-free reports stay byte-identical to
+        // the pre-policy format (CI cmp-gates this).
+        let tiered = self.rows.iter().any(|r| !r.policy.is_empty());
+        let mut headers = vec!["Platform", "Device", "Faults"];
+        if tiered {
+            headers.push("Policy");
+        }
+        headers.extend(["Workload", "Slowdown", "DRAM", "IPC", "p99.9(ns)"]);
         let mut t = TableData::new(
             format!(
                 "campaign {} (shard {}, {} of {} cells)",
@@ -539,33 +623,34 @@ impl CampaignReport {
                 self.rows.len(),
                 self.total_cells
             ),
-            &[
-                "Platform",
-                "Device",
-                "Faults",
-                "Workload",
-                "Slowdown",
-                "DRAM",
-                "IPC",
-                "p99.9(ns)",
-            ],
+            &headers,
         );
         for r in &self.rows {
-            t.push_row(vec![
-                r.platform.clone(),
-                r.device.clone(),
-                r.faults.clone(),
+            let mut row = vec![r.platform.clone(), r.device.clone(), r.faults.clone()];
+            if tiered {
+                row.push(if r.policy.is_empty() {
+                    "static".to_string()
+                } else {
+                    r.policy.clone()
+                });
+            }
+            row.extend([
                 r.workload.clone(),
                 format!("{:.1}%", r.slowdown * 100.0),
                 format!("{:.1}%", r.breakdown.dram * 100.0),
                 format!("{:.2}->{:.2}", r.local_ipc, r.target_ipc),
                 r.target_p999_ns.to_string(),
             ]);
+            t.push_row(row);
         }
         let mut out = t.render();
         let mut groups: Vec<(String, Vec<f64>)> = Vec::new();
         for r in &self.rows {
-            let g = format!("{}/{}/{}", r.platform, r.device, r.faults);
+            let g = if r.policy.is_empty() {
+                format!("{}/{}/{}", r.platform, r.device, r.faults)
+            } else {
+                format!("{}/{}/{}/{}", r.platform, r.device, r.faults, r.policy)
+            };
             match groups.iter_mut().find(|(k, _)| *k == g) {
                 Some((_, v)) => v.push(r.slowdown * 100.0),
                 None => groups.push((g, vec![r.slowdown * 100.0])),
@@ -605,6 +690,7 @@ fn row_from(cell: &CampaignCell, o: &PairOutcome) -> CampaignRow {
         platform: cell.platform_name.clone(),
         device: cell.device_name.clone(),
         faults: cell.fault_name.clone(),
+        policy: cell.policy_name.clone(),
         workload: o.workload.clone(),
         suite: o.suite.label().to_string(),
         slowdown: o.slowdown,
@@ -781,6 +867,9 @@ mod tests {
             sample_window: None,
             sample_period: None,
             topologies: vec![],
+            policies: vec![],
+            page_bytes: None,
+            migrate_budget_gbps: None,
         }
     }
 

@@ -18,6 +18,7 @@ pub mod placement;
 pub mod predict;
 pub mod table1;
 pub mod tails;
+pub mod tiering;
 
 use serde::{Deserialize, Serialize};
 

@@ -2,8 +2,8 @@
 //! populations.
 
 use melody_cpu::{Core, CoreConfig, Fidelity, Platform, RunResult, SamplingParams};
-use melody_mem::DeviceSpec;
-use melody_spa::{breakdown, Breakdown};
+use melody_mem::{DeviceSpec, GuideWindow, PolicyKind};
+use melody_spa::{breakdown, Breakdown, BreakdownStream};
 use melody_workloads::{SlotStream, Suite, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +52,75 @@ fn workload_seed(base: u64, name: &str) -> u64 {
     h
 }
 
+/// Synthesizes the guide schedule for a top-level
+/// [`DeviceSpec::Tiered`] spec running the `spa-guided` policy with an
+/// empty guide: a sampled profiling pair (the fast tier alone vs the
+/// plain slow tier) is folded through [`BreakdownStream`], and each
+/// complete window becomes a [`GuideWindow`] whose `mem_score` is the
+/// window's DRAM share of the differential stall breakdown, timestamped
+/// from the slow run's sample timeline. Returns `None` when the spec
+/// needs no guide (not tiered, not spa-guided, or a guide is already
+/// present), so every other policy's spec reaches the simulator
+/// untouched. The guide never enters cell fingerprints — identity is
+/// the un-guided spec, and the synthesis is deterministic from it.
+fn synthesize_spa_guide(
+    platform: &Platform,
+    device: &DeviceSpec,
+    workload: &WorkloadSpec,
+    opts: &RunOptions,
+) -> Option<DeviceSpec> {
+    let DeviceSpec::Tiered {
+        tiering,
+        fast,
+        slow,
+    } = device
+    else {
+        return None;
+    };
+    if tiering.policy != PolicyKind::SpaGuided || !tiering.guide.is_empty() {
+        return None;
+    }
+    let popts = RunOptions {
+        sample_interval_ns: Some(2_000),
+        ..opts.clone()
+    };
+    let fast_run = run_workload(platform, fast, workload, &popts);
+    let slow_run = run_workload(platform, slow, workload, &popts);
+    let period = (fast_run.counters.instructions / 24).max(1);
+    let mut bs = BreakdownStream::new(period);
+    for s in &fast_run.samples {
+        bs.push_local(s);
+    }
+    for s in &slow_run.samples {
+        bs.push_target(s);
+    }
+    let mut guide = Vec::new();
+    for w in bs.poll() {
+        let boundary = w.index as u64 * period;
+        let start_ns = slow_run
+            .samples
+            .iter()
+            .find(|s| s.counters.instructions >= boundary)
+            .map(|s| s.time_ns)
+            .unwrap_or(0);
+        let total = w.breakdown.total.max(1e-9);
+        guide.push(GuideWindow {
+            start_ps: start_ns * 1_000,
+            mem_score: (w.breakdown.dram.max(0.0) / total).clamp(0.0, 1.0),
+        });
+    }
+    if guide.is_empty() {
+        return None;
+    }
+    let mut tc = tiering.clone();
+    tc.guide = guide;
+    Some(DeviceSpec::Tiered {
+        tiering: tc,
+        fast: fast.clone(),
+        slow: slow.clone(),
+    })
+}
+
 /// Runs one workload on one device.
 pub fn run_workload(
     platform: &Platform,
@@ -71,6 +140,16 @@ pub fn run_workload(
             opts.prefetchers,
         );
     }
+    // The spa-guided policy consumes a profiling-derived guide schedule;
+    // synthesize it here when the spec carries none.
+    let guided;
+    let device = match synthesize_spa_guide(platform, device, workload, opts) {
+        Some(g) => {
+            guided = g;
+            &guided
+        }
+        None => device,
+    };
     let ipc_peak = scaled.ipc_peak;
     let mut cfg = CoreConfig::new(scaled);
     cfg.prefetchers = opts.prefetchers;

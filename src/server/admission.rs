@@ -31,17 +31,35 @@ pub fn fidelity_weight(fidelity: Fidelity) -> u64 {
     }
 }
 
+/// Relative cost multiplier of a cell's tiering policy. Adaptive
+/// policies tap the full load/store stream and run per-epoch migration
+/// bookkeeping (×2); `spa-guided` additionally runs a sampled profiling
+/// pair to synthesize its guide schedule (×3). Static/no-policy cells
+/// pay nothing extra.
+pub fn policy_weight(policy: &str) -> u64 {
+    match policy {
+        "" | "static" => 1,
+        "spa-guided" => 3,
+        _ => 2,
+    }
+}
+
 /// Expands `spec` and computes its admission cost. Expansion errors
-/// (unknown platform/device/workload names, bad sampling parameters)
-/// are returned verbatim — the server maps them to `400 bad-spec`.
+/// (unknown platform/device/workload names, unknown tiering policies,
+/// bad sampling parameters) are returned verbatim — the server maps
+/// them to `400 bad-spec`.
 pub fn assess(spec: &CampaignSpec) -> Result<Admission, String> {
     let cells = spec.expand()?;
     let weight = cells
         .first()
         .map_or(1, |c| fidelity_weight(c.opts.fidelity));
+    let cost = cells
+        .iter()
+        .map(|c| weight.saturating_mul(policy_weight(&c.policy_name)))
+        .fold(0u64, u64::saturating_add);
     Ok(Admission {
         cells: cells.len(),
-        cost: (cells.len() as u64).saturating_mul(weight),
+        cost,
     })
 }
 
@@ -70,6 +88,25 @@ mod tests {
         assert_eq!(detailed.cost, fast.cost * 100);
         assert_eq!(sampled.cost, fast.cost * 10);
         assert_eq!(fast.cost, fast.cells as u64);
+    }
+
+    #[test]
+    fn adaptive_policies_cost_more() {
+        let base = assess(&spec(Some("fast"))).expect("assess");
+        let mut tiered = spec(Some("fast"));
+        tiered.policies = vec!["lru-hotness".to_string()];
+        let t = assess(&tiered).expect("assess");
+        assert_eq!(t.cells, base.cells);
+        assert_eq!(t.cost, base.cost * 2);
+        tiered.policies = vec!["spa-guided".to_string()];
+        assert_eq!(assess(&tiered).expect("assess").cost, base.cost * 3);
+        // The static spelling is free, and an unknown one is a bad spec
+        // whose message lists the valid spellings.
+        tiered.policies = vec!["static".to_string()];
+        assert_eq!(assess(&tiered).expect("assess").cost, base.cost);
+        tiered.policies = vec!["mru".to_string()];
+        let err = assess(&tiered).expect_err("unknown policy");
+        assert!(err.contains("lru-hotness"), "{err}");
     }
 
     #[test]

@@ -32,6 +32,9 @@ fn tiny_spec() -> CampaignSpec {
         sample_window: None,
         sample_period: None,
         topologies: vec![],
+        policies: vec![],
+        page_bytes: None,
+        migrate_budget_gbps: None,
     }
 }
 
@@ -237,6 +240,93 @@ fn topology_is_part_of_cell_identity() {
         1,
         "plain run warm-hits the degenerate-topology cell"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn policy_is_part_of_cell_identity() {
+    // Results simulated under one tiering policy must never satisfy a
+    // request for another: the Tiered wrapper (policy, page size,
+    // budget) lands in the target DeviceSpec and with it in the cell
+    // fingerprint.
+    let dir = tmp_dir("policy-keys");
+    let base = CampaignSpec {
+        devices: vec!["cxl-a".into()],
+        workloads: vec!["605.mcf".into()],
+        ..tiny_spec()
+    };
+    let lru = CampaignSpec {
+        policies: vec!["lru-hotness".into()],
+        ..base.clone()
+    };
+    let clock = CampaignSpec {
+        policies: vec!["clock".into()],
+        ..base.clone()
+    };
+
+    let cache = ResultCache::open(&dir).expect("open");
+    let _ = run(&lru, Shard::full(), Some(&cache));
+    assert_eq!(cache.stats().misses, 1, "cold lru run misses");
+
+    // A different policy over the same grid shares no keys.
+    let c2 = ResultCache::open(&dir).expect("reopen");
+    let _ = run(&clock, Shard::full(), Some(&c2));
+    assert_eq!(
+        c2.stats().hits,
+        0,
+        "an lru-hotness cell must never satisfy a clock request"
+    );
+
+    // The same policy is a warm hit for itself, and the row names it.
+    let c3 = ResultCache::open(&dir).expect("reopen");
+    let again = run(&lru, Shard::full(), Some(&c3));
+    assert_eq!(c3.stats().hits, 1, "{:?}", c3.stats());
+    assert_eq!(again.rows[0].policy, "lru-hotness");
+
+    // Tuning knobs are identity too: a different page size or budget
+    // re-simulates.
+    let big_pages = CampaignSpec {
+        page_bytes: Some(8_192),
+        ..lru.clone()
+    };
+    assert_ne!(
+        lru.expand().expect("expand")[0].key,
+        big_pages.expand().expect("expand")[0].key,
+        "page size must be inside the fingerprint"
+    );
+    let throttled = CampaignSpec {
+        migrate_budget_gbps: Some(2.0),
+        ..lru.clone()
+    };
+    assert_ne!(
+        lru.expand().expect("expand")[0].key,
+        throttled.expand().expect("expand")[0].key,
+        "migration budget must be inside the fingerprint"
+    );
+
+    // Intentional sharing: the inert `static` spelling *is* the
+    // no-policy cell — identical key, so either spelling warms the
+    // cache for the other.
+    let statik = CampaignSpec {
+        policies: vec!["static".into()],
+        ..base.clone()
+    };
+    assert_eq!(
+        base.expand().expect("expand")[0].key,
+        statik.expand().expect("expand")[0].key,
+        "static spelling shares the no-policy cell identity"
+    );
+    let c4 = ResultCache::open(&dir).expect("reopen");
+    let _ = run(&statik, Shard::full(), Some(&c4));
+    assert_eq!(c4.stats().misses, 1, "static cell is new to this cache");
+    let c5 = ResultCache::open(&dir).expect("reopen");
+    let plain = run(&base, Shard::full(), Some(&c5));
+    assert_eq!(
+        c5.stats().hits,
+        1,
+        "a no-policy run warm-hits the static-spelled cell"
+    );
+    assert_eq!(plain.rows[0].policy, "", "inert spelling lowers to empty");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

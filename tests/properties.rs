@@ -10,13 +10,20 @@
 //!   quiesce;
 //! - [`EventQueue`] pops are non-decreasing in time, FIFO within ties;
 //! - Spa stall components are non-negative and sum to at most the total
-//!   stall count.
+//!   stall count;
+//! - the tiering page table keeps every page in exactly one tier,
+//!   conserves residency (`promoted − demoted == fast-resident`), keeps
+//!   migrated bytes equal to migrations × page size, and never exceeds
+//!   the per-epoch migration budget.
 //!
 //! Iteration counts default low enough for the tier-1 suite; the
 //! scheduled CI job raises them via `MELODY_PROP_ITERS`.
 
 use melody::prelude::*;
-use melody_mem::{CxlDevice, DramBackend, DramTiming, MemRequest, RequestKind};
+use melody_mem::{
+    CxlDevice, DramBackend, DramTiming, MemRequest, PolicyKind, RequestKind, TieredDevice,
+    TieringConfig,
+};
 use melody_sim::{CreditPool, EventQueue, SimRng};
 
 /// Per-test iteration count: `MELODY_PROP_ITERS` when set, else the
@@ -181,6 +188,131 @@ fn event_queue_pops_nondecreasing_and_fifo_within_ties() {
             popped += 1;
         }
         assert_eq!(popped, n, "case {case}: every event pops exactly once");
+    }
+}
+
+#[test]
+fn tiering_page_table_invariants_hold_under_random_streams() {
+    for case in 0..iters(8) {
+        let mut rng = SimRng::seed_from(0x71E2 ^ case);
+        let policy = match rng.below(4) {
+            0 => PolicyKind::LruHotness,
+            1 => PolicyKind::Clock,
+            2 => PolicyKind::BandwidthAware,
+            _ => PolicyKind::SpaGuided, // empty guide: always migrates
+        };
+        let mut cfg = TieringConfig::new(policy);
+        cfg.page_bytes = if rng.chance(0.5) { 4_096 } else { 8_192 };
+        // A small fast tier so capacity pressure (and demotion) is real.
+        cfg.fast_bytes = (4 + rng.below(28)) * cfg.page_bytes;
+        cfg.epoch_ns = 5_000 + rng.below(30_000);
+        cfg.hot_touches = 1 + rng.below(3);
+        cfg.migrate_budget_gbps = 2.0 + rng.below(30) as f64;
+        cfg.validate().expect("generated config is valid");
+        let slow = presets::cxl_b();
+        let mut dev = TieredDevice::new(
+            cfg.clone(),
+            presets::local_emr().build(1),
+            slow.build(2),
+            slow.analytic_profile().total_gbps,
+        );
+        let fast_capacity = cfg.fast_bytes / cfg.page_bytes;
+        let budget = cfg.budget_bytes_per_epoch();
+        let pages = 8 + rng.below(96);
+        let lines_per_page = cfg.page_bytes / 64;
+        let mut touched = std::collections::BTreeSet::new();
+        let mut t = 0u64;
+        let ctx = |case: u64| format!("case {case} ({policy:?})");
+        for i in 0..4_000u64 {
+            // Skewed page choice: a hot quarter takes most of the
+            // traffic, so promotion, reuse, and eviction all happen.
+            let page = if rng.chance(0.8) {
+                rng.below(pages / 4 + 1)
+            } else {
+                rng.below(pages)
+            };
+            let addr = page * cfg.page_bytes + rng.below(lines_per_page) * 64;
+            touched.insert(page);
+            let is_store = rng.chance(0.3);
+            dev.observe_slot(addr, is_store, t);
+            let kind = if is_store {
+                RequestKind::Rfo
+            } else {
+                RequestKind::DemandRead
+            };
+            let a = dev.access(&MemRequest::new(addr, kind, t));
+            assert!(a.completion >= t, "{}: completion in the past", ctx(case));
+            // Burstiness: back-to-back runs and long idle gaps, so some
+            // epochs are packed and others see one straggler.
+            t += if rng.chance(0.7) {
+                rng.below(2_000)
+            } else {
+                rng.below(120_000)
+            };
+            if i % 256 == 0 {
+                let c = dev.counters();
+                assert!(
+                    dev.fast_resident_pages() <= fast_capacity,
+                    "{}: fast tier over capacity",
+                    ctx(case)
+                );
+                assert_eq!(
+                    c.migrated_bytes,
+                    c.migrations * cfg.page_bytes,
+                    "{}: byte math",
+                    ctx(case)
+                );
+            }
+        }
+        let c = dev.counters();
+        // Every page is in exactly one tier: residency is the fast-page
+        // set, its complement within the known pages is the slow tier,
+        // and nothing resides outside the observed page population.
+        assert_eq!(
+            dev.known_pages(),
+            touched.len() as u64,
+            "{}: page population tracks the stream",
+            ctx(case)
+        );
+        let fast_of_touched = touched.iter().filter(|p| dev.is_fast_resident(**p)).count() as u64;
+        assert_eq!(
+            fast_of_touched,
+            dev.fast_resident_pages(),
+            "{}: every fast-resident page is a known page",
+            ctx(case)
+        );
+        // Residency conservation: pages enter the fast tier only by
+        // promotion and leave only by demotion.
+        assert_eq!(
+            c.promoted - c.demoted,
+            dev.fast_resident_pages(),
+            "{}: promoted − demoted must equal the resident count",
+            ctx(case)
+        );
+        assert_eq!(
+            c.migrations,
+            c.promoted + c.demoted,
+            "{}: every migration is a promotion or a demotion",
+            ctx(case)
+        );
+        assert_eq!(
+            c.migrated_bytes,
+            c.migrations * cfg.page_bytes,
+            "{}: migrated bytes are whole pages",
+            ctx(case)
+        );
+        assert!(
+            c.max_epoch_bytes <= budget,
+            "{}: epoch moved {} bytes over the {} budget",
+            ctx(case),
+            c.max_epoch_bytes,
+            budget
+        );
+        assert!(
+            dev.fast_resident_pages() <= fast_capacity,
+            "{}: fast tier over capacity",
+            ctx(case)
+        );
     }
 }
 

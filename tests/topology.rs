@@ -90,6 +90,9 @@ fn topology_cells_are_stable_across_jobs() {
                 "edges": [{"from": "h", "to": "e0"}, {"from": "h", "to": "e1"}]
             }"#,
         )],
+        policies: vec![],
+        page_bytes: None,
+        migrate_budget_gbps: None,
     };
     let run_at = |jobs: usize| {
         melody::exec::set_jobs(jobs);
